@@ -1,0 +1,414 @@
+package banscore_test
+
+import (
+	"testing"
+	"time"
+
+	"banscore"
+	"banscore/internal/core"
+	"banscore/internal/detect"
+	"banscore/internal/traffic"
+	"banscore/internal/wire"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSimulationNodeLifecycle(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	n, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if n.Addr() != "10.0.0.1:8333" {
+		t.Errorf("Addr = %q", n.Addr())
+	}
+	if n.ChainHeight() != 0 {
+		t.Errorf("fresh chain height = %d", n.ChainHeight())
+	}
+	if in, out := n.PeerCount(); in != 0 || out != 0 {
+		t.Errorf("fresh peer counts = %d/%d", in, out)
+	}
+	// Double-listen on the same address fails cleanly.
+	if _, err := sim.StartNode("10.0.0.1:8333"); err == nil {
+		t.Error("second node on same address started")
+	}
+}
+
+func TestNodesInterconnect(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	a, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := sim.StartNode("10.0.0.2:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	if err := a.ConnectTo(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "outbound connection", func() bool {
+		_, out := a.PeerCount()
+		return out == 1
+	})
+	waitFor(t, "inbound on b", func() bool {
+		in, _ := b.PeerCount()
+		return in == 1
+	})
+}
+
+func TestAttackerPingFloodScoreFree(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	res, err := atk.FloodPings(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 500 || res.Err != nil {
+		t.Fatalf("flood = %+v", res)
+	}
+	waitFor(t, "pings processed", func() bool {
+		return victim.Stats().MessagesProcessed >= 500
+	})
+	if victim.BannedCount() != 0 {
+		t.Error("ping flood caused a ban")
+	}
+}
+
+func TestAttackerBogusBlockFloodScoreFree(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	res, err := atk.FloodBogusBlocks(50*time.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if victim.BannedCount() != 0 {
+		t.Error("checksum-bogus block flood caused a ban")
+	}
+}
+
+func TestAttackerPreConnectionDefamation(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	const innocent = "10.0.0.77:50001"
+	res, err := atk.DefamePreConnection(innocent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent < 100 {
+		t.Errorf("sent %d, want >= 100", res.MessagesSent)
+	}
+	if !victim.IsBanned(core.PeerIDFromAddr(innocent)) {
+		t.Error("innocent not banned")
+	}
+}
+
+func TestAttackerPostConnectionDefamation(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	const innocent = "10.0.0.88:50001"
+	defamer := atk.NewPostConnectionDefamer(innocent)
+	defer defamer.Close()
+
+	innocentSession, err := atk.OpenSessionAs(innocent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer innocentSession.Close()
+
+	if _, err := defamer.Run(150, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "innocent banned", func() bool {
+		return victim.IsBanned(core.PeerIDFromAddr(innocent))
+	})
+}
+
+func TestAttackerSerialDefame(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	results, err := atk.SerialDefame(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if victim.BannedCount() != 2 {
+		t.Errorf("banned identifiers = %d, want 2", victim.BannedCount())
+	}
+}
+
+func TestGoodScoreModeNeutralizesDefamation(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333", banscore.WithTrackerMode(banscore.ModeGoodScore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	s, err := atk.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 300; i++ {
+		if err := s.Send(s.Version()); err != nil {
+			t.Fatalf("send %d: %v (good-score mode must never ban)", i, err)
+		}
+	}
+	if victim.BannedCount() != 0 {
+		t.Error("good-score mode banned a peer")
+	}
+}
+
+func TestCoreVersionOption(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	// In 0.22.0 the VERSION rules are deprecated: duplicate VERSION
+	// floods no longer accumulate score.
+	victim, err := sim.StartNode("10.0.0.1:8333", banscore.WithCoreVersion(banscore.V0_22_0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	s, err := atk.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 150; i++ {
+		if err := s.Send(s.Version()); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, "messages processed", func() bool {
+		return victim.Stats().MessagesProcessed >= 150
+	})
+	if victim.BannedCount() != 0 {
+		t.Error("0.22.0 rules banned on duplicate VERSION")
+	}
+}
+
+func TestBanThresholdOption(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333", banscore.WithBanThreshold(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	s, err := atk.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := core.PeerIDFromAddr(s.LocalAddr())
+	for i := 0; i < 20; i++ {
+		if err := s.Send(s.Version()); err != nil {
+			break
+		}
+	}
+	waitFor(t, "ban at low threshold", func() bool { return victim.IsBanned(id) })
+}
+
+func TestDetectorEndToEnd(t *testing.T) {
+	d := banscore.NewDetector(detect.DefaultWindow)
+	t0 := time.Unix(1700000000, 0)
+	normal := detect.WindowsFromEvents(
+		traffic.NewGenerator(42).Events(t0, 12*time.Hour), nil, detect.DefaultWindow)
+	th, err := d.TrainOn(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.NMax <= th.NMin {
+		t.Errorf("thresholds = %+v", th)
+	}
+
+	floodStart := t0.Add(100 * time.Hour)
+	attackWindows := detect.WindowsFromEvents(traffic.Overlay(
+		traffic.NewGenerator(7).Events(floodStart, time.Hour),
+		traffic.FloodEvents(wire.CmdPing, floodStart, time.Hour, 15000),
+	), nil, detect.DefaultWindow)
+	verdicts, err := d.DetectWindows(attackWindows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range verdicts {
+		if !v.Anomalous {
+			t.Errorf("attack window %d not flagged", i)
+		}
+	}
+}
+
+func TestDetectorUntrained(t *testing.T) {
+	d := banscore.NewDetector(0)
+	if _, err := d.Detect(); err == nil {
+		t.Error("untrained Detect succeeded")
+	}
+	if _, err := d.DetectWindows(nil); err == nil {
+		t.Error("untrained DetectWindows succeeded")
+	}
+}
+
+func TestDetectorAttachedToNode(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	d := banscore.NewDetector(time.Second)
+	victim, err := sim.StartNode("10.0.0.1:8333", banscore.WithDetector(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	if _, err := atk.FloodPings(200); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "monitor sees traffic", func() bool {
+		return len(d.Monitor().Flush()) > 0 || victim.Stats().MessagesProcessed >= 200
+	})
+}
+
+func TestBanRulesCatalog(t *testing.T) {
+	rules := banscore.BanRules()
+	if len(rules) != 19 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if banscore.Version == "" {
+		t.Error("empty version")
+	}
+}
+
+func TestCKBModeWithReputationEviction(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333",
+		banscore.WithTrackerMode(banscore.ModeCKB),
+		banscore.WithMaxInbound(1),
+		banscore.WithReputationEviction(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	bad, err := atk.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	badID := core.PeerIDFromAddr(bad.LocalAddr())
+	for i := 0; i < 5; i++ {
+		if err := bad.Send(bad.Version()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "negative reputation", func() bool {
+		ranks := victim.RankPeers()
+		return len(ranks) == 1 && ranks[0].Reputation < 0
+	})
+
+	// A newcomer takes the slot by evicting the misbehaving peer.
+	newcomer, err := atk.OpenSession()
+	if err != nil {
+		t.Fatalf("newcomer refused despite eviction policy: %v", err)
+	}
+	defer newcomer.Close()
+	waitFor(t, "eviction", func() bool {
+		ranks := victim.RankPeers()
+		return len(ranks) == 1 && ranks[0].ID != badID
+	})
+	// Nobody was banned in CKB mode.
+	if victim.BannedCount() != 0 {
+		t.Error("CKB mode banned a peer")
+	}
+}
+
+func TestRankPeersThroughFacade(t *testing.T) {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	victim, err := sim.StartNode("10.0.0.1:8333", banscore.WithTrackerMode(banscore.ModeCKB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	s, err := atk.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Send(s.Version()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "ranked", func() bool {
+		ranks := victim.RankPeers()
+		return len(ranks) == 1 && ranks[0].BanScore == 1 && ranks[0].Reputation == -1
+	})
+}

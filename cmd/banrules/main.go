@@ -1,0 +1,54 @@
+// Command banrules prints Table I: the ban-score rules of Bitcoin Core
+// 0.20.0 / 0.21.0 / 0.22.0, with the per-version scores and deprecations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"banscore/internal/core"
+	"banscore/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "banrules:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	version := flag.String("version", "", "show only the rules active in one version (0.20.0, 0.21.0, 0.22.0)")
+	flag.Parse()
+
+	if *version == "" {
+		fmt.Print(experiments.Table1().Render())
+		return nil
+	}
+
+	var v core.CoreVersion
+	switch *version {
+	case "0.20.0":
+		v = core.V0_20_0
+	case "0.21.0":
+		v = core.V0_21_0
+	case "0.22.0":
+		v = core.V0_22_0
+	default:
+		return fmt.Errorf("unknown version %q", *version)
+	}
+
+	fmt.Printf("Ban-score rules active in Bitcoin Core %s:\n\n", v)
+	for _, rule := range core.Catalog() {
+		score, ok := rule.ScoreIn(v)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-12s %-44s +%-4d %-13s %s\n",
+			rule.MessageType, rule.Misbehavior, score, rule.Object, rule.Type)
+	}
+	fmt.Printf("\n%d of the %d message types carry rules in this version\n",
+		len(core.ScoredMessageTypes(v)), core.MessageTypeCount)
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command btcnode runs the reproduction's full node on real TCP. It speaks
+// the simulation chain (not Bitcoin Mainnet consensus) so private testbeds
+// of btcnode/attacker instances can exercise every code path — the ban-score
+// mechanism, the attacks, and the detection engine — over genuine sockets.
+//
+// Usage:
+//
+//	btcnode -listen :8333 [-connect host:port,...] [-mode standard|infinity|disabled|goodscore]
+//	        [-core-version 0.20.0|0.21.0|0.22.0] [-stats 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"banscore/internal/core"
+	"banscore/internal/detect"
+	"banscore/internal/node"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "btcnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", ":8333", "TCP listen address")
+	connect := flag.String("connect", "", "comma-separated outbound peer addresses")
+	mode := flag.String("mode", "standard", "tracker mode: standard, infinity, disabled, goodscore")
+	coreVersion := flag.String("core-version", "0.20.0", "Table I rule set: 0.20.0, 0.21.0, 0.22.0")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	flag.Parse()
+
+	trackerMode, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	version, err := parseVersion(*coreVersion)
+	if err != nil {
+		return err
+	}
+
+	monitor := detect.NewMonitor(detect.DefaultWindow)
+	n := node.New(node.Config{
+		TrackerConfig: core.Config{Mode: trackerMode, Version: version},
+		Dialer:        func(remote string) (net.Conn, error) { return net.Dial("tcp", remote) },
+		Tap:           tap{monitor},
+	})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	n.Serve(l)
+	fmt.Printf("btcnode listening on %s (mode=%s, rules=%s)\n", l.Addr(), trackerMode, version)
+
+	if *connect != "" {
+		for _, addr := range strings.Split(*connect, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if err := n.Connect(addr); err != nil {
+				fmt.Fprintf(os.Stderr, "connect %s: %v\n", addr, err)
+				continue
+			}
+			fmt.Printf("connected outbound to %s\n", addr)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down")
+			n.Stop()
+			return nil
+		case <-tick:
+			s := n.Stats()
+			fmt.Printf("peers=%d/%d msgs=%d blocks=%d txs=%d banned-refused=%d reconnects=%d banned-ids=%d\n",
+				s.InboundPeers, s.OutboundPeers, s.MessagesProcessed, s.BlocksAccepted,
+				s.TxAccepted, s.BannedConnsRefused, s.Reconnections,
+				n.Tracker().BanList().Count())
+		}
+	}
+}
+
+// tap adapts the detection monitor to the node Tap interface.
+type tap struct{ m *detect.Monitor }
+
+func (t tap) OnMessage(cmd string, at time.Time) { t.m.OnMessage(cmd, at) }
+func (t tap) OnOutboundReconnect(at time.Time)   { t.m.OnOutboundReconnect(at) }
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "standard":
+		return core.ModeStandard, nil
+	case "infinity":
+		return core.ModeThresholdInfinity, nil
+	case "disabled":
+		return core.ModeDisabled, nil
+	case "goodscore":
+		return core.ModeGoodScore, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func parseVersion(s string) (core.CoreVersion, error) {
+	switch s {
+	case "0.20.0":
+		return core.V0_20_0, nil
+	case "0.21.0":
+		return core.V0_21_0, nil
+	case "0.22.0":
+		return core.V0_22_0, nil
+	}
+	return 0, fmt.Errorf("unknown core version %q", s)
+}

@@ -1,0 +1,100 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them in paper order.
+//
+// Usage:
+//
+//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"banscore/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	if *only == "" {
+		out, err := experiments.Suite(scale)
+		fmt.Print(out)
+		return err
+	}
+
+	switch *only {
+	case "table1":
+		fmt.Print(experiments.Table1().Render())
+	case "table2":
+		res, err := experiments.Table2(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig6":
+		res, err := experiments.Figure6(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "table3":
+		res, err := experiments.Table3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig7":
+		res, err := experiments.Figure7(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig8":
+		res, err := experiments.Figure8(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig10":
+		res, err := experiments.Figure10(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig11":
+		res, err := experiments.Figure11(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "countermeasures":
+		res, err := experiments.Countermeasures(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}

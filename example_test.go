@@ -1,0 +1,111 @@
+package banscore_test
+
+import (
+	"fmt"
+	"time"
+
+	"banscore"
+	"banscore/internal/core"
+	"banscore/internal/detect"
+	"banscore/internal/traffic"
+	"banscore/internal/wire"
+)
+
+// Example demonstrates the paper's central finding end to end: a spoofable
+// [IP:Port] identifier plus the ban-score mechanism lets an attacker get an
+// innocent peer banned.
+func Example() {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+
+	target, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		panic(err)
+	}
+	defer target.Stop()
+
+	attacker := sim.NewAttacker("10.0.0.66", target.Addr())
+	const innocent = "10.0.0.77:50001"
+	if _, err := attacker.DefamePreConnection(innocent); err != nil {
+		panic(err)
+	}
+	fmt.Println("innocent banned:", target.IsBanned(core.PeerIDFromAddr(innocent)))
+	// Output: innocent banned: true
+}
+
+// ExampleBanRules lists the Table I rules that survive into Bitcoin Core
+// 0.22.0 for the VERSION message — none, which is why the Defamation
+// primitive studied by the paper no longer scores there.
+func ExampleBanRules() {
+	for _, rule := range banscore.BanRules() {
+		if rule.MessageType != "VERSION" {
+			continue
+		}
+		_, in20 := rule.ScoreIn(core.V0_20_0)
+		_, in22 := rule.ScoreIn(core.V0_22_0)
+		fmt.Printf("%s: 0.20.0=%v 0.22.0=%v\n", rule.Misbehavior, in20, in22)
+	}
+	// Output:
+	// Duplicate VERSION: 0.20.0=true 0.22.0=false
+	// Message before VERSION: 0.20.0=true 0.22.0=false
+}
+
+// ExampleNewDetector trains the paper's anomaly detector on synthetic
+// normal traffic and flags a BM-DoS flood.
+func ExampleNewDetector() {
+	t0 := time.Unix(1700000000, 0)
+	d := banscore.NewDetector(detect.DefaultWindow)
+
+	normal := detect.WindowsFromEvents(
+		traffic.NewGenerator(42).Events(t0, 12*time.Hour), nil, detect.DefaultWindow)
+	if _, err := d.TrainOn(normal); err != nil {
+		panic(err)
+	}
+
+	floodStart := t0.Add(100 * time.Hour)
+	attacked := detect.WindowsFromEvents(traffic.Overlay(
+		traffic.NewGenerator(7).Events(floodStart, time.Hour),
+		traffic.FloodEvents(wire.CmdPing, floodStart, time.Hour, 15000),
+	), nil, detect.DefaultWindow)
+
+	verdicts, err := d.DetectWindows(attacked)
+	if err != nil {
+		panic(err)
+	}
+	flagged := 0
+	for _, v := range verdicts {
+		if v.Anomalous {
+			flagged++
+		}
+	}
+	fmt.Printf("flagged %d/%d windows\n", flagged, len(verdicts))
+	// Output: flagged 5/5 windows
+}
+
+// ExampleWithTrackerMode shows the §VIII good-score countermeasure
+// neutralizing the Defamation primitive.
+func ExampleWithTrackerMode() {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+
+	protected, err := sim.StartNode("10.0.0.1:8333",
+		banscore.WithTrackerMode(banscore.ModeGoodScore))
+	if err != nil {
+		panic(err)
+	}
+	defer protected.Stop()
+
+	attacker := sim.NewAttacker("10.0.0.66", protected.Addr())
+	s, err := attacker.OpenSessionAs("10.0.0.77:50001")
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	for i := 0; i < 300; i++ {
+		if err := s.Send(s.Version()); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("banned:", protected.IsBanned(core.PeerIDFromAddr("10.0.0.77:50001")))
+	// Output: banned: false
+}

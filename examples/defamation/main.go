@@ -1,0 +1,105 @@
+// Defamation: reproduce the paper's §IV attack — ban an INNOCENT peer by
+// spoofing its connection identifier, in both the pre-connection and the
+// post-connection (Algorithm 1) variants, then show the §VIII good-score
+// countermeasure neutralizing it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"banscore"
+	"banscore/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+
+	target, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		return err
+	}
+	defer target.Stop()
+	attacker := sim.NewAttacker("10.0.0.66", target.Addr())
+
+	// ---- Pre-connection Defamation -------------------------------------
+	// The attacker spoofs the innocent identifier BEFORE the innocent
+	// ever connects and misbehaves in its name.
+	const preVictim = "10.0.0.77:50001"
+	res, err := attacker.DefamePreConnection(preVictim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pre-connection: %d spoofed misbehaving messages in %v -> banned=%v\n",
+		res.MessagesSent, res.Elapsed.Round(time.Millisecond),
+		target.IsBanned(core.PeerIDFromAddr(preVictim)))
+
+	// The real innocent peer now cannot connect for 24 hours.
+	if s, err := attacker.OpenSessionAs(preVictim); err != nil {
+		fmt.Printf("pre-connection: the real %s is refused: %v\n", preVictim, err)
+	} else {
+		s.Close()
+		fmt.Println("unexpected: banned identifier connected")
+	}
+
+	// ---- Post-connection Defamation (Algorithm 1) ----------------------
+	// The innocent peer holds a LIVE session; the attacker eavesdrops on
+	// the stream state and injects spoofed misbehaving messages into it.
+	const postVictim = "10.0.0.88:50001"
+	defamer := attacker.NewPostConnectionDefamer(postVictim) // arm the sniffer first
+	defer defamer.Close()
+
+	innocent, err := attacker.OpenSessionAs(postVictim) // the innocent's own session
+	if err != nil {
+		return err
+	}
+	defer innocent.Close()
+
+	post, err := defamer.Run(150, 0)
+	if err != nil {
+		return err
+	}
+	waitFor(func() bool { return target.IsBanned(core.PeerIDFromAddr(postVictim)) })
+	fmt.Printf("post-connection: %d injected messages in %v -> banned=%v (the innocent lost its live session)\n",
+		post.MessagesSent, post.Elapsed.Round(time.Millisecond),
+		target.IsBanned(core.PeerIDFromAddr(postVictim)))
+
+	// ---- Countermeasure -------------------------------------------------
+	// A node running the good-score mechanism instead of the ban score
+	// cannot be tricked into banning anyone.
+	protected, err := sim.StartNode("10.0.0.9:8333", banscore.WithTrackerMode(banscore.ModeGoodScore))
+	if err != nil {
+		return err
+	}
+	defer protected.Stop()
+	atk2 := sim.NewAttacker("10.0.0.66", protected.Addr())
+	const innocent2 = "10.0.0.99:50001"
+	s, err := atk2.OpenSessionAs(innocent2)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for i := 0; i < 300; i++ {
+		if err := s.Send(s.Version()); err != nil {
+			return fmt.Errorf("good-score node dropped the connection: %w", err)
+		}
+	}
+	fmt.Printf("good-score node: 300 misbehaving messages -> banned=%v (countermeasure holds)\n",
+		protected.IsBanned(core.PeerIDFromAddr(innocent2)))
+	return nil
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !cond() {
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: start two full nodes on the simulation fabric, connect them,
+// watch a handshake complete, and inspect the ban-score state after a peer
+// misbehaves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"banscore"
+	"banscore/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+
+	// The target node: Bitcoin Core 0.20.0 rules, standard ban-score
+	// mode (threshold 100, 24 h bans of [IP:Port] identifiers).
+	target, err := sim.StartNode("10.0.0.1:8333")
+	if err != nil {
+		return err
+	}
+	defer target.Stop()
+
+	// An honest peer node connects outbound to the target.
+	peerNode, err := sim.StartNode("10.0.0.2:8333")
+	if err != nil {
+		return err
+	}
+	defer peerNode.Stop()
+	if err := peerNode.ConnectTo(target.Addr()); err != nil {
+		return err
+	}
+	waitFor(func() bool {
+		in, _ := target.PeerCount()
+		return in == 1
+	})
+	fmt.Println("handshake complete: the target sees one inbound peer")
+
+	// A third participant misbehaves: an attacker session sends
+	// duplicate VERSION messages, each worth +1 ban score (Table I).
+	attacker := sim.NewAttacker("10.0.0.66", target.Addr())
+	session, err := attacker.OpenSession()
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	attackerID := core.PeerIDFromAddr(session.LocalAddr())
+	for i := 0; i < 40; i++ {
+		if err := session.Send(session.Version()); err != nil {
+			return err
+		}
+	}
+	waitFor(func() bool { return target.BanScore(attackerID) >= 40 })
+	fmt.Printf("after 40 duplicate VERSIONs, ban score of %s = %d (threshold 100)\n",
+		attackerID, target.BanScore(attackerID))
+
+	// Push it over the threshold: the identifier gets banned for 24 h
+	// and the connection is dropped.
+	for i := 0; i < 60; i++ {
+		if err := session.Send(session.Version()); err != nil {
+			break // the ban closed the connection mid-flood
+		}
+	}
+	waitFor(func() bool { return target.IsBanned(attackerID) })
+	fmt.Printf("identifier %s is now banned; banned identifiers: %d\n",
+		attackerID, target.BannedCount())
+
+	stats := target.Stats()
+	fmt.Printf("target processed %d messages; refused %d banned reconnects so far\n",
+		stats.MessagesProcessed, stats.BannedConnsRefused)
+	return nil
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !cond() {
+		time.Sleep(2 * time.Millisecond)
+	}
+}

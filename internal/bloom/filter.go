@@ -1,0 +1,197 @@
+package bloom
+
+import (
+	"math"
+	"sync"
+
+	"banscore/internal/chainhash"
+	"banscore/internal/wire"
+)
+
+// ln2Squared is ln(2)^2, used by the BIP37 sizing formulas.
+const ln2Squared = math.Ln2 * math.Ln2
+
+// seedTweakMultiplier is the BIP37 per-function seed spacing.
+const seedTweakMultiplier = 0xfba4c795
+
+// Filter is a BIP37 bloom filter as installed on a connection by
+// FILTERLOAD. It is safe for concurrent use.
+type Filter struct {
+	mu        sync.Mutex
+	data      []byte
+	hashFuncs uint32
+	tweak     uint32
+	flags     wire.BloomUpdateType
+}
+
+// NewFilter creates a filter sized for the expected number of elements at
+// the given false-positive rate, clamped to the protocol maxima — the same
+// construction light clients use before sending FILTERLOAD.
+func NewFilter(elements uint32, fprate float64, tweak uint32, flags wire.BloomUpdateType) *Filter {
+	if fprate <= 0 {
+		fprate = 0.0001
+	}
+	if fprate > 1 {
+		fprate = 1
+	}
+	dataLen := uint32(-1 * float64(elements) * math.Log(fprate) / (8 * ln2Squared))
+	dataLen = minUint32(dataLen, wire.MaxFilterLoadFilterSize)
+	if dataLen == 0 {
+		dataLen = 1
+	}
+	hashFuncs := uint32(float64(dataLen*8) / float64(elements) * math.Ln2)
+	hashFuncs = minUint32(hashFuncs, wire.MaxFilterLoadHashFuncs)
+	if hashFuncs == 0 {
+		hashFuncs = 1
+	}
+	return &Filter{
+		data:      make([]byte, dataLen),
+		hashFuncs: hashFuncs,
+		tweak:     tweak,
+		flags:     flags,
+	}
+}
+
+// LoadFilter builds a Filter from a received FILTERLOAD message. The caller
+// (the node) is responsible for the Table I size checks; LoadFilter clamps
+// defensively anyway.
+func LoadFilter(msg *wire.MsgFilterLoad) *Filter {
+	data := msg.Filter
+	if len(data) > wire.MaxFilterLoadFilterSize {
+		data = data[:wire.MaxFilterLoadFilterSize]
+	}
+	hashFuncs := minUint32(msg.HashFuncs, wire.MaxFilterLoadHashFuncs)
+	if hashFuncs == 0 {
+		hashFuncs = 1
+	}
+	return &Filter{
+		data:      append([]byte(nil), data...),
+		hashFuncs: hashFuncs,
+		tweak:     msg.Tweak,
+		flags:     msg.Flags,
+	}
+}
+
+// MsgFilterLoad renders the filter as the FILTERLOAD message that installs it.
+func (f *Filter) MsgFilterLoad() *wire.MsgFilterLoad {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return wire.NewMsgFilterLoad(append([]byte(nil), f.data...), f.hashFuncs, f.tweak, f.flags)
+}
+
+func minUint32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// hash returns the bit index for hash function n over data.
+func (f *Filter) hash(n uint32, data []byte) uint32 {
+	mm := MurmurHash3(n*seedTweakMultiplier+f.tweak, data)
+	return mm % (uint32(len(f.data)) * 8)
+}
+
+// Add inserts data into the filter (the FILTERADD operation).
+func (f *Filter) Add(data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.add(data)
+}
+
+func (f *Filter) add(data []byte) {
+	for i := uint32(0); i < f.hashFuncs; i++ {
+		idx := f.hash(i, data)
+		f.data[idx>>3] |= 1 << (idx & 7)
+	}
+}
+
+// Matches reports whether data is (probably) in the filter.
+func (f *Filter) Matches(data []byte) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.matches(data)
+}
+
+func (f *Filter) matches(data []byte) bool {
+	for i := uint32(0); i < f.hashFuncs; i++ {
+		idx := f.hash(i, data)
+		if f.data[idx>>3]&(1<<(idx&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesOutPoint reports whether the serialized outpoint matches.
+func (f *Filter) MatchesOutPoint(op *wire.OutPoint) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.matchesOutPoint(op)
+}
+
+func (f *Filter) matchesOutPoint(op *wire.OutPoint) bool {
+	var buf [chainhash.HashSize + 4]byte
+	copy(buf[:], op.Hash[:])
+	buf[32] = byte(op.Index)
+	buf[33] = byte(op.Index >> 8)
+	buf[34] = byte(op.Index >> 16)
+	buf[35] = byte(op.Index >> 24)
+	return f.matches(buf[:])
+}
+
+// MatchTxAndUpdate implements the BIP37 transaction-matching algorithm: a
+// transaction matches if its txid, any output script data element, any
+// spent outpoint, or any input script data element is in the filter.
+// Matching outputs are inserted back per the update flags so descendant
+// spends keep matching.
+func (f *Filter) MatchTxAndUpdate(tx *wire.MsgTx) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	matched := false
+	txid := tx.TxHash()
+	if f.matches(txid[:]) {
+		matched = true
+	}
+
+	for i, out := range tx.TxOut {
+		if !f.matches(out.PkScript) {
+			continue
+		}
+		matched = true
+		switch f.flags {
+		case wire.BloomUpdateAll:
+			f.addOutPoint(&txid, uint32(i))
+		case wire.BloomUpdateP2PubkeyOnly:
+			// The reproduction's simplified script model treats
+			// single-byte scripts as pay-to-pubkey-like.
+			if len(out.PkScript) <= 2 {
+				f.addOutPoint(&txid, uint32(i))
+			}
+		}
+	}
+	if matched {
+		return true
+	}
+
+	for _, in := range tx.TxIn {
+		if f.matchesOutPoint(&in.PreviousOutPoint) {
+			return true
+		}
+		if len(in.SignatureScript) > 0 && f.matches(in.SignatureScript) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Filter) addOutPoint(hash *chainhash.Hash, index uint32) {
+	var buf [chainhash.HashSize + 4]byte
+	copy(buf[:], hash[:])
+	buf[32] = byte(index)
+	buf[33] = byte(index >> 8)
+	buf[34] = byte(index >> 16)
+	buf[35] = byte(index >> 24)
+	f.add(buf[:])
+}

@@ -1,0 +1,192 @@
+package bloom
+
+import (
+	"errors"
+
+	"banscore/internal/chainhash"
+	"banscore/internal/wire"
+)
+
+// merkleBuilder constructs a BIP37 partial merkle tree over a block.
+type merkleBuilder struct {
+	txids   []chainhash.Hash
+	matched []bool
+
+	hashes []*chainhash.Hash
+	bits   []bool
+}
+
+// treeWidth returns the number of nodes at the given height.
+func (b *merkleBuilder) treeWidth(height uint32) uint32 {
+	return (uint32(len(b.txids)) + (1 << height) - 1) >> height
+}
+
+// calcHash computes the merkle node at (height, pos).
+func (b *merkleBuilder) calcHash(height, pos uint32) chainhash.Hash {
+	if height == 0 {
+		return b.txids[pos]
+	}
+	left := b.calcHash(height-1, pos*2)
+	var right chainhash.Hash
+	if pos*2+1 < b.treeWidth(height-1) {
+		right = b.calcHash(height-1, pos*2+1)
+	} else {
+		right = left
+	}
+	var buf [chainhash.HashSize * 2]byte
+	copy(buf[:chainhash.HashSize], left[:])
+	copy(buf[chainhash.HashSize:], right[:])
+	return chainhash.DoubleHashH(buf[:])
+}
+
+// traverse builds the flag bits and hash list depth-first.
+func (b *merkleBuilder) traverse(height, pos uint32) {
+	parentOfMatch := false
+	for p := pos << height; p < (pos+1)<<height && p < uint32(len(b.txids)); p++ {
+		if b.matched[p] {
+			parentOfMatch = true
+			break
+		}
+	}
+	b.bits = append(b.bits, parentOfMatch)
+	if height == 0 || !parentOfMatch {
+		h := b.calcHash(height, pos)
+		b.hashes = append(b.hashes, &h)
+		return
+	}
+	b.traverse(height-1, pos*2)
+	if pos*2+1 < b.treeWidth(height-1) {
+		b.traverse(height-1, pos*2+1)
+	}
+}
+
+// NewMerkleBlock builds the MERKLEBLOCK reply for a block under the given
+// filter, returning the message and the txids that matched (which the node
+// sends as follow-up TX messages, per BIP37).
+func NewMerkleBlock(block *wire.MsgBlock, filter *Filter) (*wire.MsgMerkleBlock, []chainhash.Hash) {
+	b := &merkleBuilder{
+		txids:   block.TxHashes(),
+		matched: make([]bool, len(block.Transactions)),
+	}
+	var matchedTxids []chainhash.Hash
+	for i, tx := range block.Transactions {
+		if filter.MatchTxAndUpdate(tx) {
+			b.matched[i] = true
+			matchedTxids = append(matchedTxids, b.txids[i])
+		}
+	}
+
+	height := uint32(0)
+	for b.treeWidth(height) > 1 {
+		height++
+	}
+	b.traverse(height, 0)
+
+	msg := wire.NewMsgMerkleBlock(&block.Header)
+	msg.Transactions = uint32(len(block.Transactions))
+	msg.Hashes = b.hashes
+	msg.Flags = make([]byte, (len(b.bits)+7)/8)
+	for i, bit := range b.bits {
+		if bit {
+			msg.Flags[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return msg, matchedTxids
+}
+
+// Errors returned by ExtractMatches.
+var (
+	// ErrBadMerkleBlock marks a structurally invalid partial merkle tree.
+	ErrBadMerkleBlock = errors.New("bloom: invalid partial merkle tree")
+
+	// ErrMerkleRootMismatch marks a tree whose root does not match the
+	// block header.
+	ErrMerkleRootMismatch = errors.New("bloom: partial merkle tree root mismatch")
+)
+
+// extractor walks a received partial merkle tree.
+type extractor struct {
+	numTx   uint32
+	hashes  []*chainhash.Hash
+	bits    []bool
+	hashIdx int
+	bitIdx  int
+	matches []chainhash.Hash
+}
+
+func (e *extractor) treeWidth(height uint32) uint32 {
+	return (e.numTx + (1 << height) - 1) >> height
+}
+
+func (e *extractor) traverse(height, pos uint32) (chainhash.Hash, error) {
+	if e.bitIdx >= len(e.bits) {
+		return chainhash.Hash{}, ErrBadMerkleBlock
+	}
+	parentOfMatch := e.bits[e.bitIdx]
+	e.bitIdx++
+
+	if height == 0 || !parentOfMatch {
+		if e.hashIdx >= len(e.hashes) {
+			return chainhash.Hash{}, ErrBadMerkleBlock
+		}
+		h := *e.hashes[e.hashIdx]
+		e.hashIdx++
+		if height == 0 && parentOfMatch {
+			e.matches = append(e.matches, h)
+		}
+		return h, nil
+	}
+
+	left, err := e.traverse(height-1, pos*2)
+	if err != nil {
+		return chainhash.Hash{}, err
+	}
+	right := left
+	if pos*2+1 < e.treeWidth(height-1) {
+		if right, err = e.traverse(height-1, pos*2+1); err != nil {
+			return chainhash.Hash{}, err
+		}
+		if right == left {
+			// Identical left/right children are forbidden: this is
+			// the CVE-2012-2459 malleation the duplicate-tail check
+			// guards against.
+			return chainhash.Hash{}, ErrBadMerkleBlock
+		}
+	}
+	var buf [chainhash.HashSize * 2]byte
+	copy(buf[:chainhash.HashSize], left[:])
+	copy(buf[chainhash.HashSize:], right[:])
+	return chainhash.DoubleHashH(buf[:]), nil
+}
+
+// ExtractMatches validates a received MERKLEBLOCK against its header and
+// returns the matched txids — the light-client side of BIP37.
+func ExtractMatches(msg *wire.MsgMerkleBlock) ([]chainhash.Hash, error) {
+	if msg.Transactions == 0 || len(msg.Hashes) == 0 {
+		return nil, ErrBadMerkleBlock
+	}
+	e := &extractor{
+		numTx:  msg.Transactions,
+		hashes: msg.Hashes,
+	}
+	e.bits = make([]bool, 0, len(msg.Flags)*8)
+	for i := 0; i < len(msg.Flags)*8; i++ {
+		e.bits = append(e.bits, msg.Flags[i/8]&(1<<(uint(i)%8)) != 0)
+	}
+
+	height := uint32(0)
+	for e.treeWidth(height) > 1 {
+		height++
+	}
+	root, err := e.traverse(height, 0)
+	if err != nil {
+		return nil, err
+	}
+	if e.hashIdx != len(e.hashes) {
+		return nil, ErrBadMerkleBlock
+	}
+	if root != msg.Header.MerkleRoot {
+		return nil, ErrMerkleRootMismatch
+	}
+	return e.matches, nil
+}

@@ -1,0 +1,52 @@
+// Package bloom implements BIP37 connection bloom filtering: the murmur3
+// hash, the Filter type installed by FILTERLOAD / extended by FILTERADD,
+// and the partial merkle tree behind MERKLEBLOCK replies. The Table I rules
+// for FILTERLOAD/FILTERADD police exactly this machinery.
+package bloom
+
+// MurmurHash3 computes the 32-bit murmur3 of data under the given seed,
+// exactly as Bitcoin Core's CRollingBloomFilter/CBloomFilter use it.
+func MurmurHash3(seed uint32, data []byte) uint32 {
+	const (
+		c1 = 0xcc9e2d51
+		c2 = 0x1b873593
+	)
+	h1 := seed
+	nblocks := len(data) / 4
+
+	for i := 0; i < nblocks; i++ {
+		k1 := uint32(data[i*4]) | uint32(data[i*4+1])<<8 |
+			uint32(data[i*4+2])<<16 | uint32(data[i*4+3])<<24
+		k1 *= c1
+		k1 = (k1 << 15) | (k1 >> 17)
+		k1 *= c2
+		h1 ^= k1
+		h1 = (h1 << 13) | (h1 >> 19)
+		h1 = h1*5 + 0xe6546b64
+	}
+
+	var k1 uint32
+	tail := data[nblocks*4:]
+	switch len(tail) {
+	case 3:
+		k1 ^= uint32(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint32(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint32(tail[0])
+		k1 *= c1
+		k1 = (k1 << 15) | (k1 >> 17)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	h1 ^= uint32(len(data))
+	h1 ^= h1 >> 16
+	h1 *= 0x85ebca6b
+	h1 ^= h1 >> 13
+	h1 *= 0xc2b2ae35
+	h1 ^= h1 >> 16
+	return h1
+}

@@ -1,0 +1,214 @@
+package chainhash
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashString(t *testing.T) {
+	// The genesis block hash, little-endian wire order.
+	wire, err := hex.DecodeString("6fe28c0ab6f1b372c1a6a246ae63f74f931e8365e15a089c68d6190000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHash(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f"
+	if got := h.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestNewHashFromStrRoundTrip(t *testing.T) {
+	const s = "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f"
+	h, err := NewHashFromStr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.String(); got != s {
+		t.Errorf("round trip = %q, want %q", got, s)
+	}
+}
+
+func TestNewHashFromStrShortPadded(t *testing.T) {
+	h, err := NewHashFromStr("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(h.String(), "1") || strings.Trim(h.String()[:63], "0") != "" {
+		t.Errorf("short string not zero padded: %q", h.String())
+	}
+}
+
+func TestNewHashFromStrErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"too long", strings.Repeat("a", MaxHashStringSize+1)},
+		{"bad hex", "zz"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewHashFromStr(tt.in); err == nil {
+				t.Errorf("NewHashFromStr(%q) = nil error, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestNewHashLength(t *testing.T) {
+	if _, err := NewHash(make([]byte, 31)); err == nil {
+		t.Error("NewHash(31 bytes) should fail")
+	}
+	if _, err := NewHash(make([]byte, 32)); err != nil {
+		t.Errorf("NewHash(32 bytes) = %v", err)
+	}
+}
+
+func TestIsEqual(t *testing.T) {
+	a := DoubleHashH([]byte("a"))
+	b := DoubleHashH([]byte("b"))
+	aCopy := a
+	if !a.IsEqual(&aCopy) {
+		t.Error("identical hashes reported unequal")
+	}
+	if a.IsEqual(&b) {
+		t.Error("different hashes reported equal")
+	}
+	var nilHash *Hash
+	if nilHash.IsEqual(&a) || a.IsEqual(nil) {
+		t.Error("nil / non-nil should be unequal")
+	}
+	if !nilHash.IsEqual(nil) {
+		t.Error("nil / nil should be equal")
+	}
+}
+
+func TestCloneBytesIndependent(t *testing.T) {
+	h := DoubleHashH([]byte("x"))
+	c := h.CloneBytes()
+	c[0] ^= 0xff
+	if bytes.Equal(c, h[:]) {
+		t.Error("CloneBytes aliases the hash storage")
+	}
+}
+
+func TestDoubleHashKnownVector(t *testing.T) {
+	// SHA256d("hello") is a well-known vector.
+	got := DoubleHashH([]byte("hello"))
+	want := "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("DoubleHashH(hello) = %x, want %s", got[:], want)
+	}
+	if !bytes.Equal(DoubleHashB([]byte("hello")), got[:]) {
+		t.Error("DoubleHashB and DoubleHashH disagree")
+	}
+}
+
+func TestHashBMatchesHashH(t *testing.T) {
+	h := HashH([]byte("payload"))
+	if !bytes.Equal(HashB([]byte("payload")), h[:]) {
+		t.Error("HashB and HashH disagree")
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(b [HashSize]byte) bool {
+		h := Hash(b)
+		parsed, err := NewHashFromStr(h.String())
+		return err == nil && parsed.IsEqual(&h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerkleRootEmpty(t *testing.T) {
+	if got := MerkleRoot(nil); got != ZeroHash {
+		t.Errorf("MerkleRoot(nil) = %v, want zero", got)
+	}
+}
+
+func TestMerkleRootSingle(t *testing.T) {
+	h := DoubleHashH([]byte("tx"))
+	if got := MerkleRoot([]Hash{h}); got != h {
+		t.Errorf("MerkleRoot(single) = %v, want the leaf itself", got)
+	}
+}
+
+func TestMerkleRootPair(t *testing.T) {
+	a := DoubleHashH([]byte("a"))
+	b := DoubleHashH([]byte("b"))
+	var buf [64]byte
+	copy(buf[:32], a[:])
+	copy(buf[32:], b[:])
+	want := DoubleHashH(buf[:])
+	if got := MerkleRoot([]Hash{a, b}); got != want {
+		t.Errorf("MerkleRoot(pair) = %v, want %v", got, want)
+	}
+}
+
+func TestMerkleRootOddDuplicatesLast(t *testing.T) {
+	a := DoubleHashH([]byte("a"))
+	b := DoubleHashH([]byte("b"))
+	c := DoubleHashH([]byte("c"))
+	// Odd level duplicates the last leaf: [a b c] == [a b c c].
+	if MerkleRoot([]Hash{a, b, c}) != MerkleRoot([]Hash{a, b, c, c}) {
+		t.Error("odd-length level should behave as if the last hash were duplicated")
+	}
+}
+
+func TestMerkleRootDoesNotMutateInput(t *testing.T) {
+	leaves := []Hash{DoubleHashH([]byte("a")), DoubleHashH([]byte("b")), DoubleHashH([]byte("c"))}
+	orig := make([]Hash, len(leaves))
+	copy(orig, leaves)
+	MerkleRoot(leaves)
+	for i := range leaves {
+		if leaves[i] != orig[i] {
+			t.Fatalf("leaf %d mutated", i)
+		}
+	}
+}
+
+func TestMerkleRootOrderSensitiveProperty(t *testing.T) {
+	f := func(a, b [HashSize]byte) bool {
+		if a == b {
+			return true
+		}
+		ha, hb := Hash(a), Hash(b)
+		return MerkleRoot([]Hash{ha, hb}) != MerkleRoot([]Hash{hb, ha})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasDuplicateTail(t *testing.T) {
+	a := DoubleHashH([]byte("a"))
+	b := DoubleHashH([]byte("b"))
+	tests := []struct {
+		name   string
+		leaves []Hash
+		want   bool
+	}{
+		{"empty", nil, false},
+		{"single", []Hash{a}, false},
+		{"distinct pair", []Hash{a, b}, false},
+		{"duplicate pair", []Hash{a, a}, true},
+		{"duplicate tail", []Hash{b, a, a}, true},
+		{"duplicate head only", []Hash{a, a, b}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := HasDuplicateTail(tt.leaves); got != tt.want {
+				t.Errorf("HasDuplicateTail = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package chainhash
+
+// MerkleRoot computes the Bitcoin merkle root of the given leaf hashes.
+// Bitcoin's merkle tree duplicates the final hash of odd-length levels; that
+// quirk is what makes block "mutation" (CVE-2012-2459 style duplicate-leaf
+// malleability) detectable, and the BLOCK "mutated" ban rule depends on it.
+// An empty leaf set yields the zero hash.
+func MerkleRoot(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return ZeroHash
+	case 1:
+		return leaves[0]
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	var buf [HashSize * 2]byte
+	for len(level) > 1 {
+		if len(level)%2 != 0 {
+			level = append(level, level[len(level)-1])
+		}
+		next := level[:len(level)/2]
+		for i := range next {
+			copy(buf[:HashSize], level[2*i][:])
+			copy(buf[HashSize:], level[2*i+1][:])
+			next[i] = DoubleHashH(buf[:])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// HasDuplicateTail reports whether the leaf set ends with two identical
+// hashes, the signature of the classic merkle-mutation malleation in which an
+// attacker duplicates the last transaction to produce a distinct block with
+// the same merkle root.
+func HasDuplicateTail(leaves []Hash) bool {
+	n := len(leaves)
+	return n >= 2 && leaves[n-1] == leaves[n-2]
+}

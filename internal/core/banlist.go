@@ -1,0 +1,148 @@
+package core
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerID is the connection identifier a ban applies to: the [IP:Port] pair,
+// exactly as the paper defines it. The Defamation attack works because this
+// identifier is spoofable in the permissionless network.
+type PeerID string
+
+// NewPeerID builds a PeerID from an IP and port.
+func NewPeerID(ip net.IP, port uint16) PeerID {
+	return PeerID(net.JoinHostPort(ip.String(), itoa(port)))
+}
+
+// PeerIDFromAddr builds a PeerID from a "host:port" address string.
+func PeerIDFromAddr(addr string) PeerID { return PeerID(addr) }
+
+// IP returns the IP half of the identifier, or nil if unparseable.
+func (id PeerID) IP() net.IP {
+	host, _, err := net.SplitHostPort(string(id))
+	if err != nil {
+		return nil
+	}
+	return net.ParseIP(host)
+}
+
+func itoa(v uint16) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [5]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// DefaultBanDuration is Bitcoin Core's default 24-hour ban.
+const DefaultBanDuration = 24 * time.Hour
+
+// BanList is the banning filter: the set of banned connection identifiers
+// with their expiry times. It is safe for concurrent use.
+type BanList struct {
+	now func() time.Time
+
+	mu     sync.RWMutex
+	banned map[PeerID]time.Time
+}
+
+// NewBanList returns an empty ban list using the given clock (nil selects
+// time.Now).
+func NewBanList(clock func() time.Time) *BanList {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &BanList{now: clock, banned: make(map[PeerID]time.Time)}
+}
+
+// Ban adds the identifier for the given duration.
+func (b *BanList) Ban(id PeerID, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.banned[id] = b.now().Add(d)
+}
+
+// IsBanned reports whether the identifier is currently banned, pruning it
+// if the ban has expired.
+func (b *BanList) IsBanned(id PeerID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	until, ok := b.banned[id]
+	if !ok {
+		return false
+	}
+	if b.now().After(until) {
+		delete(b.banned, id)
+		return false
+	}
+	return true
+}
+
+// Unban removes the identifier.
+func (b *BanList) Unban(id PeerID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.banned, id)
+}
+
+// Count returns the number of identifiers currently banned.
+func (b *BanList) Count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	n := 0
+	for id, until := range b.banned {
+		if now.After(until) {
+			delete(b.banned, id)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// BannedIDs returns the currently banned identifiers, sorted.
+func (b *BanList) BannedIDs() []PeerID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	out := make([]PeerID, 0, len(b.banned))
+	for id, until := range b.banned {
+		if now.After(until) {
+			delete(b.banned, id)
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BannedPortCountForIP returns how many distinct ports of the given IP are
+// banned — the metric of the paper's full-IP preemptive Defamation, which
+// needs all 16384 ephemeral ports of an address banned to fully block it.
+func (b *BanList) BannedPortCountForIP(ip net.IP) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	n := 0
+	for id, until := range b.banned {
+		if now.After(until) {
+			delete(b.banned, id)
+			continue
+		}
+		if bIP := id.IP(); bIP != nil && bIP.Equal(ip) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode selects how the misbehavior tracker reacts to rule violations,
+// covering the paper's §VIII countermeasures.
+type Mode int
+
+// Tracker modes.
+const (
+	// ModeStandard is Bitcoin Core's behavior: score, and ban at the
+	// threshold.
+	ModeStandard Mode = iota + 1
+
+	// ModeThresholdInfinity keeps scoring but never bans — the paper's
+	// "Ban score threshold to ∞" countermeasure (scores stay useful for
+	// peer-health ranking).
+	ModeThresholdInfinity
+
+	// ModeDisabled omits misbehavior checking and tracking entirely —
+	// the paper's "Disabling the checking" countermeasure.
+	ModeDisabled
+
+	// ModeGoodScore replaces ban score with the paper's good-score
+	// reputation: misbehavior is never punished by banning; credit is
+	// accumulated via AddGood on valid BLOCK delivery and exposed for
+	// peer ranking.
+	ModeGoodScore
+
+	// ModeCKB implements the Nervos CKB-style scoring the paper surveys
+	// in §IX-A: both good and bad behaviors are scored continuously,
+	// nothing is auto-banned, and the node can "retain good (high-score)
+	// peers and evict bad (low-score) peers" via Reputation ranking —
+	// one of the non-binary mechanisms the paper proposes exploring.
+	ModeCKB
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeStandard:
+		return "standard"
+	case ModeThresholdInfinity:
+		return "threshold-infinity"
+	case ModeDisabled:
+		return "disabled"
+	case ModeGoodScore:
+		return "good-score"
+	case ModeCKB:
+		return "ckb-scoring"
+	}
+	return fmt.Sprintf("Unknown Mode (%d)", int(m))
+}
+
+// DefaultBanThreshold is Bitcoin Core's -banscore default.
+const DefaultBanThreshold = 100
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Version selects the Table I rule set. Default V0_20_0 (the
+	// version the paper's testbed ran).
+	Version CoreVersion
+
+	// Mode of operation. Default ModeStandard.
+	Mode Mode
+
+	// BanThreshold at which a peer is banned. Default 100.
+	BanThreshold int
+
+	// BanDuration of a triggered ban. Default 24h.
+	BanDuration time.Duration
+
+	// Clock for ban expiry. Default time.Now.
+	Clock func() time.Time
+
+	// OnBan, if set, is invoked (synchronously) whenever a peer crosses
+	// the threshold, before the identifier enters the ban list.
+	OnBan func(id PeerID, score int)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Version == 0 {
+		c.Version = V0_20_0
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeStandard
+	}
+	if c.BanThreshold == 0 {
+		c.BanThreshold = DefaultBanThreshold
+	}
+	if c.BanDuration == 0 {
+		c.BanDuration = DefaultBanDuration
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Result reports what a Misbehaving call did.
+type Result struct {
+	// Applied is true when the rule exists in the configured version,
+	// matched the peer's role, and tracking is enabled.
+	Applied bool
+
+	// Score is the peer's accumulated ban score after the call.
+	Score int
+
+	// Banned is true when this call pushed the peer over the threshold.
+	Banned bool
+}
+
+// Tracker keeps per-peer ban scores and the ban list — the paper's
+// "misbehavior tracking". The state is node-local and never broadcast,
+// matching Fig. 2. Tracker is safe for concurrent use.
+type Tracker struct {
+	cfg   Config
+	rules map[RuleID]int
+
+	mu     sync.Mutex
+	scores map[PeerID]int
+	good   map[PeerID]int
+
+	banlist *BanList
+}
+
+// NewTracker returns a Tracker for the given configuration.
+func NewTracker(cfg Config) *Tracker {
+	cfg.fillDefaults()
+	return &Tracker{
+		cfg:     cfg,
+		rules:   RuleSet(cfg.Version),
+		scores:  make(map[PeerID]int),
+		good:    make(map[PeerID]int),
+		banlist: NewBanList(cfg.Clock),
+	}
+}
+
+// Config returns the tracker's effective configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// BanList exposes the banning filter.
+func (t *Tracker) BanList() *BanList { return t.banlist }
+
+// Misbehaving applies the Table I rule against the peer, mirroring
+// PeerManager::Misbehaving. inbound tells the tracker the peer's role so
+// role-restricted rules (Table I "Object of Ban") apply correctly.
+func (t *Tracker) Misbehaving(id PeerID, inbound bool, rule RuleID) Result {
+	if t.cfg.Mode == ModeDisabled || t.cfg.Mode == ModeGoodScore {
+		// Checking/tracking omitted entirely (§VIII "Disabling the
+		// checking"), or replaced by good-score reputation.
+		return Result{}
+	}
+	// ModeCKB and ModeThresholdInfinity both keep scoring below but never
+	// cross into banning.
+	score, active := t.rules[rule]
+	if !active {
+		return Result{}
+	}
+	r, _ := LookupRule(rule)
+	switch r.Object {
+	case InboundPeer:
+		if !inbound {
+			return Result{}
+		}
+	case OutboundPeer:
+		if inbound {
+			return Result{}
+		}
+	}
+
+	t.mu.Lock()
+	t.scores[id] += score
+	total := t.scores[id]
+	t.mu.Unlock()
+
+	res := Result{Applied: true, Score: total}
+	if t.cfg.Mode == ModeStandard && total >= t.cfg.BanThreshold {
+		res.Banned = true
+		if t.cfg.OnBan != nil {
+			t.cfg.OnBan(id, total)
+		}
+		t.banlist.Ban(id, t.cfg.BanDuration)
+		t.mu.Lock()
+		delete(t.scores, id)
+		t.mu.Unlock()
+	}
+	return res
+}
+
+// Score returns the peer's current ban score.
+func (t *Tracker) Score(id PeerID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.scores[id]
+}
+
+// Forget drops the peer's score state (e.g. when it disconnects cleanly).
+// The ban list is unaffected.
+func (t *Tracker) Forget(id PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.scores, id)
+	delete(t.good, id)
+}
+
+// IsBanned reports whether the identifier is currently banned.
+func (t *Tracker) IsBanned(id PeerID) bool { return t.banlist.IsBanned(id) }
+
+// AddGood credits the peer's good score — the paper's good-score mechanism
+// increments by 1 for each valid BLOCK the peer delivers.
+func (t *Tracker) AddGood(id PeerID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.good[id]++
+	return t.good[id]
+}
+
+// GoodScore returns the peer's accumulated good score.
+func (t *Tracker) GoodScore(id PeerID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.good[id]
+}
+
+// Reputation returns goodScore - banScore, the non-binary peer-health
+// ranking the paper suggests the retained scores could feed.
+func (t *Tracker) Reputation(id PeerID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.good[id] - t.scores[id]
+}
+
+// TrackedPeers returns how many peers currently hold a non-zero ban score.
+func (t *Tracker) TrackedPeers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.scores)
+}

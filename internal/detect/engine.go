@@ -1,0 +1,218 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"banscore/internal/stats"
+)
+
+// ErrNoTrainingData is returned by Train on an empty dataset.
+var ErrNoTrainingData = errors.New("detect: no training windows")
+
+// Thresholds are the trained reference profile of the analysis engine —
+// the τ_c, τ_n, τ_Λ values of §VII-A2.
+type Thresholds struct {
+	// CMin/CMax bound the normal reconnection rate per minute
+	// (paper: τ_c = [0, 2.1]).
+	CMin, CMax float64
+
+	// NMin/NMax bound the normal message rate per minute
+	// (paper: τ_n = [252, 390]).
+	NMin, NMax float64
+
+	// LambdaMin is the minimum acceptable Pearson correlation between a
+	// window's count distribution and the reference profile
+	// (paper: τ_Λ = 0.993).
+	LambdaMin float64
+
+	// Commands fixes the vector order of the reference distribution.
+	Commands []string
+
+	// Reference is the normalized mean count distribution over Commands.
+	Reference []float64
+}
+
+// String renders the thresholds the way the paper reports them.
+func (t Thresholds) String() string {
+	return fmt.Sprintf("τ_c=[%.1f, %.1f] rec/min, τ_n=[%.0f, %.0f] msg/min, τ_Λ=%.3f",
+		t.CMin, t.CMax, t.NMin, t.NMax, t.LambdaMin)
+}
+
+// Detection is the verdict on one window.
+type Detection struct {
+	Anomalous bool
+
+	// Per-feature triggers.
+	TriggeredC      bool
+	TriggeredN      bool
+	TriggeredLambda bool
+
+	// Measured feature values.
+	C   float64
+	N   float64
+	Rho float64
+}
+
+// Reasons lists the triggered features in a human-readable form.
+func (d Detection) Reasons() string {
+	var out []string
+	if d.TriggeredC {
+		out = append(out, fmt.Sprintf("reconnection rate c=%.1f/min outside τ_c", d.C))
+	}
+	if d.TriggeredN {
+		out = append(out, fmt.Sprintf("message rate n=%.0f/min outside τ_n", d.N))
+	}
+	if d.TriggeredLambda {
+		out = append(out, fmt.Sprintf("distribution correlation ρ=%.3f below τ_Λ", d.Rho))
+	}
+	if len(out) == 0 {
+		return "normal"
+	}
+	return strings.Join(out, "; ")
+}
+
+// Config tunes training.
+type Config struct {
+	// Margin widens the learned n bounds multiplicatively and relaxes
+	// LambdaMin slightly, absorbing sampling noise. 0 selects 1.0
+	// (exact min/max like the paper's reported fixed thresholds).
+	Margin float64
+}
+
+// Engine is the trained analysis engine. The zero value is not usable; call
+// Train.
+type Engine struct {
+	thresholds Thresholds
+}
+
+// Train fits the thresholds from normal-traffic windows — the paper's
+// ~35-hour training pass compressed to its statistical essence. It also
+// returns the wall-clock training latency for the Fig. 11 comparison.
+func Train(windows []WindowStats, cfg Config) (*Engine, time.Duration, error) {
+	start := time.Now()
+	if len(windows) == 0 {
+		return nil, 0, ErrNoTrainingData
+	}
+	margin := cfg.Margin
+	if margin == 0 {
+		margin = 1.0
+	}
+
+	// Union of observed commands fixes the distribution vector order.
+	cmdSet := make(map[string]struct{})
+	for _, w := range windows {
+		for cmd := range w.Counts {
+			cmdSet[cmd] = struct{}{}
+		}
+	}
+	commands := make([]string, 0, len(cmdSet))
+	for cmd := range cmdSet {
+		commands = append(commands, cmd)
+	}
+	sort.Strings(commands)
+
+	// Reference profile: normalized mean counts.
+	reference := make([]float64, len(commands))
+	for _, w := range windows {
+		for i, cmd := range commands {
+			reference[i] += w.Counts[cmd]
+		}
+	}
+	reference = stats.Normalize(reference)
+
+	// Feature bounds over the training windows.
+	var cs, ns, rhos []float64
+	for _, w := range windows {
+		cs = append(cs, w.ReconnectRatePerMinute())
+		ns = append(ns, w.RatePerMinute())
+		rho, err := stats.PearsonCorrelation(vectorize(w, commands), reference)
+		if err != nil {
+			return nil, 0, err
+		}
+		rhos = append(rhos, rho)
+	}
+
+	th := Thresholds{
+		CMin:      stats.Min(cs),
+		CMax:      stats.Max(cs),
+		NMin:      stats.Min(ns) / margin,
+		NMax:      stats.Max(ns) * margin,
+		LambdaMin: stats.Min(rhos),
+		Commands:  commands,
+		Reference: reference,
+	}
+	// A constant training c of 0 still allows the occasional organic
+	// reconnection: widen the upper bound by the margin, at least 1/min.
+	if th.CMax == 0 {
+		th.CMax = 1
+	}
+	th.CMax *= margin
+	if margin > 1 {
+		th.LambdaMin = 1 - (1-th.LambdaMin)*margin
+	}
+
+	return &Engine{thresholds: th}, time.Since(start), nil
+}
+
+// NewEngine builds an engine from explicit thresholds (e.g. the paper's
+// published τ values).
+func NewEngine(th Thresholds) *Engine { return &Engine{thresholds: th} }
+
+// Thresholds returns the trained thresholds.
+func (e *Engine) Thresholds() Thresholds { return e.thresholds }
+
+// vectorize maps a window's counts onto the fixed command order, normalized.
+func vectorize(w WindowStats, commands []string) []float64 {
+	v := make([]float64, len(commands))
+	for i, cmd := range commands {
+		v[i] = w.Counts[cmd]
+	}
+	return stats.Normalize(v)
+}
+
+// Detect evaluates one window against the thresholds.
+func (e *Engine) Detect(w WindowStats) Detection {
+	th := e.thresholds
+	d := Detection{
+		C: w.ReconnectRatePerMinute(),
+		N: w.RatePerMinute(),
+	}
+	rho, err := stats.PearsonCorrelation(vectorize(w, th.Commands), th.Reference)
+	if err == nil {
+		d.Rho = rho
+	}
+	d.TriggeredC = d.C < th.CMin || d.C > th.CMax
+	d.TriggeredN = d.N < th.NMin || d.N > th.NMax
+	d.TriggeredLambda = d.Rho < th.LambdaMin
+	d.Anomalous = d.TriggeredC || d.TriggeredN || d.TriggeredLambda
+	return d
+}
+
+// DetectAll evaluates a dataset, returning the per-window verdicts and the
+// total testing latency (Fig. 11's testing-time metric).
+func (e *Engine) DetectAll(windows []WindowStats) ([]Detection, time.Duration) {
+	start := time.Now()
+	out := make([]Detection, len(windows))
+	for i, w := range windows {
+		out[i] = e.Detect(w)
+	}
+	return out, time.Since(start)
+}
+
+// Accuracy scores verdicts against ground-truth labels (true = anomalous).
+func Accuracy(verdicts []Detection, labels []bool) float64 {
+	if len(verdicts) == 0 || len(verdicts) != len(labels) {
+		return 0
+	}
+	correct := 0
+	for i, v := range verdicts {
+		if v.Anomalous == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(verdicts))
+}

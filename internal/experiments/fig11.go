@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"banscore/internal/detect"
+	"banscore/internal/mlbase"
+	"banscore/internal/traffic"
+	"banscore/internal/wire"
+)
+
+// Figure11Row is one approach's measured latencies.
+type Figure11Row struct {
+	Approach string
+	Train    time.Duration
+	Test     time.Duration
+	Accuracy float64
+}
+
+// Figure11Result reproduces Fig. 11: training and testing latency of the
+// statistical engine ("Ours") against the seven ML baselines on the same
+// dataset.
+type Figure11Result struct {
+	Rows    []Figure11Row
+	Windows int
+}
+
+// Figure11 runs the latency comparison.
+func Figure11(scale Scale) (Figure11Result, error) {
+	t0 := time.Unix(1700000000, 0)
+
+	// Shared dataset: normal windows plus BM-DoS and Defamation windows.
+	normal := detect.WindowsFromEvents(
+		traffic.NewGenerator(42).Events(t0, time.Duration(scale.TrainHours)*time.Hour),
+		nil, detect.DefaultWindow)
+
+	dosStart := t0.Add(2000 * time.Hour)
+	testDur := time.Duration(scale.TestHours) * time.Hour
+	dos := detect.WindowsFromEvents(traffic.Overlay(
+		traffic.NewGenerator(9).Events(dosStart, testDur),
+		traffic.FloodEvents(wire.CmdPing, dosStart, testDur, 15000),
+	), nil, detect.DefaultWindow)
+
+	defStart := t0.Add(3000 * time.Hour)
+	defEvents, reconnects := traffic.DefamationEvents(defStart, testDur, 5.3)
+	defamation := detect.WindowsFromEvents(
+		traffic.Overlay(traffic.NewGenerator(11).Events(defStart, testDur), defEvents),
+		reconnects, detect.DefaultWindow)
+
+	var all []detect.WindowStats
+	var labels []float64
+	var boolLabels []bool
+	for _, w := range normal {
+		all = append(all, w)
+		labels = append(labels, 0)
+		boolLabels = append(boolLabels, false)
+	}
+	for _, w := range append(append([]detect.WindowStats{}, dos...), defamation...) {
+		all = append(all, w)
+		labels = append(labels, 1)
+		boolLabels = append(boolLabels, true)
+	}
+
+	res := Figure11Result{Windows: len(all)}
+
+	// Ours: statistical engine (trains on the normal windows only, like
+	// any anomaly detector).
+	engine, trainDur, err := detect.Train(normal, detect.Config{Margin: 1.15})
+	if err != nil {
+		return res, err
+	}
+	verdicts, testDurOurs := engine.DetectAll(all)
+	res.Rows = append(res.Rows, Figure11Row{
+		Approach: "Ours",
+		Train:    trainDur,
+		Test:     testDurOurs,
+		Accuracy: detect.Accuracy(verdicts, boolLabels),
+	})
+
+	// The ML baselines consume identical features.
+	commands := engine.Thresholds().Commands
+	x := mlbase.Dataset(all, commands)
+	for _, m := range mlbase.AllModels() {
+		trainDur, err := mlbase.TimedTrain(m, x, labels)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		pred, testDur, err := mlbase.TimedPredict(m, x)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		res.Rows = append(res.Rows, Figure11Row{
+			Approach: m.Name(),
+			Train:    trainDur,
+			Test:     testDur,
+			Accuracy: mlbase.Accuracy(pred, labels),
+		})
+	}
+	return res, nil
+}
+
+// Row returns the named approach's measurements.
+func (r Figure11Result) Row(name string) (Figure11Row, bool) {
+	for _, row := range r.Rows {
+		if row.Approach == name {
+			return row, true
+		}
+	}
+	return Figure11Row{}, false
+}
+
+// Render prints the Fig. 11 comparison.
+func (r Figure11Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 11 — DETECTION TRAINING/TESTING LATENCY: OURS vs ML BASELINES\n")
+	fmt.Fprintf(&sb, "(%d windows in the shared dataset)\n", r.Windows)
+	fmt.Fprintf(&sb, "%-8s | %14s | %14s | %s\n", "Approach", "Train", "Test", "Accuracy")
+	sb.WriteString(strings.Repeat("-", 56) + "\n")
+	ours, _ := r.Row("Ours")
+	for _, row := range r.Rows {
+		speedup := ""
+		if row.Approach != "Ours" && ours.Train > 0 {
+			speedup = fmt.Sprintf("  (train %.0fx ours)", float64(row.Train)/float64(ours.Train))
+		}
+		fmt.Fprintf(&sb, "%-8s | %14s | %14s | %.3f%s\n",
+			row.Approach, row.Train, row.Test, row.Accuracy, speedup)
+	}
+	return sb.String()
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"banscore/internal/core"
+)
+
+// Table1Result reproduces Table I: the ban-score rules of Bitcoin Core
+// 0.20.0 vs 0.21.0 vs 0.22.0.
+type Table1Result struct {
+	Rules []core.Rule
+}
+
+// Table1 materializes the rule catalog.
+func Table1() Table1Result {
+	return Table1Result{Rules: core.Catalog()}
+}
+
+// Render prints the table in the paper's row layout.
+func (r Table1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I — THE BAN-SCORE RULES OF BITCOIN CORE (0.20.0 vs 0.21.0 vs 0.22.0)\n")
+	fmt.Fprintf(&sb, "%-12s | %-44s | %-6s | %-6s | %-6s | %-13s | %s\n",
+		"Message Type", "Message Misbehavior", "'20", "'21", "'22", "Object of Ban", "Type")
+	sb.WriteString(strings.Repeat("-", 110) + "\n")
+	score := func(rule core.Rule, v core.CoreVersion) string {
+		if s, ok := rule.ScoreIn(v); ok {
+			return fmt.Sprintf("%d", s)
+		}
+		return "-"
+	}
+	for _, rule := range r.Rules {
+		fmt.Fprintf(&sb, "%-12s | %-44s | %-6s | %-6s | %-6s | %-13s | %s\n",
+			rule.MessageType, rule.Misbehavior,
+			score(rule, core.V0_20_0), score(rule, core.V0_21_0), score(rule, core.V0_22_0),
+			rule.Object, rule.Type)
+	}
+	fmt.Fprintf(&sb, "\nScored message types in 0.20.0: %d of the %d developer-reference types\n",
+		len(core.ScoredMessageTypes(core.V0_20_0)), core.MessageTypeCount)
+	return sb.String()
+}

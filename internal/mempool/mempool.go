@@ -1,0 +1,267 @@
+// Package mempool implements the transaction-acceptance substrate of the
+// full node. Its validation outcomes feed the Table I TX ban rule ("Invalid
+// by consensus rules of SegWit" scores 100): the node maps the typed errors
+// returned here onto misbehavior scores.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"banscore/internal/blockchain"
+	"banscore/internal/chainhash"
+	"banscore/internal/wire"
+)
+
+// TxErrorCode identifies a kind of transaction rejection.
+type TxErrorCode int
+
+// Transaction rejection codes.
+const (
+	// ErrCoinbaseTx: a coinbase arrived as a free-standing transaction.
+	ErrCoinbaseTx TxErrorCode = iota + 1
+
+	// ErrNoInputs / ErrNoOutputs: structurally empty transaction.
+	ErrNoInputs
+	ErrNoOutputs
+
+	// ErrBadValue: an output value is negative or above 21M coins.
+	ErrBadValue
+
+	// ErrDuplicateInput: the same outpoint is spent twice in one tx.
+	ErrDuplicateInput
+
+	// ErrSegWitConsensus: the transaction violates the (simplified)
+	// SegWit consensus rules — the class Table I scores 100 for.
+	ErrSegWitConsensus
+
+	// ErrDuplicateTx: the transaction is already in the pool.
+	ErrDuplicateTx
+
+	// ErrTxTooBig: serialized size above the policy limit.
+	ErrTxTooBig
+
+	// ErrPoolFull: the pool reached capacity.
+	ErrPoolFull
+)
+
+// String returns the code name.
+func (c TxErrorCode) String() string {
+	switch c {
+	case ErrCoinbaseTx:
+		return "ErrCoinbaseTx"
+	case ErrNoInputs:
+		return "ErrNoInputs"
+	case ErrNoOutputs:
+		return "ErrNoOutputs"
+	case ErrBadValue:
+		return "ErrBadValue"
+	case ErrDuplicateInput:
+		return "ErrDuplicateInput"
+	case ErrSegWitConsensus:
+		return "ErrSegWitConsensus"
+	case ErrDuplicateTx:
+		return "ErrDuplicateTx"
+	case ErrTxTooBig:
+		return "ErrTxTooBig"
+	case ErrPoolFull:
+		return "ErrPoolFull"
+	}
+	return fmt.Sprintf("Unknown TxErrorCode (%d)", int(c))
+}
+
+// TxRuleError is a transaction-acceptance failure.
+type TxRuleError struct {
+	Code        TxErrorCode
+	Description string
+}
+
+// Error implements the error interface.
+func (e TxRuleError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Description)
+}
+
+func txRuleError(code TxErrorCode, desc string) TxRuleError {
+	return TxRuleError{Code: code, Description: desc}
+}
+
+// TxRuleErrorCode extracts the TxErrorCode of err when it is (or wraps) a
+// TxRuleError.
+func TxRuleErrorCode(err error) (TxErrorCode, bool) {
+	var te TxRuleError
+	if errors.As(err, &te) {
+		return te.Code, true
+	}
+	return 0, false
+}
+
+// DefaultMaxPoolSize is the default transaction capacity of the pool.
+const DefaultMaxPoolSize = 50000
+
+// maxStandardTxSize is the policy cap on a standalone transaction.
+const maxStandardTxSize = 100000
+
+// TxPool is the memory pool of free-standing transactions. It is safe for
+// concurrent use.
+type TxPool struct {
+	mu      sync.RWMutex
+	pool    map[chainhash.Hash]*wire.MsgTx
+	order   []chainhash.Hash
+	maxSize int
+}
+
+// New returns an empty pool with the given capacity; cap <= 0 selects
+// DefaultMaxPoolSize.
+func New(maxSize int) *TxPool {
+	if maxSize <= 0 {
+		maxSize = DefaultMaxPoolSize
+	}
+	return &TxPool{
+		pool:    make(map[chainhash.Hash]*wire.MsgTx),
+		maxSize: maxSize,
+	}
+}
+
+// CheckTransactionSanity performs the context-free structural checks.
+func CheckTransactionSanity(tx *wire.MsgTx) error {
+	if len(tx.TxIn) == 0 {
+		return txRuleError(ErrNoInputs, "transaction has no inputs")
+	}
+	if len(tx.TxOut) == 0 {
+		return txRuleError(ErrNoOutputs, "transaction has no outputs")
+	}
+	var total int64
+	for i, out := range tx.TxOut {
+		if out.Value < 0 {
+			return txRuleError(ErrBadValue, fmt.Sprintf("output %d has negative value %d", i, out.Value))
+		}
+		if out.Value > wire.MaxSatoshi {
+			return txRuleError(ErrBadValue, fmt.Sprintf("output %d value %d above max", i, out.Value))
+		}
+		total += out.Value
+		if total > wire.MaxSatoshi {
+			return txRuleError(ErrBadValue, "total output value above max")
+		}
+	}
+	seen := make(map[wire.OutPoint]struct{}, len(tx.TxIn))
+	for _, in := range tx.TxIn {
+		if _, dup := seen[in.PreviousOutPoint]; dup {
+			return txRuleError(ErrDuplicateInput, "transaction spends the same outpoint twice")
+		}
+		seen[in.PreviousOutPoint] = struct{}{}
+	}
+	return nil
+}
+
+// CheckSegWitRules enforces the reproduction's simplified SegWit consensus:
+// a witness-bearing input must carry a non-empty witness stack AND an empty
+// signature script (native segwit spends have no scriptSig), and no witness
+// item may be empty. A transaction violating these is the "Invalid by
+// consensus rules of SegWit" misbehavior class that Table I scores 100.
+func CheckSegWitRules(tx *wire.MsgTx) error {
+	for i, in := range tx.TxIn {
+		if len(in.Witness) == 0 {
+			continue
+		}
+		if len(in.SignatureScript) != 0 {
+			return txRuleError(ErrSegWitConsensus,
+				fmt.Sprintf("input %d carries both witness and signature script", i))
+		}
+		for j, item := range in.Witness {
+			if len(item) == 0 {
+				return txRuleError(ErrSegWitConsensus,
+					fmt.Sprintf("input %d witness item %d is empty", i, j))
+			}
+		}
+	}
+	return nil
+}
+
+// MaybeAcceptTransaction validates tx and adds it to the pool.
+func (p *TxPool) MaybeAcceptTransaction(tx *wire.MsgTx) error {
+	if blockchain.IsCoinbase(tx) {
+		return txRuleError(ErrCoinbaseTx, "coinbase transaction cannot be relayed standalone")
+	}
+	if err := CheckTransactionSanity(tx); err != nil {
+		return err
+	}
+	if err := CheckSegWitRules(tx); err != nil {
+		return err
+	}
+	if size := tx.SerializeSize(); size > maxStandardTxSize {
+		return txRuleError(ErrTxTooBig, fmt.Sprintf("transaction size %d above policy max %d", size, maxStandardTxSize))
+	}
+
+	hash := tx.TxHash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pool[hash]; ok {
+		return txRuleError(ErrDuplicateTx, fmt.Sprintf("already have transaction %s", hash))
+	}
+	if len(p.pool) >= p.maxSize {
+		return txRuleError(ErrPoolFull, fmt.Sprintf("mempool is full [%d]", p.maxSize))
+	}
+	p.pool[hash] = tx
+	p.order = append(p.order, hash)
+	return nil
+}
+
+// Have reports whether the pool contains the transaction.
+func (p *TxPool) Have(hash *chainhash.Hash) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.pool[*hash]
+	return ok
+}
+
+// Fetch returns the transaction if present.
+func (p *TxPool) Fetch(hash *chainhash.Hash) (*wire.MsgTx, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	tx, ok := p.pool[*hash]
+	return tx, ok
+}
+
+// Remove deletes the transaction from the pool (e.g. once mined).
+func (p *TxPool) Remove(hash *chainhash.Hash) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pool[*hash]; !ok {
+		return
+	}
+	delete(p.pool, *hash)
+	for i, h := range p.order {
+		if h == *hash {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Count returns the number of pooled transactions.
+func (p *TxPool) Count() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pool)
+}
+
+// Hashes returns the txids in insertion order.
+func (p *TxPool) Hashes() []chainhash.Hash {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]chainhash.Hash, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// Transactions returns the pooled transactions in insertion order.
+func (p *TxPool) Transactions() []*wire.MsgTx {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*wire.MsgTx, 0, len(p.order))
+	for _, h := range p.order {
+		out = append(out, p.pool[h])
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package mempool
+
+import (
+	"testing"
+	"testing/quick"
+
+	"banscore/internal/blockchain"
+	"banscore/internal/chainhash"
+	"banscore/internal/wire"
+)
+
+func validTx(n byte) *wire.MsgTx {
+	tx := wire.NewMsgTx(wire.TxVersion)
+	prev := chainhash.DoubleHashH([]byte{n})
+	tx.AddTxIn(wire.NewTxIn(wire.NewOutPoint(&prev, 0), []byte{0x51}, nil))
+	tx.AddTxOut(wire.NewTxOut(1000, []byte{0x51}))
+	return tx
+}
+
+func wantCode(t *testing.T, err error, code TxErrorCode) {
+	t.Helper()
+	got, ok := TxRuleErrorCode(err)
+	if !ok || got != code {
+		t.Errorf("error = %v, want %s", err, code)
+	}
+}
+
+func TestAcceptValidTransaction(t *testing.T) {
+	p := New(0)
+	tx := validTx(1)
+	if err := p.MaybeAcceptTransaction(tx); err != nil {
+		t.Fatalf("MaybeAcceptTransaction: %v", err)
+	}
+	hash := tx.TxHash()
+	if !p.Have(&hash) {
+		t.Error("accepted tx not in pool")
+	}
+	if p.Count() != 1 {
+		t.Errorf("Count = %d", p.Count())
+	}
+	fetched, ok := p.Fetch(&hash)
+	if !ok || fetched.TxHash() != hash {
+		t.Error("Fetch failed")
+	}
+}
+
+func TestRejectCoinbase(t *testing.T) {
+	p := New(0)
+	wantCode(t, p.MaybeAcceptTransaction(blockchain.NewCoinbaseTx(1, 0)), ErrCoinbaseTx)
+}
+
+func TestRejectStructurallyInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		tx   *wire.MsgTx
+		want TxErrorCode
+	}{
+		{
+			name: "no inputs",
+			tx: func() *wire.MsgTx {
+				tx := validTx(1)
+				tx.TxIn = nil
+				return tx
+			}(),
+			want: ErrNoInputs,
+		},
+		{
+			name: "no outputs",
+			tx: func() *wire.MsgTx {
+				tx := validTx(1)
+				tx.TxOut = nil
+				return tx
+			}(),
+			want: ErrNoOutputs,
+		},
+		{
+			name: "negative value",
+			tx: func() *wire.MsgTx {
+				tx := validTx(1)
+				tx.TxOut[0].Value = -1
+				return tx
+			}(),
+			want: ErrBadValue,
+		},
+		{
+			name: "value above max",
+			tx: func() *wire.MsgTx {
+				tx := validTx(1)
+				tx.TxOut[0].Value = wire.MaxSatoshi + 1
+				return tx
+			}(),
+			want: ErrBadValue,
+		},
+		{
+			name: "total above max",
+			tx: func() *wire.MsgTx {
+				tx := validTx(1)
+				tx.TxOut[0].Value = wire.MaxSatoshi
+				tx.AddTxOut(wire.NewTxOut(wire.MaxSatoshi, []byte{0x51}))
+				return tx
+			}(),
+			want: ErrBadValue,
+		},
+		{
+			name: "duplicate input",
+			tx: func() *wire.MsgTx {
+				tx := validTx(1)
+				tx.AddTxIn(wire.NewTxIn(&tx.TxIn[0].PreviousOutPoint, []byte{0x51}, nil))
+				return tx
+			}(),
+			want: ErrDuplicateInput,
+		},
+	}
+	p := New(0)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wantCode(t, p.MaybeAcceptTransaction(tt.tx), tt.want)
+		})
+	}
+}
+
+func TestSegWitRules(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*wire.MsgTx)
+		wantErr bool
+	}{
+		{
+			name: "valid segwit spend",
+			mutate: func(tx *wire.MsgTx) {
+				tx.TxIn[0].SignatureScript = nil
+				tx.TxIn[0].Witness = wire.TxWitness{[]byte{1, 2}}
+			},
+			wantErr: false,
+		},
+		{
+			name:    "legacy spend untouched",
+			mutate:  func(tx *wire.MsgTx) {},
+			wantErr: false,
+		},
+		{
+			name: "witness plus signature script",
+			mutate: func(tx *wire.MsgTx) {
+				tx.TxIn[0].Witness = wire.TxWitness{[]byte{1}}
+			},
+			wantErr: true,
+		},
+		{
+			name: "empty witness item",
+			mutate: func(tx *wire.MsgTx) {
+				tx.TxIn[0].SignatureScript = nil
+				tx.TxIn[0].Witness = wire.TxWitness{{}}
+			},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tx := validTx(1)
+			tt.mutate(tx)
+			err := CheckSegWitRules(tx)
+			if tt.wantErr {
+				wantCode(t, err, ErrSegWitConsensus)
+			} else if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestSegWitViolationRejectedByPool(t *testing.T) {
+	p := New(0)
+	tx := validTx(1)
+	tx.TxIn[0].Witness = wire.TxWitness{[]byte{1}} // witness + scriptSig
+	wantCode(t, p.MaybeAcceptTransaction(tx), ErrSegWitConsensus)
+}
+
+func TestRejectDuplicate(t *testing.T) {
+	p := New(0)
+	tx := validTx(1)
+	if err := p.MaybeAcceptTransaction(tx); err != nil {
+		t.Fatal(err)
+	}
+	wantCode(t, p.MaybeAcceptTransaction(tx), ErrDuplicateTx)
+}
+
+func TestRejectOversizeTx(t *testing.T) {
+	p := New(0)
+	tx := validTx(1)
+	// Inflate with many outputs carrying max-size scripts.
+	for i := 0; i < 12; i++ {
+		tx.AddTxOut(wire.NewTxOut(1, make([]byte, 9999)))
+	}
+	wantCode(t, p.MaybeAcceptTransaction(tx), ErrTxTooBig)
+}
+
+func TestPoolFull(t *testing.T) {
+	p := New(2)
+	if err := p.MaybeAcceptTransaction(validTx(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MaybeAcceptTransaction(validTx(2)); err != nil {
+		t.Fatal(err)
+	}
+	wantCode(t, p.MaybeAcceptTransaction(validTx(3)), ErrPoolFull)
+}
+
+func TestRemove(t *testing.T) {
+	p := New(0)
+	tx := validTx(1)
+	if err := p.MaybeAcceptTransaction(tx); err != nil {
+		t.Fatal(err)
+	}
+	hash := tx.TxHash()
+	p.Remove(&hash)
+	if p.Have(&hash) || p.Count() != 0 {
+		t.Error("Remove did not delete the transaction")
+	}
+	p.Remove(&hash) // idempotent
+}
+
+func TestOrderPreserved(t *testing.T) {
+	p := New(0)
+	var want []chainhash.Hash
+	for i := byte(1); i <= 5; i++ {
+		tx := validTx(i)
+		want = append(want, tx.TxHash())
+		if err := p.MaybeAcceptTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Hashes()
+	if len(got) != 5 {
+		t.Fatalf("Hashes len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	txs := p.Transactions()
+	for i := range txs {
+		if txs[i].TxHash() != want[i] {
+			t.Errorf("tx order[%d] mismatch", i)
+		}
+	}
+}
+
+func TestSanityPropertyRandomValues(t *testing.T) {
+	f := func(value int64) bool {
+		tx := validTx(1)
+		tx.TxOut[0].Value = value
+		err := CheckTransactionSanity(tx)
+		valid := value >= 0 && value <= wire.MaxSatoshi
+		return (err == nil) == valid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxErrorCodeStrings(t *testing.T) {
+	for code := ErrCoinbaseTx; code <= ErrPoolFull; code++ {
+		if s := code.String(); s == "" || s[0] != 'E' {
+			t.Errorf("code %d name = %q", code, s)
+		}
+	}
+	if TxErrorCode(99).String() != "Unknown TxErrorCode (99)" {
+		t.Error("unknown code string wrong")
+	}
+	if _, ok := TxRuleErrorCode(nil); ok {
+		t.Error("nil error matched")
+	}
+}

@@ -1,0 +1,277 @@
+package mlbase
+
+import "math"
+
+// LogisticRegression is a binary classifier fit by full-batch gradient
+// descent on the cross-entropy loss.
+type LogisticRegression struct {
+	// Epochs of gradient descent (default 500).
+	Epochs int
+	// LearningRate of the updates (default 0.1).
+	LearningRate float64
+
+	weights []float64
+	bias    float64
+	trained bool
+}
+
+var _ Model = (*LogisticRegression)(nil)
+
+// Name implements Model.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Train implements Model.
+func (m *LogisticRegression) Train(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y, true); err != nil {
+		return err
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 500
+	}
+	lr := m.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	dim := len(x[0])
+	m.weights = make([]float64, dim)
+	m.bias = 0
+	grad := make([]float64, dim)
+	n := float64(len(x))
+	for e := 0; e < epochs; e++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		gradB := 0.0
+		for i, row := range x {
+			err := sigmoid(dot(m.weights, row)+m.bias) - y[i]
+			for j, v := range row {
+				grad[j] += err * v
+			}
+			gradB += err
+		}
+		for j := range m.weights {
+			m.weights[j] -= lr * grad[j] / n
+		}
+		m.bias -= lr * gradB / n
+	}
+	m.trained = true
+	return nil
+}
+
+// Predict implements Model.
+func (m *LogisticRegression) Predict(x [][]float64) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if sigmoid(dot(m.weights, row)+m.bias) >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// LinearSVM is a binary classifier fit by stochastic subgradient descent on
+// the L2-regularized hinge loss (Pegasos-style).
+type LinearSVM struct {
+	// Epochs over the training set (default 500).
+	Epochs int
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+
+	weights []float64
+	bias    float64
+	trained bool
+}
+
+var _ Model = (*LinearSVM)(nil)
+
+// Name implements Model.
+func (m *LinearSVM) Name() string { return "SVM" }
+
+// Train implements Model.
+func (m *LinearSVM) Train(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y, true); err != nil {
+		return err
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 500
+	}
+	lambda := m.Lambda
+	if lambda == 0 {
+		lambda = 1e-3
+	}
+	dim := len(x[0])
+	m.weights = make([]float64, dim)
+	m.bias = 0
+	rng := newRNG(1)
+	t := 1
+	for e := 0; e < epochs; e++ {
+		for range x {
+			i := rng.Intn(len(x))
+			// Labels in {-1, +1}.
+			yi := 2*y[i] - 1
+			eta := 1 / (lambda * float64(t))
+			t++
+			margin := yi * (dot(m.weights, x[i]) + m.bias)
+			for j := range m.weights {
+				m.weights[j] *= 1 - eta*lambda
+			}
+			if margin < 1 {
+				for j, v := range x[i] {
+					m.weights[j] += eta * yi * v
+				}
+				m.bias += eta * yi
+			}
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Predict implements Model.
+func (m *LinearSVM) Predict(x [][]float64) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if dot(m.weights, row)+m.bias >= 0 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// OneClassSVM is a one-class anomaly detector: a support-vector-data-
+// description style hypersphere fit around the normal class, with the
+// radius chosen at a quantile of the training distances (controlled by Nu).
+type OneClassSVM struct {
+	// Nu is the expected outlier fraction in training data (default 0.01).
+	Nu float64
+	// Epochs of center refinement (default 200).
+	Epochs int
+
+	center  []float64
+	radius  float64
+	trained bool
+}
+
+var _ Model = (*OneClassSVM)(nil)
+
+// Name implements Model.
+func (m *OneClassSVM) Name() string { return "OC-SVM" }
+
+// Train implements Model. Labels are ignored beyond filtering to the normal
+// class (one-class training).
+func (m *OneClassSVM) Train(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y, false); err != nil {
+		return err
+	}
+	normal := x
+	if len(y) == len(x) {
+		normal = normal[:0:0]
+		for i, row := range x {
+			if y[i] < 0.5 {
+				normal = append(normal, row)
+			}
+		}
+	}
+	if len(normal) == 0 {
+		return ErrBadTrainingSet
+	}
+	nu := m.Nu
+	if nu == 0 {
+		nu = 0.01
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 200
+	}
+	dim := len(normal[0])
+	m.center = make([]float64, dim)
+	// Iteratively refined robust center (epochs of soft k-means with one
+	// centroid, which also supplies the deliberate training cost of a
+	// kernel-method baseline).
+	for j := range m.center {
+		for _, row := range normal {
+			m.center[j] += row[j]
+		}
+		m.center[j] /= float64(len(normal))
+	}
+	for e := 0; e < epochs; e++ {
+		next := make([]float64, dim)
+		totalW := 0.0
+		for _, row := range normal {
+			d := distance(row, m.center)
+			w := 1 / (1 + d)
+			for j, v := range row {
+				next[j] += w * v
+			}
+			totalW += w
+		}
+		for j := range next {
+			next[j] /= totalW
+		}
+		m.center = next
+	}
+	dists := make([]float64, len(normal))
+	for i, row := range normal {
+		dists[i] = distance(row, m.center)
+	}
+	// A 1.5x slack on the radius absorbs unseen-normal variance (the
+	// training set is a sample, not the population).
+	m.radius = 1.5 * quantile(dists, 1-nu)
+	m.trained = true
+	return nil
+}
+
+// Predict implements Model: outside the hypersphere = anomalous.
+func (m *OneClassSVM) Predict(x [][]float64) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if distance(row, m.center) > m.radius {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	insertionSort(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package mlbase implements the seven machine-learning baselines the paper
+// compares its statistical detector against in Fig. 11 — Logistic
+// Regression, Gradient Boosting, Random Forest, SVM, Deep Neural Network,
+// One-Class SVM, and AutoEncoder — from scratch on the standard library.
+// They exist for the latency comparison (training/testing time) and for
+// sanity-checking relative accuracy; they are deliberately straightforward
+// reference implementations, not tuned production learners.
+package mlbase
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"banscore/internal/detect"
+)
+
+// ErrNotTrained is returned by Predict before Train.
+var ErrNotTrained = errors.New("mlbase: model is not trained")
+
+// ErrBadTrainingSet is returned for empty or inconsistent training input.
+var ErrBadTrainingSet = errors.New("mlbase: bad training set")
+
+// Model is a binary anomaly classifier over window feature vectors.
+// Supervised models use labels; one-class models (OC-SVM, AutoEncoder)
+// ignore the anomalous examples and fit the normal class.
+type Model interface {
+	// Name of the algorithm as shown in Fig. 11.
+	Name() string
+
+	// Train fits the model. y holds 0 (normal) / 1 (anomalous).
+	Train(x [][]float64, y []float64) error
+
+	// Predict returns a label per row.
+	Predict(x [][]float64) ([]float64, error)
+}
+
+// Features converts a detection window into the model feature vector: the
+// reconnection rate c, the message rate n, and the normalized message-count
+// distribution over the fixed command order — the same information the
+// statistical engine consumes, for a like-for-like Fig. 11 comparison.
+func Features(w detect.WindowStats, commands []string) []float64 {
+	v := make([]float64, 0, 2+len(commands))
+	v = append(v, w.ReconnectRatePerMinute(), w.RatePerMinute()/1000.0)
+	total := 0.0
+	for _, cmd := range commands {
+		total += w.Counts[cmd]
+	}
+	for _, cmd := range commands {
+		if total > 0 {
+			v = append(v, w.Counts[cmd]/total)
+		} else {
+			v = append(v, 0)
+		}
+	}
+	return v
+}
+
+// Dataset builds the feature matrix of a window set.
+func Dataset(windows []detect.WindowStats, commands []string) [][]float64 {
+	x := make([][]float64, len(windows))
+	for i, w := range windows {
+		x[i] = Features(w, commands)
+	}
+	return x
+}
+
+// TimedTrain trains the model and returns the training latency.
+func TimedTrain(m Model, x [][]float64, y []float64) (time.Duration, error) {
+	start := time.Now()
+	err := m.Train(x, y)
+	return time.Since(start), err
+}
+
+// TimedPredict predicts and returns the testing latency.
+func TimedPredict(m Model, x [][]float64) ([]float64, time.Duration, error) {
+	start := time.Now()
+	out, err := m.Predict(x)
+	return out, time.Since(start), err
+}
+
+// Accuracy scores predictions against labels.
+func Accuracy(pred, y []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(y) {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if (pred[i] >= 0.5) == (y[i] >= 0.5) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func checkTrainingSet(x [][]float64, y []float64, needLabels bool) error {
+	if len(x) == 0 {
+		return ErrBadTrainingSet
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return ErrBadTrainingSet
+	}
+	for _, row := range x {
+		if len(row) != dim {
+			return ErrBadTrainingSet
+		}
+	}
+	if needLabels && len(y) != len(x) {
+		return ErrBadTrainingSet
+	}
+	return nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

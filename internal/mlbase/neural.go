@@ -1,0 +1,261 @@
+package mlbase
+
+import "math"
+
+// mlp is a fully connected network with one or two hidden layers and
+// sigmoid activations, trained by backprop SGD. Both the DNN classifier and
+// the AutoEncoder build on it.
+type mlp struct {
+	sizes   []int // layer sizes, input first
+	weights [][][]float64
+	biases  [][]float64
+}
+
+func newMLP(sizes []int, seed int64) *mlp {
+	rng := newRNG(seed)
+	m := &mlp{sizes: sizes}
+	for l := 1; l < len(sizes); l++ {
+		w := make([][]float64, sizes[l])
+		for j := range w {
+			w[j] = make([]float64, sizes[l-1])
+			for k := range w[j] {
+				w[j][k] = rng.NormFloat64() * 0.3
+			}
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, sizes[l]))
+	}
+	return m
+}
+
+// forward returns the activations of every layer (input first).
+func (m *mlp) forward(input []float64) [][]float64 {
+	acts := [][]float64{input}
+	cur := input
+	for l := range m.weights {
+		next := make([]float64, m.sizes[l+1])
+		for j := range next {
+			next[j] = sigmoid(dot(m.weights[l][j], cur) + m.biases[l][j])
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+// backprop performs one SGD step toward target with the given rate, using
+// squared-error loss. It returns the example's loss before the step.
+func (m *mlp) backprop(input, target []float64, lr float64) float64 {
+	acts := m.forward(input)
+	out := acts[len(acts)-1]
+	loss := 0.0
+	delta := make([]float64, len(out))
+	for j := range out {
+		diff := out[j] - target[j]
+		loss += diff * diff
+		delta[j] = diff * out[j] * (1 - out[j])
+	}
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		prev := acts[l]
+		var nextDelta []float64
+		if l > 0 {
+			nextDelta = make([]float64, len(prev))
+			for k := range prev {
+				s := 0.0
+				for j := range delta {
+					s += delta[j] * m.weights[l][j][k]
+				}
+				nextDelta[k] = s * prev[k] * (1 - prev[k])
+			}
+		}
+		for j := range delta {
+			for k := range prev {
+				m.weights[l][j][k] -= lr * delta[j] * prev[k]
+			}
+			m.biases[l][j] -= lr * delta[j]
+		}
+		delta = nextDelta
+	}
+	return loss
+}
+
+// DNN is a two-hidden-layer neural binary classifier.
+type DNN struct {
+	// Hidden layer sizes (default 16, 8).
+	Hidden1, Hidden2 int
+	// Epochs of SGD (default 200).
+	Epochs int
+	// LearningRate (default 0.5).
+	LearningRate float64
+
+	net     *mlp
+	trained bool
+}
+
+var _ Model = (*DNN)(nil)
+
+// Name implements Model.
+func (m *DNN) Name() string { return "DNN" }
+
+// Train implements Model.
+func (m *DNN) Train(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y, true); err != nil {
+		return err
+	}
+	h1, h2 := m.Hidden1, m.Hidden2
+	if h1 == 0 {
+		h1 = 16
+	}
+	if h2 == 0 {
+		h2 = 8
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 200
+	}
+	lr := m.LearningRate
+	if lr == 0 {
+		lr = 0.5
+	}
+	m.net = newMLP([]int{len(x[0]), h1, h2, 1}, 3)
+	for e := 0; e < epochs; e++ {
+		for i, row := range x {
+			m.net.backprop(row, []float64{y[i]}, lr)
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Predict implements Model.
+func (m *DNN) Predict(x [][]float64) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		acts := m.net.forward(row)
+		if acts[len(acts)-1][0] >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// AutoEncoder is a one-class anomaly detector: an MLP trained to
+// reconstruct normal windows; reconstruction error above a trained quantile
+// marks a window anomalous — the architecture of the paper's ICBC'21
+// baseline [22].
+type AutoEncoder struct {
+	// Hidden bottleneck size (default 4).
+	Hidden int
+	// Epochs of SGD (default 200).
+	Epochs int
+	// LearningRate (default 0.5).
+	LearningRate float64
+	// Quantile of training reconstruction error used as the threshold
+	// (default 0.99).
+	Quantile float64
+
+	net       *mlp
+	threshold float64
+	trained   bool
+}
+
+var _ Model = (*AutoEncoder)(nil)
+
+// Name implements Model.
+func (m *AutoEncoder) Name() string { return "AE" }
+
+// Train implements Model. Labels filter training to the normal class.
+func (m *AutoEncoder) Train(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y, false); err != nil {
+		return err
+	}
+	normal := x
+	if len(y) == len(x) {
+		normal = normal[:0:0]
+		for i, row := range x {
+			if y[i] < 0.5 {
+				normal = append(normal, row)
+			}
+		}
+	}
+	if len(normal) == 0 {
+		return ErrBadTrainingSet
+	}
+	hidden := m.Hidden
+	if hidden == 0 {
+		hidden = 4
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 200
+	}
+	lr := m.LearningRate
+	if lr == 0 {
+		lr = 0.5
+	}
+	q := m.Quantile
+	if q == 0 {
+		q = 0.99
+	}
+	dim := len(normal[0])
+	m.net = newMLP([]int{dim, hidden, dim}, 4)
+	for e := 0; e < epochs; e++ {
+		for _, row := range normal {
+			m.net.backprop(row, row, lr)
+		}
+	}
+	errs := make([]float64, len(normal))
+	for i, row := range normal {
+		errs[i] = m.reconstructionError(row)
+	}
+	// A 2x slack on the reconstruction-error threshold absorbs
+	// unseen-normal variance; flood windows reconstruct orders of
+	// magnitude worse, so separation is preserved.
+	m.threshold = 2 * quantile(errs, q)
+	if m.threshold == 0 {
+		m.threshold = math.SmallestNonzeroFloat64
+	}
+	m.trained = true
+	return nil
+}
+
+func (m *AutoEncoder) reconstructionError(row []float64) float64 {
+	acts := m.net.forward(row)
+	out := acts[len(acts)-1]
+	e := 0.0
+	for j := range out {
+		d := out[j] - row[j]
+		e += d * d
+	}
+	return e
+}
+
+// Predict implements Model.
+func (m *AutoEncoder) Predict(x [][]float64) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if m.reconstructionError(row) > m.threshold {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// AllModels returns one instance of each Fig. 11 baseline in paper order.
+func AllModels() []Model {
+	return []Model{
+		&LogisticRegression{},
+		&GradientBoosting{},
+		&RandomForest{},
+		&LinearSVM{},
+		&DNN{},
+		&OneClassSVM{},
+		&AutoEncoder{},
+	}
+}

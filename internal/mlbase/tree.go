@@ -1,0 +1,311 @@
+package mlbase
+
+import "math/rand"
+
+// stump is a depth-1 regressor used by gradient boosting.
+type stump struct {
+	feature   int
+	threshold float64
+	left      float64
+	right     float64
+}
+
+func (s stump) predict(row []float64) float64 {
+	if row[s.feature] <= s.threshold {
+		return s.left
+	}
+	return s.right
+}
+
+// fitStump finds the split minimizing squared error against residuals.
+func fitStump(x [][]float64, residuals []float64) stump {
+	best := stump{left: mean(residuals), right: mean(residuals)}
+	bestErr := sqErr(residuals, best.left)
+	dim := len(x[0])
+	for f := 0; f < dim; f++ {
+		for _, row := range x {
+			thr := row[f]
+			var lSum, rSum float64
+			var lN, rN int
+			for i, other := range x {
+				if other[f] <= thr {
+					lSum += residuals[i]
+					lN++
+				} else {
+					rSum += residuals[i]
+					rN++
+				}
+			}
+			if lN == 0 || rN == 0 {
+				continue
+			}
+			lMean, rMean := lSum/float64(lN), rSum/float64(rN)
+			e := 0.0
+			for i, other := range x {
+				var p float64
+				if other[f] <= thr {
+					p = lMean
+				} else {
+					p = rMean
+				}
+				d := residuals[i] - p
+				e += d * d
+			}
+			if e < bestErr {
+				bestErr = e
+				best = stump{feature: f, threshold: thr, left: lMean, right: rMean}
+			}
+		}
+	}
+	return best
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func sqErr(xs []float64, pred float64) float64 {
+	e := 0.0
+	for _, x := range xs {
+		d := x - pred
+		e += d * d
+	}
+	return e
+}
+
+// GradientBoosting is a least-squares gradient-boosted ensemble of stumps.
+type GradientBoosting struct {
+	// Rounds of boosting (default 50).
+	Rounds int
+	// LearningRate shrinkage (default 0.3).
+	LearningRate float64
+
+	base    float64
+	stumps  []stump
+	trained bool
+}
+
+var _ Model = (*GradientBoosting)(nil)
+
+// Name implements Model.
+func (m *GradientBoosting) Name() string { return "GB" }
+
+// Train implements Model.
+func (m *GradientBoosting) Train(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y, true); err != nil {
+		return err
+	}
+	rounds := m.Rounds
+	if rounds == 0 {
+		rounds = 50
+	}
+	lr := m.LearningRate
+	if lr == 0 {
+		lr = 0.3
+	}
+	m.base = mean(y)
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = m.base
+	}
+	m.stumps = nil
+	residuals := make([]float64, len(y))
+	for r := 0; r < rounds; r++ {
+		for i := range residuals {
+			residuals[i] = y[i] - pred[i]
+		}
+		s := fitStump(x, residuals)
+		s.left *= lr
+		s.right *= lr
+		m.stumps = append(m.stumps, s)
+		for i, row := range x {
+			pred[i] += s.predict(row)
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Predict implements Model.
+func (m *GradientBoosting) Predict(x [][]float64) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		score := m.base
+		for _, s := range m.stumps {
+			score += s.predict(row)
+		}
+		if score >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// treeNode is a node of a CART classification tree.
+type treeNode struct {
+	leaf      bool
+	label     float64
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+func (n *treeNode) predict(row []float64) float64 {
+	for !n.leaf {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// buildTree grows a gini-split tree on a bootstrap sample with random
+// feature subsets at each node.
+func buildTree(x [][]float64, y []float64, idx []int, depth, maxDepth, mtry int, rng *rand.Rand) *treeNode {
+	ones := 0
+	for _, i := range idx {
+		if y[i] >= 0.5 {
+			ones++
+		}
+	}
+	label := 0.0
+	if 2*ones >= len(idx) {
+		label = 1
+	}
+	if depth >= maxDepth || ones == 0 || ones == len(idx) || len(idx) < 4 {
+		return &treeNode{leaf: true, label: label}
+	}
+
+	dim := len(x[0])
+	bestGini := 2.0
+	bestFeature, bestThr := -1, 0.0
+	for t := 0; t < mtry; t++ {
+		f := rng.Intn(dim)
+		thr := x[idx[rng.Intn(len(idx))]][f]
+		var lN, lOnes, rN, rOnes int
+		for _, i := range idx {
+			if x[i][f] <= thr {
+				lN++
+				if y[i] >= 0.5 {
+					lOnes++
+				}
+			} else {
+				rN++
+				if y[i] >= 0.5 {
+					rOnes++
+				}
+			}
+		}
+		if lN == 0 || rN == 0 {
+			continue
+		}
+		g := weightedGini(lN, lOnes, rN, rOnes)
+		if g < bestGini {
+			bestGini = g
+			bestFeature, bestThr = f, thr
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, label: label}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThr,
+		left:      buildTree(x, y, leftIdx, depth+1, maxDepth, mtry, rng),
+		right:     buildTree(x, y, rightIdx, depth+1, maxDepth, mtry, rng),
+	}
+}
+
+func weightedGini(lN, lOnes, rN, rOnes int) float64 {
+	gini := func(n, ones int) float64 {
+		if n == 0 {
+			return 0
+		}
+		p := float64(ones) / float64(n)
+		return 2 * p * (1 - p)
+	}
+	total := float64(lN + rN)
+	return float64(lN)/total*gini(lN, lOnes) + float64(rN)/total*gini(rN, rOnes)
+}
+
+// RandomForest is a bagged ensemble of CART trees.
+type RandomForest struct {
+	// Trees in the ensemble (default 100).
+	Trees int
+	// MaxDepth per tree (default 8).
+	MaxDepth int
+
+	forest  []*treeNode
+	trained bool
+}
+
+var _ Model = (*RandomForest)(nil)
+
+// Name implements Model.
+func (m *RandomForest) Name() string { return "RF" }
+
+// Train implements Model.
+func (m *RandomForest) Train(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y, true); err != nil {
+		return err
+	}
+	trees := m.Trees
+	if trees == 0 {
+		trees = 100
+	}
+	maxDepth := m.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 8
+	}
+	mtry := len(x[0])
+	rng := newRNG(2)
+	m.forest = make([]*treeNode, 0, trees)
+	for t := 0; t < trees; t++ {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		m.forest = append(m.forest, buildTree(x, y, idx, 0, maxDepth, mtry, rng))
+	}
+	m.trained = true
+	return nil
+}
+
+// Predict implements Model (majority vote).
+func (m *RandomForest) Predict(x [][]float64) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		votes := 0.0
+		for _, tree := range m.forest {
+			votes += tree.predict(row)
+		}
+		if votes*2 >= float64(len(m.forest)) {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,518 @@
+package node
+
+import (
+	"net"
+	"strconv"
+
+	"banscore/internal/blockchain"
+	"banscore/internal/bloom"
+	"banscore/internal/chainhash"
+	"banscore/internal/core"
+	"banscore/internal/mempool"
+	"banscore/internal/peer"
+	"banscore/internal/wire"
+)
+
+// handleMessage is the node's message dispatch: the application-layer
+// processing reached only AFTER framing and checksum verification, exactly
+// the ordering the paper's bogus-message vector exploits. Every Table I rule
+// fires from here.
+func (n *Node) handleMessage(p *peer.Peer, msg wire.Message, rawLen int) {
+	n.messagesProcessed.Add(1)
+	if n.cfg.Tap != nil {
+		n.cfg.Tap.OnMessage(msg.Command(), n.cfg.Clock())
+	}
+
+	// Version handshake ordering (Table I VERSION/VERACK rules).
+	switch m := msg.(type) {
+	case *wire.MsgVersion:
+		n.handleVersion(p, m)
+		return
+	case *wire.MsgVerAck:
+		if !p.VersionReceived() {
+			n.misbehave(p, core.MessageBeforeVersion)
+			return
+		}
+		p.MarkVerAckReceived()
+		return
+	default:
+		if !p.VersionReceived() {
+			// "Message before VERSION" scores 1 (inbound only).
+			n.misbehave(p, core.MessageBeforeVersion)
+			return
+		}
+		if !p.VerAckReceived() {
+			// "Message (other than VERSION) before VERACK" scores 1
+			// in 0.20.0. The message is not processed.
+			n.misbehave(p, core.MessageBeforeVerack)
+			return
+		}
+	}
+
+	switch m := msg.(type) {
+	case *wire.MsgPing:
+		// No ban rule exists for PING in any studied version: the
+		// node performs the full pipeline and answers — the paper's
+		// score-free BM-DoS vector 1.
+		_ = p.QueueMessage(wire.NewMsgPong(m.Nonce))
+	case *wire.MsgPong:
+		// Nonce bookkeeping would go here; no rule applies.
+	case *wire.MsgAddr:
+		n.handleAddr(p, m)
+	case *wire.MsgGetAddr:
+		n.handleGetAddr(p)
+	case *wire.MsgInv:
+		n.handleInv(p, m)
+	case *wire.MsgGetData:
+		n.handleGetData(p, m)
+	case *wire.MsgNotFound:
+		// Informational; no rule applies.
+	case *wire.MsgGetBlocks:
+		n.handleGetBlocks(p, m)
+	case *wire.MsgGetHeaders:
+		n.handleGetHeaders(p, m)
+	case *wire.MsgHeaders:
+		n.handleHeaders(p, m)
+	case *wire.MsgTx:
+		n.handleTx(p, m)
+	case *wire.MsgBlock:
+		n.handleBlock(p, m)
+	case *wire.MsgMemPool:
+		n.handleMemPool(p)
+	case *wire.MsgFilterLoad:
+		n.handleFilterLoad(p, m)
+	case *wire.MsgFilterAdd:
+		n.handleFilterAdd(p, m)
+	case *wire.MsgFilterClear:
+		n.clearFilter(p.ID())
+	case *wire.MsgSendHeaders, *wire.MsgFeeFilter, *wire.MsgSendCmpct, *wire.MsgMerkleBlock:
+		// Preference/acknowledgement messages; recorded, no rule.
+	case *wire.MsgCmpctBlock:
+		n.handleCmpctBlock(p, m)
+	case *wire.MsgGetBlockTxn:
+		n.handleGetBlockTxn(p, m)
+	case *wire.MsgBlockTxn:
+		n.handleBlockTxn(p, m)
+	case *wire.MsgReject:
+		// Informational; no rule applies.
+	}
+}
+
+// misbehave applies a Table I rule and enforces a triggered ban by
+// disconnecting the peer (it is now in the ban filter and cannot return
+// with the same identifier for the ban duration).
+func (n *Node) misbehave(p *peer.Peer, rule core.RuleID) core.Result {
+	res := n.tracker.Misbehaving(p.ID(), p.Inbound(), rule)
+	if res.Banned {
+		p.Disconnect()
+	}
+	return res
+}
+
+func (n *Node) handleVersion(p *peer.Peer, m *wire.MsgVersion) {
+	if !p.MarkVersionReceived(m) {
+		// Table I: "Duplicate VERSION" scores 1 against inbound peers.
+		n.misbehave(p, core.VersionDuplicate)
+		return
+	}
+	if p.Inbound() && !p.VersionSent() {
+		n.sendVersion(p)
+	}
+	_ = p.QueueMessage(&wire.MsgVerAck{})
+}
+
+func (n *Node) handleAddr(p *peer.Peer, m *wire.MsgAddr) {
+	if len(m.AddrList) > wire.MaxAddrPerMsg {
+		// Table I: "More than 1000 addresses" scores 20.
+		n.misbehave(p, core.AddrOversize)
+		return
+	}
+	for _, na := range m.AddrList {
+		addr := net.JoinHostPort(na.IP.String(), strconv.Itoa(int(na.Port)))
+		n.addrmgr.Add(addr)
+	}
+}
+
+func (n *Node) handleGetAddr(p *peer.Peer) {
+	reply := wire.NewMsgAddr()
+	for _, addr := range n.addrmgr.All() {
+		host, portStr, err := net.SplitHostPort(addr)
+		if err != nil {
+			continue
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			continue
+		}
+		na := wire.NewNetAddressIPPort(net.ParseIP(host), uint16(port), 0)
+		na.Timestamp = n.cfg.Clock()
+		reply.AddAddress(na)
+		if len(reply.AddrList) >= wire.MaxAddrPerMsg {
+			break
+		}
+	}
+	_ = p.QueueMessage(reply)
+}
+
+func (n *Node) handleInv(p *peer.Peer, m *wire.MsgInv) {
+	if len(m.InvList) > wire.MaxInvPerMsg {
+		// Table I: "More than 50000 inventory entries" scores 20.
+		n.misbehave(p, core.InvOversize)
+		return
+	}
+	// Request any advertised objects we do not have.
+	want := wire.NewMsgGetData()
+	for _, iv := range m.InvList {
+		hash := iv.Hash
+		switch iv.Type {
+		case wire.InvTypeBlock, wire.InvTypeWitnessBlock:
+			if !n.chain.HaveBlock(&hash) && !n.chain.IsKnownInvalid(&hash) {
+				want.AddInvVect(wire.NewInvVect(wire.InvTypeBlock, &hash))
+			}
+		case wire.InvTypeTx, wire.InvTypeWitnessTx:
+			if !n.mempool.Have(&hash) {
+				want.AddInvVect(wire.NewInvVect(wire.InvTypeTx, &hash))
+			}
+		}
+		if len(want.InvList) >= wire.MaxInvPerMsg {
+			break
+		}
+	}
+	if len(want.InvList) > 0 {
+		_ = p.QueueMessage(want)
+	}
+}
+
+func (n *Node) handleGetData(p *peer.Peer, m *wire.MsgGetData) {
+	if len(m.InvList) > wire.MaxInvPerMsg {
+		// Table I: "More than 50000 inventory entries" scores 20.
+		n.misbehave(p, core.GetDataOversize)
+		return
+	}
+	missing := wire.NewMsgNotFound()
+	for _, iv := range m.InvList {
+		hash := iv.Hash
+		served := false
+		switch iv.Type {
+		case wire.InvTypeTx, wire.InvTypeWitnessTx:
+			if tx, ok := n.mempool.Fetch(&hash); ok {
+				_ = p.QueueMessage(tx)
+				served = true
+			}
+		case wire.InvTypeBlock, wire.InvTypeWitnessBlock:
+			if block, ok := n.StoredBlock(&hash); ok {
+				_ = p.QueueMessage(block)
+				served = true
+			}
+		case wire.InvTypeFilteredBlock:
+			block, ok := n.StoredBlock(&hash)
+			if !ok {
+				break
+			}
+			filter := n.peerFilter(p.ID())
+			if filter == nil {
+				// No filter installed: serve the full block.
+				_ = p.QueueMessage(block)
+				served = true
+				break
+			}
+			// BIP37: a MERKLEBLOCK proof followed by the matched
+			// transactions.
+			proof, matched := bloom.NewMerkleBlock(block, filter)
+			_ = p.QueueMessage(proof)
+			for i := range matched {
+				for _, tx := range block.Transactions {
+					if tx.TxHash() == matched[i] {
+						_ = p.QueueMessage(tx)
+					}
+				}
+			}
+			served = true
+		}
+		if !served {
+			missing.AddInvVect(wire.NewInvVect(iv.Type, &hash))
+		}
+	}
+	if len(missing.InvList) > 0 {
+		_ = p.QueueMessage(missing)
+	}
+}
+
+func (n *Node) handleGetBlocks(p *peer.Peer, m *wire.MsgGetBlocks) {
+	headers := n.chain.HeadersAfter(m.BlockLocatorHashes, 500)
+	if len(headers) == 0 {
+		return
+	}
+	reply := wire.NewMsgInv()
+	for _, h := range headers {
+		hash := h.BlockHash()
+		reply.AddInvVect(wire.NewInvVect(wire.InvTypeBlock, &hash))
+	}
+	_ = p.QueueMessage(reply)
+}
+
+func (n *Node) handleGetHeaders(p *peer.Peer, m *wire.MsgGetHeaders) {
+	reply := wire.NewMsgHeaders()
+	reply.Headers = n.chain.HeadersAfter(m.BlockLocatorHashes, wire.MaxBlockHeadersPerMsg)
+	_ = p.QueueMessage(reply)
+}
+
+// nonConnectingHeadersThreshold is how many consecutive non-connecting
+// HEADERS deliveries trigger the Table I "10 non-connecting headers" rule.
+const nonConnectingHeadersThreshold = 10
+
+func (n *Node) handleHeaders(p *peer.Peer, m *wire.MsgHeaders) {
+	if len(m.Headers) > wire.MaxBlockHeadersPerMsg {
+		// Table I: "More than 2000 headers" scores 20.
+		n.misbehave(p, core.HeadersOversize)
+		return
+	}
+	if !blockchain.CheckHeadersContinuity(m.Headers) {
+		// Table I: "Non-continuous headers sequence" scores 20.
+		n.misbehave(p, core.HeadersNonContinuous)
+		return
+	}
+	if len(m.Headers) == 0 {
+		return
+	}
+	if !n.chain.HeadersConnect(m.Headers) {
+		n.mu.Lock()
+		n.headerCount[p.ID()]++
+		count := n.headerCount[p.ID()]
+		if count >= nonConnectingHeadersThreshold {
+			n.headerCount[p.ID()] = 0
+		}
+		n.mu.Unlock()
+		if count >= nonConnectingHeadersThreshold {
+			// Table I: "10 non-connecting headers" scores 20.
+			n.misbehave(p, core.HeadersNonConnecting)
+		}
+		return
+	}
+	n.mu.Lock()
+	n.headerCount[p.ID()] = 0
+	n.mu.Unlock()
+}
+
+func (n *Node) handleTx(p *peer.Peer, m *wire.MsgTx) {
+	err := n.mempool.MaybeAcceptTransaction(m)
+	if err != nil {
+		if code, ok := mempool.TxRuleErrorCode(err); ok && code == mempool.ErrSegWitConsensus {
+			// Table I: "Invalid by consensus rules of SegWit" scores 100.
+			n.misbehave(p, core.TxInvalidSegWit)
+		}
+		return
+	}
+	n.txAccepted.Add(1)
+	hash := m.TxHash()
+	n.relayInv(wire.InvTypeTx, &hash, p.ID())
+}
+
+func (n *Node) handleBlock(p *peer.Peer, m *wire.MsgBlock) {
+	_, err := n.chain.ProcessBlock(m)
+	if err == nil {
+		hash := m.BlockHash()
+		n.mu.Lock()
+		n.blockStore[hash] = m
+		n.mu.Unlock()
+		n.blocksAccepted.Add(1)
+		// Good-score mechanism (§VIII): a valid BLOCK earns +1 credit.
+		n.tracker.AddGood(p.ID())
+		for _, tx := range m.Transactions[1:] {
+			txHash := tx.TxHash()
+			n.mempool.Remove(&txHash)
+		}
+		n.relayInv(wire.InvTypeBlock, &hash, p.ID())
+		return
+	}
+
+	code, ok := blockchain.RuleErrorCode(err)
+	if !ok {
+		return
+	}
+	switch code {
+	case blockchain.ErrBadMerkleRoot, blockchain.ErrDuplicateTx:
+		// Table I: "Block data was mutated" scores 100.
+		n.misbehave(p, core.BlockMutated)
+	case blockchain.ErrCachedInvalid:
+		// Table I: "Block was cached as invalid" scores 100, but only
+		// against outbound peers (enforced by the tracker).
+		n.misbehave(p, core.BlockCachedInvalid)
+	case blockchain.ErrPrevBlockInvalid:
+		// Table I: "Previous block is invalid" scores 100.
+		n.misbehave(p, core.BlockPrevInvalid)
+	case blockchain.ErrPrevBlockMissing:
+		// Table I: "Previous block is missing" scores 10 — the rule the
+		// paper calls out as arbitrarily harsh for an innocent condition.
+		n.misbehave(p, core.BlockPrevMissing)
+	case blockchain.ErrDuplicateBlock:
+		// Re-delivery of a known-valid block is not scored.
+	default:
+		// Remaining invalid-block classes (bad PoW, structural
+		// failures) take the generic invalid-block punishment, which
+		// Table I folds into the mutated/invalid class at 100.
+		n.misbehave(p, core.BlockMutated)
+	}
+}
+
+func (n *Node) handleMemPool(p *peer.Peer) {
+	reply := wire.NewMsgInv()
+	for _, hash := range n.mempool.Hashes() {
+		h := hash
+		reply.AddInvVect(wire.NewInvVect(wire.InvTypeTx, &h))
+		if len(reply.InvList) >= wire.MaxInvPerMsg {
+			break
+		}
+	}
+	_ = p.QueueMessage(reply)
+}
+
+func (n *Node) handleFilterLoad(p *peer.Peer, m *wire.MsgFilterLoad) {
+	if len(m.Filter) > wire.MaxFilterLoadFilterSize || m.HashFuncs > wire.MaxFilterLoadHashFuncs {
+		// Table I: "Bloom filter size > 36000 bytes" scores 100.
+		n.misbehave(p, core.FilterLoadOversize)
+		return
+	}
+	n.mu.Lock()
+	n.filters[p.ID()] = bloom.LoadFilter(m)
+	n.mu.Unlock()
+}
+
+func (n *Node) handleFilterAdd(p *peer.Peer, m *wire.MsgFilterAdd) {
+	if len(m.Data) > wire.MaxFilterAddDataSize {
+		// Table I: "Data item > 520 bytes" scores 100.
+		n.misbehave(p, core.FilterAddOversize)
+		return
+	}
+	// Table I (0.20.0 only): FILTERADD from a peer negotiated at protocol
+	// version >= 70011 when bloom service is not offered scores 100.
+	remote := p.RemoteVersion()
+	if n.cfg.Services&wire.SFNodeBloom == 0 &&
+		remote != nil && uint32(remote.ProtocolVersion) >= wire.NoBloomVersion {
+		n.misbehave(p, core.FilterAddNoBloomVersion)
+		return
+	}
+	n.mu.Lock()
+	filter := n.filters[p.ID()]
+	n.mu.Unlock()
+	if filter == nil {
+		return // filteradd without a loaded filter: ignored
+	}
+	filter.Add(m.Data)
+}
+
+func (n *Node) handleCmpctBlock(p *peer.Peer, m *wire.MsgCmpctBlock) {
+	hash := m.Header.BlockHash()
+	if err := blockchain.CheckProofOfWork(&hash, m.Header.Bits, n.cfg.ChainParams.PowLimit); err != nil {
+		// Table I: "Invalid compact block data" scores 100.
+		n.misbehave(p, core.CmpctBlockInvalid)
+		return
+	}
+	if len(m.ShortIDs) == 0 && len(m.PrefilledTxs) == 0 {
+		n.misbehave(p, core.CmpctBlockInvalid)
+		return
+	}
+	if len(m.ShortIDs) == 0 {
+		// Fully prefilled: reconstruct and process as a block.
+		block := wire.NewMsgBlock(&m.Header)
+		for _, ptx := range m.PrefilledTxs {
+			block.AddTransaction(ptx.Tx)
+		}
+		n.handleBlock(p, block)
+		return
+	}
+	// Remember the header and request the missing transactions.
+	n.mu.Lock()
+	n.pendingCmpct[hash] = m.Header
+	n.mu.Unlock()
+	indexes := make([]uint32, len(m.ShortIDs))
+	for i := range indexes {
+		indexes[i] = uint32(i)
+	}
+	_ = p.QueueMessage(wire.NewMsgGetBlockTxn(&hash, indexes))
+}
+
+// handleBlockTxn attempts BIP152 block reconstruction: hash the delivered
+// transactions, rebuild the merkle root, and process the block if it
+// matches the pending compact header. This is the reconstruction work that
+// makes BLOCKTXN the second most expensive message for the victim in
+// Table II.
+func (n *Node) handleBlockTxn(p *peer.Peer, m *wire.MsgBlockTxn) {
+	n.mu.Lock()
+	header, ok := n.pendingCmpct[m.BlockHash]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	hashes := make([]chainhash.Hash, len(m.Txs))
+	for i, tx := range m.Txs {
+		hashes[i] = tx.TxHash()
+	}
+	if chainhash.MerkleRoot(hashes) != header.MerkleRoot {
+		return // reconstruction failed; wait for the full block
+	}
+	n.mu.Lock()
+	delete(n.pendingCmpct, m.BlockHash)
+	n.mu.Unlock()
+	block := wire.NewMsgBlock(&header)
+	for _, tx := range m.Txs {
+		block.AddTransaction(tx)
+	}
+	n.handleBlock(p, block)
+}
+
+func (n *Node) handleGetBlockTxn(p *peer.Peer, m *wire.MsgGetBlockTxn) {
+	block, ok := n.StoredBlock(&m.BlockHash)
+	if !ok {
+		return
+	}
+	txs := make([]*wire.MsgTx, 0, len(m.Indexes))
+	for _, idx := range m.Indexes {
+		if int(idx) >= len(block.Transactions) {
+			// Table I: "Out-of-bounds transaction indices" scores 100.
+			n.misbehave(p, core.GetBlockTxnOutOfBounds)
+			return
+		}
+		txs = append(txs, block.Transactions[idx])
+	}
+	_ = p.QueueMessage(wire.NewMsgBlockTxn(&m.BlockHash, txs))
+}
+
+func (n *Node) clearFilter(id core.PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.filters, id)
+}
+
+// peerFilter returns the peer's installed bloom filter, if any.
+func (n *Node) peerFilter(id core.PeerID) *bloom.Filter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.filters[id]
+}
+
+// relayInv announces an object to every handshake-complete peer except the
+// originator.
+func (n *Node) relayInv(typ wire.InvType, hash *chainhash.Hash, except core.PeerID) {
+	n.mu.Lock()
+	targets := make([]*peer.Peer, 0, len(n.peers))
+	for id, p := range n.peers {
+		if id == except || !p.HandshakeComplete() {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		inv := wire.NewMsgInv()
+		inv.AddInvVect(wire.NewInvVect(typ, hash))
+		_ = p.QueueMessage(inv)
+	}
+}
+
+// ProcessMessageDirect feeds a message through the dispatch pipeline as if
+// it had arrived from p. The impact-cost experiments (Table II) use it to
+// measure victim-side processing in isolation from transport noise.
+func (n *Node) ProcessMessageDirect(p *peer.Peer, msg wire.Message, rawLen int) {
+	n.handleMessage(p, msg, rawLen)
+}

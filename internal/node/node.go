@@ -1,0 +1,505 @@
+// Package node implements the reproduction's full Bitcoin node: listener and
+// connection management with Bitcoin Core's slot layout (117 inbound / 8
+// outbound), the version handshake, the complete message dispatch pipeline,
+// and the integration point of every Table I ban rule via the core tracker.
+// It also drives outbound reconnection after bans — the behavior the
+// detection engine's reconnection-rate feature c observes.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"banscore/internal/blockchain"
+	"banscore/internal/bloom"
+	"banscore/internal/chainhash"
+	"banscore/internal/core"
+	"banscore/internal/mempool"
+	"banscore/internal/peer"
+	"banscore/internal/wire"
+)
+
+// Bitcoin Core's default connection slot layout, as described in the
+// paper's threat model: up to 117 inbound peers of 125 total slots, with 8
+// outbound connections.
+const (
+	DefaultMaxInbound  = 117
+	DefaultMaxOutbound = 8
+)
+
+// Dialer opens an outbound connection from a local address to a remote one.
+// The simnet fabric and net.Dial both satisfy it via small adapters.
+type Dialer func(remote string) (net.Conn, error)
+
+// Tap observes node-level events for the anomaly-detection Monitor.
+type Tap interface {
+	// OnMessage is called for every decoded message with its command.
+	OnMessage(cmd string, at time.Time)
+
+	// OnOutboundReconnect is called when the node replaces a lost
+	// outbound peer with a new connection.
+	OnOutboundReconnect(at time.Time)
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// ChainParams of the chain to validate against. Nil selects simnet.
+	ChainParams *blockchain.Params
+
+	// TrackerConfig for the ban-score mechanism.
+	TrackerConfig core.Config
+
+	// MaxInbound / MaxOutbound connection slots; zero selects defaults.
+	MaxInbound  int
+	MaxOutbound int
+
+	// UserAgent announced in VERSION.
+	UserAgent string
+
+	// Services advertised. Note SFNodeBloom is off by default, which is
+	// what arms the FILTERADD protocol-version rule.
+	Services wire.ServiceFlag
+
+	// Dialer for outbound connections. Required for Connect/reconnect.
+	Dialer Dialer
+
+	// Clock for all time-dependent state. Nil selects time.Now.
+	Clock func() time.Time
+
+	// Tap receives monitor events; may be nil.
+	Tap Tap
+
+	// IdleTimeout for peer connections; zero selects the peer default.
+	IdleTimeout time.Duration
+
+	// DisableReconnect turns off automatic outbound reconnection
+	// (useful in benchmarks isolating other behavior).
+	DisableReconnect bool
+
+	// EvictLowestReputation enables the CKB-style slot policy of §IX-A:
+	// when the inbound slots are full, a new connection evicts the
+	// connected inbound peer with the lowest (negative) reputation
+	// instead of being refused. Pair with ModeCKB so misbehavior lowers
+	// reputation without banning.
+	EvictLowestReputation bool
+}
+
+// Stats aggregates node counters.
+type Stats struct {
+	InboundPeers       int
+	OutboundPeers      int
+	BannedConnsRefused uint64
+	SlotConnsRefused   uint64
+	MessagesProcessed  uint64
+	BlocksAccepted     uint64
+	TxAccepted         uint64
+	Reconnections      uint64
+}
+
+// Node is a running full node.
+type Node struct {
+	cfg     Config
+	chain   *blockchain.Chain
+	mempool *mempool.TxPool
+	tracker *core.Tracker
+	addrmgr *AddrManager
+
+	mu           sync.Mutex
+	peers        map[core.PeerID]*peer.Peer
+	inbound      int
+	outbound     int
+	listeners    []net.Listener
+	blockStore   map[chainhash.Hash]*wire.MsgBlock
+	headerCount  map[core.PeerID]int                 // non-connecting headers per peer
+	filters      map[core.PeerID]*bloom.Filter       // BIP37 filters installed by FILTERLOAD
+	pendingCmpct map[chainhash.Hash]wire.BlockHeader // compact blocks awaiting BLOCKTXN
+
+	nonce uint64 // our VERSION nonce
+
+	bannedRefused     atomic.Uint64
+	slotRefused       atomic.Uint64
+	messagesProcessed atomic.Uint64
+	blocksAccepted    atomic.Uint64
+	txAccepted        atomic.Uint64
+	reconnections     atomic.Uint64
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Node.
+func New(cfg Config) *Node {
+	if cfg.ChainParams == nil {
+		cfg.ChainParams = blockchain.SimNetParams()
+	}
+	if cfg.MaxInbound == 0 {
+		cfg.MaxInbound = DefaultMaxInbound
+	}
+	if cfg.MaxOutbound == 0 {
+		cfg.MaxOutbound = DefaultMaxOutbound
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.UserAgent == "" {
+		cfg.UserAgent = wire.DefaultUserAgent
+	}
+	if cfg.TrackerConfig.Clock == nil {
+		cfg.TrackerConfig.Clock = cfg.Clock
+	}
+
+	n := &Node{
+		cfg:          cfg,
+		chain:        blockchain.New(cfg.ChainParams, blockchain.WithClock(cfg.Clock)),
+		mempool:      mempool.New(0),
+		tracker:      core.NewTracker(cfg.TrackerConfig),
+		addrmgr:      NewAddrManager(0x5eed),
+		peers:        make(map[core.PeerID]*peer.Peer),
+		blockStore:   make(map[chainhash.Hash]*wire.MsgBlock),
+		headerCount:  make(map[core.PeerID]int),
+		filters:      make(map[core.PeerID]*bloom.Filter),
+		pendingCmpct: make(map[chainhash.Hash]wire.BlockHeader),
+		nonce:        0xba5eba11c0de,
+		quit:         make(chan struct{}),
+	}
+	n.blockStore[cfg.ChainParams.GenesisHash] = cfg.ChainParams.GenesisBlock
+	return n
+}
+
+// Chain exposes the node's chain state.
+func (n *Node) Chain() *blockchain.Chain { return n.chain }
+
+// Mempool exposes the node's transaction pool.
+func (n *Node) Mempool() *mempool.TxPool { return n.mempool }
+
+// Tracker exposes the ban-score tracker.
+func (n *Node) Tracker() *core.Tracker { return n.tracker }
+
+// AddrManager exposes the peer table.
+func (n *Node) AddrManager() *AddrManager { return n.addrmgr }
+
+// Stats returns a snapshot of node counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	inbound, outbound := n.inbound, n.outbound
+	n.mu.Unlock()
+	return Stats{
+		InboundPeers:       inbound,
+		OutboundPeers:      outbound,
+		BannedConnsRefused: n.bannedRefused.Load(),
+		SlotConnsRefused:   n.slotRefused.Load(),
+		MessagesProcessed:  n.messagesProcessed.Load(),
+		BlocksAccepted:     n.blocksAccepted.Load(),
+		TxAccepted:         n.txAccepted.Load(),
+		Reconnections:      n.reconnections.Load(),
+	}
+}
+
+// Serve accepts connections from l until the node stops.
+func (n *Node) Serve(l net.Listener) {
+	n.mu.Lock()
+	n.listeners = append(n.listeners, l)
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			n.acceptInbound(conn)
+		}
+	}()
+}
+
+// acceptInbound admits or rejects an inbound connection.
+func (n *Node) acceptInbound(conn net.Conn) {
+	remote := core.PeerIDFromAddr(conn.RemoteAddr().String())
+
+	// The banning filter acts at accept time: a banned [IP:Port] cannot
+	// reconnect during the ban period.
+	if n.tracker.IsBanned(remote) {
+		n.bannedRefused.Add(1)
+		conn.Close()
+		return
+	}
+
+	n.mu.Lock()
+	if n.inbound >= n.cfg.MaxInbound {
+		n.mu.Unlock()
+		if !n.cfg.EvictLowestReputation || !n.evictWorstInbound() {
+			n.slotRefused.Add(1)
+			conn.Close()
+			return
+		}
+		n.mu.Lock()
+		if n.inbound >= n.cfg.MaxInbound {
+			// Lost the race for the freed slot.
+			n.mu.Unlock()
+			n.slotRefused.Add(1)
+			conn.Close()
+			return
+		}
+	}
+	n.inbound++
+	n.mu.Unlock()
+
+	n.startPeer(conn, true)
+}
+
+// evictWorstInbound disconnects the inbound peer with the lowest negative
+// reputation (CKB-style "evict bad peers"). It returns false when no
+// connected inbound peer has misbehaved on balance — honest peers are never
+// evicted for a stranger.
+func (n *Node) evictWorstInbound() bool {
+	n.mu.Lock()
+	var worst *peer.Peer
+	worstRep := 0
+	for _, p := range n.peers {
+		if !p.Inbound() {
+			continue
+		}
+		if rep := n.tracker.Reputation(p.ID()); rep < worstRep {
+			worstRep = rep
+			worst = p
+		}
+	}
+	n.mu.Unlock()
+	if worst == nil {
+		return false
+	}
+	worst.Disconnect()
+	worst.WaitForShutdown()
+	return true
+}
+
+// PeerReputation is one entry of the node's peer-health ranking.
+type PeerReputation struct {
+	ID         core.PeerID
+	Inbound    bool
+	BanScore   int
+	GoodScore  int
+	Reputation int
+}
+
+// RankPeers returns every connected peer ordered by ascending reputation —
+// the non-binary peer-health view the paper proposes building from retained
+// scores.
+func (n *Node) RankPeers() []PeerReputation {
+	n.mu.Lock()
+	peers := make([]*peer.Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+
+	out := make([]PeerReputation, 0, len(peers))
+	for _, p := range peers {
+		id := p.ID()
+		out = append(out, PeerReputation{
+			ID:         id,
+			Inbound:    p.Inbound(),
+			BanScore:   n.tracker.Score(id),
+			GoodScore:  n.tracker.GoodScore(id),
+			Reputation: n.tracker.Reputation(id),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reputation != out[j].Reputation {
+			return out[i].Reputation < out[j].Reputation
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Connect opens an outbound connection to addr and performs our half of the
+// version handshake.
+func (n *Node) Connect(addr string) error {
+	if n.cfg.Dialer == nil {
+		return errors.New("node has no dialer configured")
+	}
+	remote := core.PeerIDFromAddr(addr)
+	if n.tracker.IsBanned(remote) {
+		return fmt.Errorf("refusing to connect to banned identifier %s", remote)
+	}
+
+	n.mu.Lock()
+	if n.outbound >= n.cfg.MaxOutbound {
+		n.mu.Unlock()
+		return fmt.Errorf("outbound slots full [%d]", n.cfg.MaxOutbound)
+	}
+	n.outbound++
+	n.mu.Unlock()
+
+	conn, err := n.cfg.Dialer(addr)
+	if err != nil {
+		n.mu.Lock()
+		n.outbound--
+		n.mu.Unlock()
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	n.addrmgr.Add(addr)
+	p := n.startPeer(conn, false)
+	n.sendVersion(p)
+	return nil
+}
+
+// startPeer wires a connection into the dispatch pipeline.
+func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
+	var p *peer.Peer
+	p = peer.New(conn, inbound, peer.Config{
+		Net:         n.cfg.ChainParams.Net,
+		IdleTimeout: n.cfg.IdleTimeout,
+		OnMessage:   n.handleMessage,
+		OnMalformed: func(p *peer.Peer, err error) {
+			// Malformed framing: dropped without scoring (the wire
+			// layer rejected it before misbehavior processing).
+		},
+		OnDisconnect: n.peerDisconnected,
+	})
+	n.mu.Lock()
+	n.peers[p.ID()] = p
+	n.mu.Unlock()
+	p.Start()
+	return p
+}
+
+// sendVersion queues our VERSION message to the peer.
+func (n *Node) sendVersion(p *peer.Peer) {
+	localAddr := wire.NewNetAddressIPPort(net.IPv4zero, 0, n.cfg.Services)
+	remoteAddr := wire.NewNetAddressIPPort(net.IPv4zero, 0, 0)
+	v := wire.NewMsgVersion(localAddr, remoteAddr, n.nonce, n.chain.BestHeight())
+	v.UserAgent = n.cfg.UserAgent
+	v.Timestamp = n.cfg.Clock()
+	if err := p.QueueMessage(v); err == nil {
+		p.MarkVersionSent()
+	}
+}
+
+// peerDisconnected cleans up and, for outbound peers, schedules the
+// replacement connection whose rate the detection engine watches.
+func (n *Node) peerDisconnected(p *peer.Peer) {
+	n.mu.Lock()
+	if _, known := n.peers[p.ID()]; !known {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.peers, p.ID())
+	delete(n.headerCount, p.ID())
+	delete(n.filters, p.ID())
+	if p.Inbound() {
+		n.inbound--
+	} else {
+		n.outbound--
+	}
+	n.mu.Unlock()
+	n.tracker.Forget(p.ID())
+
+	select {
+	case <-n.quit:
+		return
+	default:
+	}
+	if !p.Inbound() && !n.cfg.DisableReconnect && n.cfg.Dialer != nil {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.reconnectOutbound(p.Addr())
+		}()
+	}
+}
+
+// reconnectOutbound rebuilds one outbound connection, preferring a fresh
+// address from the peer table and falling back to the lost address.
+func (n *Node) reconnectOutbound(lostAddr string) {
+	select {
+	case <-n.quit:
+		return
+	default:
+	}
+	candidate := n.addrmgr.Pick(func(addr string) bool {
+		if n.tracker.IsBanned(core.PeerIDFromAddr(addr)) {
+			return true
+		}
+		n.mu.Lock()
+		_, connected := n.peers[core.PeerIDFromAddr(addr)]
+		n.mu.Unlock()
+		return connected
+	})
+	if candidate == "" {
+		candidate = lostAddr
+		if n.tracker.IsBanned(core.PeerIDFromAddr(candidate)) {
+			return
+		}
+	}
+	if err := n.Connect(candidate); err != nil {
+		return
+	}
+	n.reconnections.Add(1)
+	if n.cfg.Tap != nil {
+		n.cfg.Tap.OnOutboundReconnect(n.cfg.Clock())
+	}
+}
+
+// DisconnectPeer drops the connection to the given identifier.
+func (n *Node) DisconnectPeer(id core.PeerID) bool {
+	n.mu.Lock()
+	p, ok := n.peers[id]
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.Disconnect()
+	return true
+}
+
+// Peer returns the connected peer with the given identifier.
+func (n *Node) Peer(id core.PeerID) (*peer.Peer, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.peers[id]
+	return p, ok
+}
+
+// PeerCount returns (inbound, outbound) connection counts.
+func (n *Node) PeerCount() (int, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inbound, n.outbound
+}
+
+// StoredBlock returns a block the node has fully processed.
+func (n *Node) StoredBlock(hash *chainhash.Hash) (*wire.MsgBlock, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := n.blockStore[*hash]
+	return b, ok
+}
+
+// Stop shuts the node down: listeners close, peers disconnect, loops drain.
+func (n *Node) Stop() {
+	n.quitOnce.Do(func() { close(n.quit) })
+	n.mu.Lock()
+	listeners := append([]net.Listener(nil), n.listeners...)
+	peers := make([]*peer.Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, p := range peers {
+		p.Disconnect()
+		p.WaitForShutdown()
+	}
+	n.wg.Wait()
+}

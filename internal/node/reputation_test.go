@@ -1,0 +1,196 @@
+package node
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"banscore/internal/blockchain"
+	"banscore/internal/core"
+	"banscore/internal/wire"
+)
+
+func TestModeCKBScoresWithoutBanning(t *testing.T) {
+	env := newEnv(t, func(cfg *Config) {
+		cfg.TrackerConfig = core.Config{Mode: core.ModeCKB}
+	})
+	conn := env.dial(t, "10.0.0.2:50001")
+	defer conn.Close()
+	handshake(t, conn)
+
+	peerID := core.PeerIDFromAddr("10.0.0.2:50001")
+	for i := 0; i < 150; i++ {
+		send(t, conn, clientVersion(uint64(i)))
+	}
+	waitFor(t, "ckb score", func() bool { return env.node.Tracker().Score(peerID) >= 150 })
+	if env.node.Tracker().IsBanned(peerID) {
+		t.Error("CKB mode banned a peer")
+	}
+	if env.node.Tracker().Reputation(peerID) >= 0 {
+		t.Errorf("reputation = %d, want negative after misbehavior", env.node.Tracker().Reputation(peerID))
+	}
+}
+
+func TestCKBReputationRecoversWithGoodBehavior(t *testing.T) {
+	env := newEnv(t, func(cfg *Config) {
+		cfg.TrackerConfig = core.Config{Mode: core.ModeCKB}
+	})
+	conn := env.dial(t, "10.0.0.2:50001")
+	defer conn.Close()
+	handshake(t, conn)
+	peerID := core.PeerIDFromAddr("10.0.0.2:50001")
+
+	// Two misbehaviors (-2)...
+	send(t, conn, clientVersion(1))
+	send(t, conn, clientVersion(2))
+	waitFor(t, "bad score", func() bool { return env.node.Tracker().Score(peerID) == 2 })
+
+	// ...offset by three valid blocks (+3).
+	for i := 0; i < 3; i++ {
+		block, err := blockchain.GenerateBlock(env.node.Chain(), uint64(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		send(t, conn, block)
+		waitFor(t, "block accepted", func() bool {
+			return env.node.Chain().BestHeight() == int32(i+1)
+		})
+	}
+	if got := env.node.Tracker().Reputation(peerID); got != 1 {
+		t.Errorf("reputation = %d, want 1 (3 good - 2 bad)", got)
+	}
+}
+
+func TestEvictLowestReputationFreesSlot(t *testing.T) {
+	env := newEnv(t, func(cfg *Config) {
+		cfg.MaxInbound = 2
+		cfg.TrackerConfig = core.Config{Mode: core.ModeCKB}
+		cfg.EvictLowestReputation = true
+	})
+
+	// Peer A misbehaves (negative reputation).
+	connA := env.dial(t, "10.0.0.2:50001")
+	defer connA.Close()
+	handshake(t, connA)
+	badID := core.PeerIDFromAddr("10.0.0.2:50001")
+	for i := 0; i < 5; i++ {
+		send(t, connA, clientVersion(uint64(i)))
+	}
+	waitFor(t, "bad rep", func() bool { return env.node.Tracker().Reputation(badID) < 0 })
+
+	// Peer B behaves (delivers a valid block → positive reputation).
+	connB := env.dial(t, "10.0.0.3:50001")
+	defer connB.Close()
+	handshake(t, connB)
+	block, err := blockchain.GenerateBlock(env.node.Chain(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(t, connB, block)
+	waitFor(t, "good rep", func() bool {
+		return env.node.Tracker().GoodScore(core.PeerIDFromAddr("10.0.0.3:50001")) == 1
+	})
+
+	// Slots are full; a newcomer must evict the misbehaving peer A, not B.
+	connC := env.dial(t, "10.0.0.4:50001")
+	defer connC.Close()
+	handshake(t, connC)
+	waitFor(t, "newcomer connected", func() bool {
+		_, ok := env.node.Peer(core.PeerIDFromAddr("10.0.0.4:50001"))
+		return ok
+	})
+	if _, stillThere := env.node.Peer(badID); stillThere {
+		t.Error("misbehaving peer not evicted")
+	}
+	if _, ok := env.node.Peer(core.PeerIDFromAddr("10.0.0.3:50001")); !ok {
+		t.Error("well-behaved peer was evicted")
+	}
+}
+
+func TestEvictionSparesHonestPeers(t *testing.T) {
+	env := newEnv(t, func(cfg *Config) {
+		cfg.MaxInbound = 1
+		cfg.TrackerConfig = core.Config{Mode: core.ModeCKB}
+		cfg.EvictLowestReputation = true
+	})
+
+	// An honest peer with zero reputation fills the only slot.
+	connA := env.dial(t, "10.0.0.2:50001")
+	defer connA.Close()
+	handshake(t, connA)
+
+	// The newcomer must be refused: nobody has negative reputation.
+	connB := env.dial(t, "10.0.0.3:50001")
+	defer connB.Close()
+	connB.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := connB.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("newcomer read = %v, want EOF (refused, honest peer spared)", err)
+	}
+	if env.node.Stats().SlotConnsRefused != 1 {
+		t.Error("slot-refused counter not incremented")
+	}
+}
+
+func TestRankPeers(t *testing.T) {
+	env := newEnv(t, func(cfg *Config) {
+		cfg.TrackerConfig = core.Config{Mode: core.ModeCKB}
+	})
+	// Misbehaving peer.
+	connA := env.dial(t, "10.0.0.2:50001")
+	defer connA.Close()
+	handshake(t, connA)
+	send(t, connA, clientVersion(1))
+	waitFor(t, "score", func() bool {
+		return env.node.Tracker().Score(core.PeerIDFromAddr("10.0.0.2:50001")) == 1
+	})
+
+	// Block-delivering peer.
+	connB := env.dial(t, "10.0.0.3:50001")
+	defer connB.Close()
+	handshake(t, connB)
+	block, err := blockchain.GenerateBlock(env.node.Chain(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(t, connB, block)
+	waitFor(t, "good score", func() bool {
+		return env.node.Tracker().GoodScore(core.PeerIDFromAddr("10.0.0.3:50001")) == 1
+	})
+
+	ranks := env.node.RankPeers()
+	if len(ranks) != 2 {
+		t.Fatalf("ranked %d peers, want 2", len(ranks))
+	}
+	if ranks[0].ID != core.PeerIDFromAddr("10.0.0.2:50001") || ranks[0].Reputation != -1 {
+		t.Errorf("worst peer = %+v", ranks[0])
+	}
+	if ranks[1].ID != core.PeerIDFromAddr("10.0.0.3:50001") || ranks[1].Reputation != 1 {
+		t.Errorf("best peer = %+v", ranks[1])
+	}
+	if !ranks[0].Inbound {
+		t.Error("inbound flag lost in ranking")
+	}
+}
+
+func TestRankPeersEmpty(t *testing.T) {
+	env := newEnv(t, nil)
+	if got := env.node.RankPeers(); len(got) != 0 {
+		t.Errorf("RankPeers on empty node = %v", got)
+	}
+}
+
+// Ensure ModeCKB composes with the wire-level flow (a smoke test through
+// the real pipeline rather than the tracker API).
+func TestCKBModeEndToEndPingStillWorks(t *testing.T) {
+	env := newEnv(t, func(cfg *Config) {
+		cfg.TrackerConfig = core.Config{Mode: core.ModeCKB}
+	})
+	conn := env.dial(t, "10.0.0.2:50001")
+	defer conn.Close()
+	handshake(t, conn)
+	send(t, conn, wire.NewMsgPing(5))
+	msg := recv(t, conn)
+	if pong, ok := msg.(*wire.MsgPong); !ok || pong.Nonce != 5 {
+		t.Fatalf("reply = %#v", msg)
+	}
+}

@@ -1,0 +1,292 @@
+// Package peer implements the per-connection state machine of the full
+// node: message framing loops over a net.Conn, the version-handshake state
+// the VERSION/VERACK ban rules key on, and per-command traffic statistics
+// feeding the detection engine's Monitor.
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"banscore/internal/core"
+	"banscore/internal/wire"
+)
+
+// ErrPeerDisconnected is returned by QueueMessage after Disconnect.
+var ErrPeerDisconnected = errors.New("peer disconnected")
+
+// DefaultIdleTimeout disconnects a peer that sends nothing for this long.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// sendQueueSize bounds the outbound message queue. It is deliberately large:
+// a flooding *victim's* reply queue must not be the bottleneck under test.
+const sendQueueSize = 1024
+
+// MessageHandler receives every successfully decoded message. rawLen is the
+// payload size on the wire.
+type MessageHandler func(p *Peer, msg wire.Message, rawLen int)
+
+// Config parameterizes a Peer.
+type Config struct {
+	// Net is the wire magic to speak.
+	Net wire.BitcoinNet
+
+	// ProtocolVersion to use when encoding/decoding. Zero selects
+	// wire.ProtocolVersion.
+	ProtocolVersion uint32
+
+	// IdleTimeout before an idle connection is dropped. Zero selects
+	// DefaultIdleTimeout.
+	IdleTimeout time.Duration
+
+	// OnMessage is invoked from the read loop for each decoded message.
+	OnMessage MessageHandler
+
+	// OnChecksumError is invoked when a message is dropped for a
+	// checksum mismatch BEFORE any application processing — the
+	// score-free path of BM-DoS vector 2. The connection continues.
+	OnChecksumError func(p *Peer, err error)
+
+	// OnMalformed is invoked for a protocol-malformed message (framing
+	// or decode failure other than checksum/unknown-command). The peer
+	// is disconnected afterward.
+	OnMalformed func(p *Peer, err error)
+
+	// OnDisconnect is invoked exactly once when the connection dies.
+	OnDisconnect func(p *Peer)
+}
+
+// Peer wraps one connection.
+type Peer struct {
+	cfg     Config
+	conn    net.Conn
+	inbound bool
+	id      core.PeerID
+
+	// Handshake state, owned by the node's dispatcher.
+	versionReceived atomic.Bool
+	verackReceived  atomic.Bool
+	versionSent     atomic.Bool
+
+	// Remote VERSION fields once received.
+	mu            sync.Mutex
+	remoteVersion *wire.MsgVersion
+
+	// Traffic statistics.
+	bytesReceived    atomic.Uint64
+	bytesSent        atomic.Uint64
+	messagesReceived atomic.Uint64
+
+	sendQueue chan wire.Message
+	quit      chan struct{}
+	quitOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// New wraps conn as a peer. inbound records which side initiated the
+// connection (the role several Table I rules key on). Call Start to begin
+// the message loops.
+func New(conn net.Conn, inbound bool, cfg Config) *Peer {
+	if cfg.ProtocolVersion == 0 {
+		cfg.ProtocolVersion = wire.ProtocolVersion
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	return &Peer{
+		cfg:       cfg,
+		conn:      conn,
+		inbound:   inbound,
+		id:        core.PeerIDFromAddr(conn.RemoteAddr().String()),
+		sendQueue: make(chan wire.Message, sendQueueSize),
+		quit:      make(chan struct{}),
+	}
+}
+
+// Start launches the read and write loops.
+func (p *Peer) Start() {
+	p.wg.Add(2)
+	go p.readLoop()
+	go p.writeLoop()
+}
+
+// ID returns the peer's connection identifier ([IP:Port]) — the object the
+// ban-score mechanism tracks and bans.
+func (p *Peer) ID() core.PeerID { return p.id }
+
+// Inbound reports whether the remote initiated the connection.
+func (p *Peer) Inbound() bool { return p.inbound }
+
+// Addr returns the remote address string.
+func (p *Peer) Addr() string { return p.conn.RemoteAddr().String() }
+
+// LocalAddr returns the local address string.
+func (p *Peer) LocalAddr() string { return p.conn.LocalAddr().String() }
+
+// VersionReceived reports whether the remote's VERSION has arrived.
+func (p *Peer) VersionReceived() bool { return p.versionReceived.Load() }
+
+// MarkVersionReceived records the remote's VERSION message. It returns
+// false if a VERSION was already recorded (the "Duplicate VERSION"
+// misbehavior).
+func (p *Peer) MarkVersionReceived(v *wire.MsgVersion) bool {
+	if p.versionReceived.Swap(true) {
+		return false
+	}
+	p.mu.Lock()
+	p.remoteVersion = v
+	p.mu.Unlock()
+	return true
+}
+
+// RemoteVersion returns the remote's VERSION message, or nil before the
+// handshake.
+func (p *Peer) RemoteVersion() *wire.MsgVersion {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remoteVersion
+}
+
+// VerAckReceived reports whether the remote's VERACK has arrived.
+func (p *Peer) VerAckReceived() bool { return p.verackReceived.Load() }
+
+// MarkVerAckReceived records the remote's VERACK.
+func (p *Peer) MarkVerAckReceived() { p.verackReceived.Store(true) }
+
+// VersionSent reports whether our VERSION has been queued to this peer.
+func (p *Peer) VersionSent() bool { return p.versionSent.Load() }
+
+// MarkVersionSent records that our VERSION has been queued.
+func (p *Peer) MarkVersionSent() { p.versionSent.Store(true) }
+
+// HandshakeComplete reports whether both VERSION and VERACK have arrived.
+func (p *Peer) HandshakeComplete() bool {
+	return p.VersionReceived() && p.VerAckReceived()
+}
+
+// QueueMessage enqueues a message for delivery. It returns
+// ErrPeerDisconnected after disconnect and an error when the queue is full
+// (slow reader back-pressure).
+func (p *Peer) QueueMessage(msg wire.Message) error {
+	select {
+	case <-p.quit:
+		return ErrPeerDisconnected
+	default:
+	}
+	select {
+	case p.sendQueue <- msg:
+		return nil
+	case <-p.quit:
+		return ErrPeerDisconnected
+	default:
+		return fmt.Errorf("peer %s: send queue full", p.id)
+	}
+}
+
+// BytesReceived returns the total payload+header bytes read from the peer.
+func (p *Peer) BytesReceived() uint64 { return p.bytesReceived.Load() }
+
+// BytesSent returns the total bytes written to the peer.
+func (p *Peer) BytesSent() uint64 { return p.bytesSent.Load() }
+
+// MessagesReceived returns the count of decoded messages.
+func (p *Peer) MessagesReceived() uint64 { return p.messagesReceived.Load() }
+
+// Disconnect tears the connection down. Safe to call multiple times.
+func (p *Peer) Disconnect() {
+	p.quitOnce.Do(func() {
+		close(p.quit)
+		p.conn.Close()
+		if p.cfg.OnDisconnect != nil {
+			p.cfg.OnDisconnect(p)
+		}
+	})
+}
+
+// WaitForShutdown blocks until both loops have exited.
+func (p *Peer) WaitForShutdown() { p.wg.Wait() }
+
+// readLoop decodes messages until the connection dies.
+func (p *Peer) readLoop() {
+	defer p.wg.Done()
+	defer p.Disconnect()
+	for {
+		select {
+		case <-p.quit:
+			return
+		default:
+		}
+		if err := p.conn.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		msg, payload, err := wire.ReadMessage(p.conn, p.cfg.ProtocolVersion, p.cfg.Net)
+		if err != nil {
+			switch {
+			case errors.Is(err, wire.ErrChecksumMismatch):
+				// Dropped pre-application, connection continues,
+				// no ban score — the paper's bogus-message vector.
+				p.bytesReceived.Add(uint64(wire.MessageHeaderSize))
+				if p.cfg.OnChecksumError != nil {
+					p.cfg.OnChecksumError(p, err)
+				}
+				continue
+			case isUnknownCommand(err):
+				// Unknown commands are ignored, also score-free.
+				p.bytesReceived.Add(uint64(wire.MessageHeaderSize))
+				continue
+			case isMessageError(err) || isDecodeError(err, payload):
+				if p.cfg.OnMalformed != nil {
+					p.cfg.OnMalformed(p, err)
+				}
+				return
+			default:
+				// io error, deadline, or remote close.
+				return
+			}
+		}
+		p.bytesReceived.Add(uint64(wire.MessageHeaderSize + len(payload)))
+		p.messagesReceived.Add(1)
+		if p.cfg.OnMessage != nil {
+			p.cfg.OnMessage(p, msg, len(payload))
+		}
+	}
+}
+
+// writeLoop drains the send queue.
+func (p *Peer) writeLoop() {
+	defer p.wg.Done()
+	defer p.Disconnect()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case msg := <-p.sendQueue:
+			n, err := wire.WriteMessage(p.conn, msg, p.cfg.ProtocolVersion, p.cfg.Net)
+			p.bytesSent.Add(uint64(n))
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+func isUnknownCommand(err error) bool {
+	var unknown *wire.ErrUnknownCommand
+	return errors.As(err, &unknown)
+}
+
+func isMessageError(err error) bool {
+	var mErr *wire.MessageError
+	return errors.As(err, &mErr)
+}
+
+// isDecodeError distinguishes a payload-decode failure (payload was read but
+// did not parse) from a transport error.
+func isDecodeError(err error, payload []byte) bool {
+	return payload != nil && !errors.Is(err, io.EOF)
+}

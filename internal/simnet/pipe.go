@@ -1,0 +1,206 @@
+// Package simnet provides the in-memory network substrate of the
+// reproduction: addressed, net.Conn-compatible byte streams with the three
+// attacker capabilities the paper's threat models assume in a permissionless
+// network — source-address spoofing (pre-connection Defamation), promiscuous
+// sniffing, and sequence-guarded mid-stream injection (post-connection
+// Defamation) — plus an ICMP-like network-layer fast path used by the
+// flooding comparison (Table III / Fig. 7). The node itself is transport
+// agnostic: it accepts any net.Listener, so it runs identically on real TCP.
+package simnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrDeadlineExceeded is returned on read/write deadline expiry. It matches
+// os.ErrDeadlineExceeded via errors.Is through net.Error semantics.
+var ErrDeadlineExceeded error = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "simnet: i/o deadline exceeded" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// pipeBufferCap models the kernel socket buffer: a writer whose peer does
+// not drain blocks once this many bytes are queued, exactly the flow
+// control that paces a real flooding attacker to its victim's consumption
+// rate. A single write larger than the cap is still accepted whole once the
+// buffer drains below the cap (bounded overshoot, no deadlock).
+const pipeBufferCap = 4 * 1024 * 1024
+
+// pipeHalf is one direction of a stream: a bounded in-memory byte queue.
+type pipeHalf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+	rdl    time.Time
+	// seq counts bytes ever enqueued: the simulation's TCP sequence
+	// number. Injection must match it (see Conn.inject).
+	seq uint64
+}
+
+func newPipeHalf() *pipeHalf {
+	h := &pipeHalf{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// write enqueues p, blocking while the buffer is at capacity. It fails
+// after close.
+func (h *pipeHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) >= pipeBufferCap {
+		if h.closed {
+			return 0, io.ErrClosedPipe
+		}
+		h.cond.Wait()
+	}
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	h.buf = append(h.buf, p...)
+	h.seq += uint64(len(p))
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+// read dequeues into p, blocking until data, close, or deadline.
+func (h *pipeHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if len(h.buf) > 0 {
+			n := copy(p, h.buf)
+			h.buf = h.buf[n:]
+			if len(h.buf) == 0 {
+				// Release the backing array so a drained flood
+				// does not pin its high-water mark.
+				h.buf = nil
+			}
+			h.cond.Broadcast() // wake writers waiting for room
+			return n, nil
+		}
+		if h.closed {
+			return 0, io.EOF
+		}
+		rdl := h.rdl
+		if !rdl.IsZero() {
+			now := time.Now()
+			if !now.Before(rdl) {
+				return 0, ErrDeadlineExceeded
+			}
+			// Arrange a wake-up at the deadline.
+			timer := time.AfterFunc(rdl.Sub(now), h.cond.Broadcast)
+			h.cond.Wait()
+			timer.Stop()
+			continue
+		}
+		h.cond.Wait()
+	}
+}
+
+func (h *pipeHalf) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+func (h *pipeHalf) setReadDeadline(t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rdl = t
+	h.cond.Broadcast()
+}
+
+func (h *pipeHalf) sequence() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// Addr is a simnet endpoint address.
+type Addr string
+
+// Network returns "simnet".
+func (Addr) Network() string { return "simnet" }
+
+// String returns the address.
+func (a Addr) String() string { return string(a) }
+
+var _ net.Addr = Addr("")
+
+// Conn is one endpoint of a simnet stream.
+type Conn struct {
+	network *Network
+	local   Addr
+	remote  Addr
+
+	// recv is the half this endpoint reads from; send is the half the
+	// peer endpoint reads from.
+	recv *pipeHalf
+	send *pipeHalf
+
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
+
+// Write implements net.Conn. Bytes written are mirrored to any sniffers
+// observing the link and counted toward the receiver's bandwidth.
+func (c *Conn) Write(p []byte) (int, error) {
+	n, err := c.send.write(p)
+	if err != nil {
+		return n, err
+	}
+	c.network.observe(c.local, c.remote, p[:n])
+	return n, nil
+}
+
+// Close implements net.Conn, closing both directions.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.recv.close()
+		c.send.close()
+		c.network.dropConn(c)
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes never block).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.recv.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Write deadlines are not enforced;
+// a blocked writer is released by Close on either endpoint.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// SendSeq returns the number of bytes this endpoint has sent — the
+// simulation's TCP sequence state an injector must know.
+func (c *Conn) SendSeq() uint64 { return c.send.sequence() }
+
+// ErrSeqMismatch is returned by Inject when the claimed sequence number does
+// not match the stream state — the simulation of an out-of-window TCP
+// segment being discarded by the receiver.
+var ErrSeqMismatch = errors.New("simnet: injected segment sequence number out of window")

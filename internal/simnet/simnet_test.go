@@ -1,0 +1,466 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestListenDialReadWrite(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := conn.Write(bytes.ToUpper(buf)); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+
+	client, err := n.Dial("10.0.0.2:50001", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Errorf("echo = %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestConnAddrs(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		done <- c
+	}()
+	client, err := n.Dial("10.0.0.2:50001", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	if client.LocalAddr().String() != "10.0.0.2:50001" || client.RemoteAddr().String() != "10.0.0.1:8333" {
+		t.Errorf("client addrs = %v -> %v", client.LocalAddr(), client.RemoteAddr())
+	}
+	if server.LocalAddr().String() != "10.0.0.1:8333" || server.RemoteAddr().String() != "10.0.0.2:50001" {
+		t.Errorf("server addrs = %v -> %v", server.LocalAddr(), server.RemoteAddr())
+	}
+	if client.LocalAddr().Network() != "simnet" {
+		t.Error("network name")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	if _, err := n.Dial("a:1", "nobody:9"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial to nowhere = %v", err)
+	}
+	if _, err := n.Listen("10.0.0.1:8333"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("10.0.0.1:8333"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("double listen = %v", err)
+	}
+}
+
+func TestSpoofedSourceAccepted(t *testing.T) {
+	// The fabric performs no source validation: dialing with an arbitrary
+	// source identity must succeed — the basis of Sybil and spoofing.
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	for _, spoofed := range []string{"10.0.0.3:50001", "10.0.0.3:50002", "203.0.113.7:49152"} {
+		conn, err := n.Dial(spoofed, "10.0.0.1:8333")
+		if err != nil {
+			t.Errorf("spoofed dial from %s: %v", spoofed, err)
+			continue
+		}
+		conn.Close()
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		c, _ := l.Accept()
+		time.Sleep(10 * time.Millisecond)
+		c.Close()
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err = client.Read(buf)
+	if err != io.EOF {
+		t.Errorf("read after close = %v, want EOF", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		c, _ := l.Accept()
+		_ = c // hold open, send nothing
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("deadline read = %v, want timeout net.Error", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("deadline wait too long")
+	}
+	// Clearing the deadline allows reads again.
+	if err := client.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		c, _ := l.Accept()
+		_ = c
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		c, _ := l.Accept()
+		_ = c
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	for i := 0; i < 7; i++ {
+		if _, err := client.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.BytesDelivered("10.0.0.1:8333"); got != 700 {
+		t.Errorf("BytesDelivered = %d, want 700", got)
+	}
+	if got := n.PacketsDelivered("10.0.0.1:8333"); got != 7 {
+		t.Errorf("PacketsDelivered = %d, want 7", got)
+	}
+	n.ResetCounters()
+	if n.BytesDelivered("10.0.0.1:8333") != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestSnifferCapturesAndTracksSeq(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	serverUp := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		serverUp <- c
+	}()
+
+	sniffer := n.NewSniffer(func(from, to Addr) bool {
+		return to == "10.0.0.1:8333" || from == "10.0.0.1:8333"
+	})
+	defer sniffer.Close()
+
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-serverUp
+	if _, err := client.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte("defg")); err != nil {
+		t.Fatal(err)
+	}
+
+	seg1 := <-sniffer.C()
+	if string(seg1.Data) != "abc" || seg1.Seq != 0 || seg1.From != "10.0.0.2:1" {
+		t.Errorf("segment 1 = %+v", seg1)
+	}
+	seg2 := <-sniffer.C()
+	if string(seg2.Data) != "defg" || seg2.Seq != 3 {
+		t.Errorf("segment 2 = %+v", seg2)
+	}
+	if got := sniffer.NextSeq("10.0.0.2:1", "10.0.0.1:8333"); got != 7 {
+		t.Errorf("NextSeq = %d, want 7", got)
+	}
+}
+
+func TestSnifferFilterExcludes(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = c
+		}
+	}()
+	sniffer := n.NewSniffer(func(from, to Addr) bool { return from == "10.0.0.9:1" })
+	defer sniffer.Close()
+	client, _ := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	client.Write([]byte("not captured"))
+	select {
+	case seg := <-sniffer.C():
+		t.Errorf("filtered segment captured: %+v", seg)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestInjectRequiresCorrectSeq(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	serverUp := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		serverUp <- c
+	}()
+
+	sniffer := n.NewSniffer(nil)
+	defer sniffer.Close()
+
+	innocent, err := n.Dial("10.0.0.3:50001", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-serverUp
+	if _, err := innocent.Write([]byte("legit")); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the legit bytes at the server.
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong sequence number: discarded like an out-of-window segment.
+	err = n.Inject("10.0.0.3:50001", "10.0.0.1:8333", 0, []byte("spoof"))
+	if !errors.Is(err, ErrSeqMismatch) {
+		t.Fatalf("stale-seq inject = %v, want ErrSeqMismatch", err)
+	}
+
+	// Correct sequence learned from the sniffer: injection succeeds and
+	// the victim reads bytes it believes came from the innocent peer.
+	seq := sniffer.NextSeq("10.0.0.3:50001", "10.0.0.1:8333")
+	if seq != 5 {
+		t.Fatalf("sniffer seq = %d, want 5", seq)
+	}
+	if err := n.Inject("10.0.0.3:50001", "10.0.0.1:8333", seq, []byte("spoof")); err != nil {
+		t.Fatal(err)
+	}
+	buf = make([]byte, 5)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "spoof" {
+		t.Errorf("victim read %q", buf)
+	}
+}
+
+func TestInjectUnknownConnection(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	err := n.Inject("a:1", "b:2", 0, []byte("x"))
+	if !errors.Is(err, ErrConnNotFound) {
+		t.Errorf("inject without conn = %v", err)
+	}
+}
+
+func TestFindConn(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		c, _ := l.Accept()
+		_ = c
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.FindConn("10.0.0.1:8333", "10.0.0.2:1"); err != nil {
+		t.Errorf("FindConn server endpoint: %v", err)
+	}
+	client.Close()
+	// Closing removes both endpoints.
+	time.Sleep(5 * time.Millisecond)
+	if _, err := n.FindConn("10.0.0.2:1", "10.0.0.1:8333"); err == nil {
+		t.Error("closed conn still findable")
+	}
+}
+
+func TestNetworkCloseShutsEverything(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		c, _ := l.Accept()
+		_ = c
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if _, err := client.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("read after network close = %v", err)
+	}
+	if _, err := n.Dial("x:1", "10.0.0.1:8333"); err == nil {
+		t.Error("dial after close succeeded")
+	}
+	if _, err := n.Listen("y:1"); !errors.Is(err, ErrNetClosed) {
+		t.Errorf("listen after close = %v", err)
+	}
+}
+
+func TestPacketHostProcessesDatagrams(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	host := n.NewPacketHost("10.0.0.1")
+	defer host.Close()
+	payload := make([]byte, 64)
+	for i := 0; i < 1000; i++ {
+		if !n.SendPacket(host, "198.51.100.1", payload) {
+			t.Fatal("packet dropped with empty queue")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for host.Processed() < 1000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := host.Processed(); got != 1000 {
+		t.Errorf("Processed = %d, want 1000", got)
+	}
+	if got := host.Bytes(); got != 64000 {
+		t.Errorf("Bytes = %d, want 64000", got)
+	}
+	if got := n.BytesDelivered("10.0.0.1"); got != 64000 {
+		t.Errorf("fabric bytes = %d, want 64000", got)
+	}
+}
+
+func TestSendSeqTracksWrites(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	go func() {
+		c, _ := l.Accept()
+		_ = c
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Write([]byte("12345"))
+	if got := client.SendSeq(); got != 5 {
+		t.Errorf("SendSeq = %d, want 5", got)
+	}
+}
+
+func TestConcurrentWritersSafe(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, _ := n.Listen("10.0.0.1:8333")
+	serverUp := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		serverUp <- c
+	}()
+	client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-serverUp
+
+	const writers, each = 8, 100
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				client.Write([]byte("x"))
+			}
+		}()
+	}
+	wg.Wait()
+	buf := make([]byte, writers*each)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+}

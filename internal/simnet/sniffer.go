@@ -1,0 +1,96 @@
+package simnet
+
+import "sync"
+
+// Segment is one observed delivery on the fabric.
+type Segment struct {
+	From Addr
+	To   Addr
+	Data []byte
+	// Seq is the receiver-stream sequence number at which Data begins.
+	Seq uint64
+}
+
+// Sniffer is a promiscuous tap on the fabric: it receives a copy of every
+// delivered segment whose source or destination matches its filter. It
+// models the paper's same-network eavesdropping capability (promiscuous
+// mode) needed for post-connection Defamation.
+type Sniffer struct {
+	network *Network
+	filter  func(from, to Addr) bool
+
+	mu      sync.Mutex
+	nextSeq map[link]uint64
+	ch      chan Segment
+	closed  bool
+}
+
+// NewSniffer attaches a tap. filter selects which segments are captured; a
+// nil filter captures everything. The channel buffers up to 4096 segments;
+// overflow segments are dropped (like a busy pcap).
+func (n *Network) NewSniffer(filter func(from, to Addr) bool) *Sniffer {
+	s := &Sniffer{
+		network: n,
+		filter:  filter,
+		nextSeq: make(map[link]uint64),
+		ch:      make(chan Segment, 4096),
+	}
+	n.mu.Lock()
+	n.sniffers = append(n.sniffers, s)
+	n.mu.Unlock()
+	return s
+}
+
+// C returns the capture channel.
+func (s *Sniffer) C() <-chan Segment { return s.ch }
+
+// deliver is called by the fabric on every matching write.
+func (s *Sniffer) deliver(from, to Addr, data []byte) {
+	if s.filter != nil && !s.filter(from, to) {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	l := link{from: from, to: to}
+	seq := s.nextSeq[l]
+	s.nextSeq[l] = seq + uint64(len(data))
+	seg := Segment{From: from, To: to, Data: append([]byte(nil), data...), Seq: seq}
+	select {
+	case s.ch <- seg:
+	default: // drop on overflow
+	}
+	s.mu.Unlock()
+}
+
+// NextSeq returns the next receiver-stream sequence number the sniffer has
+// observed for the from→to direction — exactly the state Algorithm 1's
+// attacker learns by real-time eavesdropping before injecting.
+func (s *Sniffer) NextSeq(from, to string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq[link{from: Addr(from), to: Addr(to)}]
+}
+
+// Close detaches the tap.
+func (s *Sniffer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.ch)
+	s.mu.Unlock()
+
+	s.network.mu.Lock()
+	for i, tap := range s.network.sniffers {
+		if tap == s {
+			s.network.sniffers = append(s.network.sniffers[:i], s.network.sniffers[i+1:]...)
+			break
+		}
+	}
+	s.network.mu.Unlock()
+}

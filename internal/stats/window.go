@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow counts timestamped events inside a sliding time window and
+// reports per-minute rates. The detection engine uses one window for the
+// overall message rate n and one for the outbound reconnection rate c.
+// A RateWindow is safe for concurrent use.
+type RateWindow struct {
+	mu     sync.Mutex
+	span   time.Duration
+	events []time.Time
+}
+
+// NewRateWindow returns a window covering the given span (e.g. 10 minutes —
+// the paper's detection window).
+func NewRateWindow(span time.Duration) *RateWindow {
+	return &RateWindow{span: span}
+}
+
+// Add records an event at the given time.
+func (w *RateWindow) Add(at time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.events = append(w.events, at)
+	w.prune(at)
+}
+
+// Count returns the number of events within the window ending at now.
+func (w *RateWindow) Count(now time.Time) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.prune(now)
+	return len(w.events)
+}
+
+// PerMinute returns the event rate per minute over the window ending at now.
+func (w *RateWindow) PerMinute(now time.Time) float64 {
+	count := w.Count(now)
+	minutes := w.span.Minutes()
+	if minutes == 0 {
+		return 0
+	}
+	return float64(count) / minutes
+}
+
+// Span returns the window length.
+func (w *RateWindow) Span() time.Duration { return w.span }
+
+// Reset discards all recorded events.
+func (w *RateWindow) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.events = w.events[:0]
+}
+
+// prune drops events older than span before now. Caller holds mu.
+func (w *RateWindow) prune(now time.Time) {
+	cutoff := now.Add(-w.span)
+	i := 0
+	for i < len(w.events) && w.events[i].Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		w.events = append(w.events[:0], w.events[i:]...)
+	}
+}

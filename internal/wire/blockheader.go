@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"time"
+
+	"banscore/internal/chainhash"
+)
+
+// BlockHeaderLen is the serialized size of a block header.
+const BlockHeaderLen = 80
+
+// BlockHeader defines a Bitcoin block header: the 80 bytes over which the
+// proof of work is computed.
+type BlockHeader struct {
+	// Version of the block.
+	Version int32
+
+	// PrevBlock is the hash of the previous block header in the chain.
+	PrevBlock chainhash.Hash
+
+	// MerkleRoot of the transactions in the block.
+	MerkleRoot chainhash.Hash
+
+	// Timestamp the block was created (second precision on the wire).
+	Timestamp time.Time
+
+	// Bits is the compact-form difficulty target.
+	Bits uint32
+
+	// Nonce ground by miners to satisfy the target.
+	Nonce uint32
+}
+
+// BlockHash computes the double-SHA256 hash of the serialized header, which
+// is the block's identity and its proof-of-work value.
+func (h *BlockHeader) BlockHash() chainhash.Hash {
+	buf := bytes.NewBuffer(make([]byte, 0, BlockHeaderLen))
+	// Serialize can only fail on a failing writer; bytes.Buffer never fails.
+	_ = writeBlockHeader(buf, h)
+	return chainhash.DoubleHashH(buf.Bytes())
+}
+
+// Serialize encodes the header to w in wire format.
+func (h *BlockHeader) Serialize(w io.Writer) error {
+	return writeBlockHeader(w, h)
+}
+
+// Deserialize decodes the header from r in wire format.
+func (h *BlockHeader) Deserialize(r io.Reader) error {
+	return readBlockHeader(r, h)
+}
+
+// NewBlockHeader returns a header with the timestamp truncated to seconds,
+// matching wire precision.
+func NewBlockHeader(version int32, prevBlock, merkleRoot *chainhash.Hash, timestamp time.Time, bits, nonce uint32) *BlockHeader {
+	return &BlockHeader{
+		Version:    version,
+		PrevBlock:  *prevBlock,
+		MerkleRoot: *merkleRoot,
+		Timestamp:  time.Unix(timestamp.Unix(), 0),
+		Bits:       bits,
+		Nonce:      nonce,
+	}
+}
+
+func readBlockHeader(r io.Reader, h *BlockHeader) error {
+	version, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	h.Version = int32(version)
+	if err := readHash(r, &h.PrevBlock); err != nil {
+		return err
+	}
+	if err := readHash(r, &h.MerkleRoot); err != nil {
+		return err
+	}
+	ts, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	h.Timestamp = time.Unix(int64(ts), 0)
+	if h.Bits, err = readUint32(r); err != nil {
+		return err
+	}
+	h.Nonce, err = readUint32(r)
+	return err
+}
+
+func writeBlockHeader(w io.Writer, h *BlockHeader) error {
+	if err := writeUint32(w, uint32(h.Version)); err != nil {
+		return err
+	}
+	if err := writeHash(w, &h.PrevBlock); err != nil {
+		return err
+	}
+	if err := writeHash(w, &h.MerkleRoot); err != nil {
+		return err
+	}
+	if err := writeUint32(w, uint32(h.Timestamp.Unix())); err != nil {
+		return err
+	}
+	if err := writeUint32(w, h.Bits); err != nil {
+		return err
+	}
+	return writeUint32(w, h.Nonce)
+}

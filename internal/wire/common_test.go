@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarIntRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		in   uint64
+		size int
+	}{
+		{"zero", 0, 1},
+		{"single byte max", 0xfc, 1},
+		{"two byte min", 0xfd, 3},
+		{"two byte max", 0xffff, 3},
+		{"four byte min", 0x10000, 5},
+		{"four byte max", 0xffffffff, 5},
+		{"eight byte min", 0x100000000, 9},
+		{"eight byte max", 0xffffffffffffffff, 9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteVarInt(&buf, tt.in); err != nil {
+				t.Fatalf("WriteVarInt: %v", err)
+			}
+			if buf.Len() != tt.size {
+				t.Errorf("encoded size = %d, want %d", buf.Len(), tt.size)
+			}
+			if got := VarIntSerializeSize(tt.in); got != tt.size {
+				t.Errorf("VarIntSerializeSize = %d, want %d", got, tt.size)
+			}
+			out, err := ReadVarInt(&buf)
+			if err != nil {
+				t.Fatalf("ReadVarInt: %v", err)
+			}
+			if out != tt.in {
+				t.Errorf("round trip = %d, want %d", out, tt.in)
+			}
+		})
+	}
+}
+
+func TestVarIntNonCanonical(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+	}{
+		{"0xfd encoding of 0", []byte{0xfd, 0x00, 0x00}},
+		{"0xfd encoding of 0xfc", []byte{0xfd, 0xfc, 0x00}},
+		{"0xfe encoding of 0xffff", []byte{0xfe, 0xff, 0xff, 0x00, 0x00}},
+		{"0xff encoding of 0xffffffff", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadVarInt(bytes.NewReader(tt.in))
+			var mErr *MessageError
+			if !errors.As(err, &mErr) {
+				t.Errorf("ReadVarInt(%x) = %v, want MessageError", tt.in, err)
+			}
+		})
+	}
+}
+
+func TestVarIntTruncated(t *testing.T) {
+	for _, in := range [][]byte{{}, {0xfd}, {0xfd, 0x01}, {0xfe, 0, 0}, {0xff, 0, 0, 0, 0}} {
+		if _, err := ReadVarInt(bytes.NewReader(in)); err == nil {
+			t.Errorf("ReadVarInt(%x) succeeded on truncated input", in)
+		}
+	}
+}
+
+func TestVarIntRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		var buf bytes.Buffer
+		if err := WriteVarInt(&buf, v); err != nil {
+			return false
+		}
+		if buf.Len() != VarIntSerializeSize(v) {
+			return false
+		}
+		out, err := ReadVarInt(&buf)
+		return err == nil && out == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "/Satoshi:0.20.0/", string(make([]byte, 300))} {
+		var buf bytes.Buffer
+		if err := WriteVarString(&buf, s); err != nil {
+			t.Fatalf("WriteVarString: %v", err)
+		}
+		out, err := ReadVarString(&buf, 1024)
+		if err != nil {
+			t.Fatalf("ReadVarString: %v", err)
+		}
+		if out != s {
+			t.Errorf("round trip = %q, want %q", out, s)
+		}
+	}
+}
+
+func TestVarStringTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVarString(&buf, string(make([]byte, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVarString(&buf, 99); err == nil {
+		t.Error("ReadVarString accepted string above cap")
+	}
+}
+
+func TestVarBytesRoundTrip(t *testing.T) {
+	in := []byte{1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if err := WriteVarBytes(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadVarBytes(&buf, 16, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Errorf("round trip = %x, want %x", out, in)
+	}
+}
+
+func TestVarBytesTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVarBytes(&buf, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVarBytes(&buf, 9, "test"); err == nil {
+		t.Error("ReadVarBytes accepted bytes above cap")
+	}
+}
+
+func TestReadElementsTruncated(t *testing.T) {
+	empty := bytes.NewReader(nil)
+	if _, err := readUint16(empty); err != io.EOF {
+		t.Errorf("readUint16 on empty = %v, want EOF", err)
+	}
+	if _, err := readUint32(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("readUint32 succeeded on 2 bytes")
+	}
+	if _, err := readUint64(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("readUint64 succeeded on 3 bytes")
+	}
+}
+
+func TestUint16BERoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeUint16BE(&buf, 8333); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); got[0] != 0x20 || got[1] != 0x8d {
+		t.Errorf("big-endian encoding of 8333 = %x", got)
+	}
+	v, err := readUint16BE(&buf)
+	if err != nil || v != 8333 {
+		t.Errorf("round trip = %d, %v", v, err)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		var buf bytes.Buffer
+		if err := writeBool(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		out, err := readBool(&buf)
+		if err != nil || out != v {
+			t.Errorf("bool round trip(%v) = %v, %v", v, out, err)
+		}
+	}
+}

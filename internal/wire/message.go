@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"unicode/utf8"
+
+	"banscore/internal/chainhash"
+)
+
+// MessageHeaderSize is the size of the fixed message header: 4 bytes magic,
+// 12 bytes command, 4 bytes payload length, 4 bytes checksum.
+const MessageHeaderSize = 24
+
+// CommandSize is the fixed, NUL-padded size of the command field.
+const CommandSize = 12
+
+// ErrChecksumMismatch is returned by ReadMessage when the payload checksum
+// does not match the header. This failure is detected by the transport
+// framing *before* any application-layer processing, so — exactly as the
+// paper's attack vector 2 exploits — it is dropped without increasing the
+// sender's ban score.
+var ErrChecksumMismatch = errors.New("payload checksum mismatch")
+
+// ErrUnknownCommand is returned by ReadMessage for a syntactically valid
+// header naming a command this implementation does not know. Bitcoin Core
+// ignores unknown commands without scoring, another score-free vector.
+type ErrUnknownCommand struct {
+	Command string
+}
+
+// Error implements the error interface.
+func (e *ErrUnknownCommand) Error() string {
+	return fmt.Sprintf("unknown command %q", e.Command)
+}
+
+// Message is the interface every Bitcoin P2P message implements.
+type Message interface {
+	BtcDecode(r io.Reader, pver uint32) error
+	BtcEncode(w io.Writer, pver uint32) error
+	Command() string
+	MaxPayloadLength(pver uint32) uint32
+}
+
+// makeEmptyMessage creates a zero message of the proper concrete type for the
+// given command.
+func makeEmptyMessage(command string) (Message, error) {
+	switch command {
+	case CmdVersion:
+		return &MsgVersion{}, nil
+	case CmdVerAck:
+		return &MsgVerAck{}, nil
+	case CmdAddr:
+		return &MsgAddr{}, nil
+	case CmdGetAddr:
+		return &MsgGetAddr{}, nil
+	case CmdInv:
+		return &MsgInv{}, nil
+	case CmdGetData:
+		return &MsgGetData{}, nil
+	case CmdNotFound:
+		return &MsgNotFound{}, nil
+	case CmdGetBlocks:
+		return &MsgGetBlocks{}, nil
+	case CmdGetHeaders:
+		return &MsgGetHeaders{}, nil
+	case CmdHeaders:
+		return &MsgHeaders{}, nil
+	case CmdTx:
+		return &MsgTx{}, nil
+	case CmdBlock:
+		return &MsgBlock{}, nil
+	case CmdMemPool:
+		return &MsgMemPool{}, nil
+	case CmdPing:
+		return &MsgPing{}, nil
+	case CmdPong:
+		return &MsgPong{}, nil
+	case CmdReject:
+		return &MsgReject{}, nil
+	case CmdFilterLoad:
+		return &MsgFilterLoad{}, nil
+	case CmdFilterAdd:
+		return &MsgFilterAdd{}, nil
+	case CmdFilterClear:
+		return &MsgFilterClear{}, nil
+	case CmdMerkleBlock:
+		return &MsgMerkleBlock{}, nil
+	case CmdSendHeaders:
+		return &MsgSendHeaders{}, nil
+	case CmdFeeFilter:
+		return &MsgFeeFilter{}, nil
+	case CmdSendCmpct:
+		return &MsgSendCmpct{}, nil
+	case CmdCmpctBlock:
+		return &MsgCmpctBlock{}, nil
+	case CmdGetBlockTxn:
+		return &MsgGetBlockTxn{}, nil
+	case CmdBlockTxn:
+		return &MsgBlockTxn{}, nil
+	}
+	return nil, &ErrUnknownCommand{Command: command}
+}
+
+// messageHeader is the decoded fixed header.
+type messageHeader struct {
+	magic    BitcoinNet
+	command  string
+	length   uint32
+	checksum [4]byte
+}
+
+func readMessageHeader(r io.Reader) (*messageHeader, error) {
+	var headerBytes [MessageHeaderSize]byte
+	if _, err := io.ReadFull(r, headerBytes[:]); err != nil {
+		return nil, err
+	}
+	hr := bytes.NewReader(headerBytes[:])
+	hdr := messageHeader{}
+	magic, err := readUint32(hr)
+	if err != nil {
+		return nil, err
+	}
+	hdr.magic = BitcoinNet(magic)
+	var command [CommandSize]byte
+	if _, err := io.ReadFull(hr, command[:]); err != nil {
+		return nil, err
+	}
+	hdr.command = string(bytes.TrimRight(command[:], "\x00"))
+	if hdr.length, err = readUint32(hr); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(hr, hdr.checksum[:]); err != nil {
+		return nil, err
+	}
+	return &hdr, nil
+}
+
+// WriteMessage serializes msg with a full header to w for the given network.
+// It returns the total number of bytes written.
+func WriteMessage(w io.Writer, msg Message, pver uint32, net BitcoinNet) (int, error) {
+	command := msg.Command()
+	if len(command) > CommandSize {
+		return 0, messageError("WriteMessage", fmt.Sprintf("command %q too long", command))
+	}
+
+	var payload bytes.Buffer
+	if err := msg.BtcEncode(&payload, pver); err != nil {
+		return 0, err
+	}
+	body := payload.Bytes()
+	if len(body) > MaxMessagePayload {
+		return 0, messageError("WriteMessage",
+			fmt.Sprintf("payload %d exceeds max %d", len(body), MaxMessagePayload))
+	}
+	if maxLen := msg.MaxPayloadLength(pver); uint32(len(body)) > maxLen {
+		return 0, messageError("WriteMessage",
+			fmt.Sprintf("payload %d exceeds max for %q [%d]", len(body), command, maxLen))
+	}
+	return WriteRawMessage(w, command, body, net)
+}
+
+// WriteRawMessage frames an arbitrary payload under the given command with a
+// correct checksum. It is what both the node and the attacker use; attackers
+// forging *incorrect* checksums use WriteRawMessageChecksum directly.
+func WriteRawMessage(w io.Writer, command string, payload []byte, net BitcoinNet) (int, error) {
+	var checksum [4]byte
+	copy(checksum[:], chainhash.DoubleHashB(payload)[:4])
+	return WriteRawMessageChecksum(w, command, payload, net, checksum)
+}
+
+// WriteRawMessageChecksum frames a payload with a caller-supplied checksum,
+// allowing the deliberate corruption used by the paper's bogus-message attack
+// vector.
+func WriteRawMessageChecksum(w io.Writer, command string, payload []byte, net BitcoinNet, checksum [4]byte) (int, error) {
+	var cmd [CommandSize]byte
+	copy(cmd[:], command)
+
+	header := bytes.NewBuffer(make([]byte, 0, MessageHeaderSize))
+	_ = writeUint32(header, uint32(net))
+	header.Write(cmd[:])
+	_ = writeUint32(header, uint32(len(payload)))
+	header.Write(checksum[:])
+
+	n, err := w.Write(header.Bytes())
+	if err != nil {
+		return n, err
+	}
+	np, err := w.Write(payload)
+	return n + np, err
+}
+
+// ReadMessage reads, validates, and decodes the next message from r.
+// On success it returns the message and its raw payload. The validation
+// order mirrors a real node: magic, command sanity, length, THEN checksum,
+// THEN payload decode — so checksum failures never reach message processing.
+func ReadMessage(r io.Reader, pver uint32, net BitcoinNet) (Message, []byte, error) {
+	hdr, err := readMessageHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hdr.magic != net {
+		return nil, nil, messageError("ReadMessage",
+			fmt.Sprintf("message from other network [%v]", hdr.magic))
+	}
+	if !utf8.ValidString(hdr.command) {
+		return nil, nil, messageError("ReadMessage", "invalid command")
+	}
+	if hdr.length > MaxMessagePayload {
+		return nil, nil, messageError("ReadMessage",
+			fmt.Sprintf("payload %d exceeds max %d", hdr.length, MaxMessagePayload))
+	}
+
+	msg, err := makeEmptyMessage(hdr.command)
+	if err != nil {
+		// Unknown command: drain the payload so the stream stays in sync,
+		// then report. The caller ignores these without scoring.
+		if _, cErr := io.CopyN(io.Discard, r, int64(hdr.length)); cErr != nil {
+			return nil, nil, cErr
+		}
+		return nil, nil, err
+	}
+	if maxLen := msg.MaxPayloadLength(pver); hdr.length > maxLen {
+		if _, cErr := io.CopyN(io.Discard, r, int64(hdr.length)); cErr != nil {
+			return nil, nil, cErr
+		}
+		return nil, nil, messageError("ReadMessage",
+			fmt.Sprintf("payload %d exceeds max for %q [%d]", hdr.length, hdr.command, maxLen))
+	}
+
+	payload := make([]byte, hdr.length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, nil, err
+	}
+
+	var checksum [4]byte
+	copy(checksum[:], chainhash.DoubleHashB(payload)[:4])
+	if checksum != hdr.checksum {
+		return nil, nil, fmt.Errorf("command %q: %w (got %x, want %x)",
+			hdr.command, ErrChecksumMismatch, hdr.checksum, checksum)
+	}
+
+	if err := msg.BtcDecode(bytes.NewReader(payload), pver); err != nil {
+		return nil, payload, err
+	}
+	return msg, payload, nil
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// hardMaxAddrPerMsg is the decode-time allocation cap for ADDR messages. It
+// is deliberately far above the MaxAddrPerMsg policy limit so oversize ADDR
+// messages reach the node's misbehavior tracking (which scores them 20 per
+// Table I) instead of dying in deserialization.
+const hardMaxAddrPerMsg = 50 * MaxAddrPerMsg
+
+// MsgAddr implements the Message interface and represents an ADDR message
+// advertising known peers.
+type MsgAddr struct {
+	AddrList []*NetAddress
+}
+
+var _ Message = (*MsgAddr)(nil)
+
+// NewMsgAddr returns an empty ADDR message.
+func NewMsgAddr() *MsgAddr { return &MsgAddr{} }
+
+// AddAddress appends an address.
+func (msg *MsgAddr) AddAddress(na *NetAddress) {
+	msg.AddrList = append(msg.AddrList, na)
+}
+
+// BtcDecode decodes the ADDR message.
+func (msg *MsgAddr) BtcDecode(r io.Reader, _ uint32) error {
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > hardMaxAddrPerMsg {
+		return messageError("MsgAddr.BtcDecode",
+			fmt.Sprintf("address count %d exceeds hard cap %d", count, hardMaxAddrPerMsg))
+	}
+	msg.AddrList = make([]*NetAddress, 0, min(count, MaxAddrPerMsg))
+	for i := uint64(0); i < count; i++ {
+		na := NetAddress{}
+		if err := readNetAddress(r, &na, true); err != nil {
+			return err
+		}
+		msg.AddrList = append(msg.AddrList, &na)
+	}
+	return nil
+}
+
+// BtcEncode encodes the ADDR message. Encoding does not enforce the policy
+// limit: the attacker toolkit must be able to emit oversize messages.
+func (msg *MsgAddr) BtcEncode(w io.Writer, _ uint32) error {
+	if err := WriteVarInt(w, uint64(len(msg.AddrList))); err != nil {
+		return err
+	}
+	for _, na := range msg.AddrList {
+		if err := writeNetAddress(w, na, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Command returns the protocol command string.
+func (msg *MsgAddr) Command() string { return CmdAddr }
+
+// MaxPayloadLength returns the maximum payload an ADDR message can be. It is
+// sized from the hard cap so oversize-but-parseable attacks pass framing.
+func (msg *MsgAddr) MaxPayloadLength(uint32) uint32 {
+	return MaxVarIntPayload + hardMaxAddrPerMsg*maxNetAddressPayload
+}

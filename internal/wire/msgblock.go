@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"banscore/internal/chainhash"
+)
+
+// MsgBlock implements the Message interface and represents a Bitcoin BLOCK
+// message: a header followed by its transactions.
+type MsgBlock struct {
+	Header       BlockHeader
+	Transactions []*MsgTx
+}
+
+var _ Message = (*MsgBlock)(nil)
+
+// NewMsgBlock returns a block carrying the given header and no transactions.
+func NewMsgBlock(header *BlockHeader) *MsgBlock {
+	return &MsgBlock{Header: *header}
+}
+
+// AddTransaction appends a transaction to the block.
+func (msg *MsgBlock) AddTransaction(tx *MsgTx) {
+	msg.Transactions = append(msg.Transactions, tx)
+}
+
+// ClearTransactions removes all transactions.
+func (msg *MsgBlock) ClearTransactions() {
+	msg.Transactions = nil
+}
+
+// BlockHash returns the hash of the block header.
+func (msg *MsgBlock) BlockHash() chainhash.Hash {
+	return msg.Header.BlockHash()
+}
+
+// TxHashes returns the txid of every transaction, in block order.
+func (msg *MsgBlock) TxHashes() []chainhash.Hash {
+	hashes := make([]chainhash.Hash, len(msg.Transactions))
+	for i, tx := range msg.Transactions {
+		hashes[i] = tx.TxHash()
+	}
+	return hashes
+}
+
+// BtcDecode decodes the block from r.
+func (msg *MsgBlock) BtcDecode(r io.Reader, pver uint32) error {
+	if err := readBlockHeader(r, &msg.Header); err != nil {
+		return err
+	}
+	txCount, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if txCount > maxTxPerMsg {
+		return messageError("MsgBlock.BtcDecode", fmt.Sprintf("too many transactions [%d]", txCount))
+	}
+	msg.Transactions = make([]*MsgTx, 0, txCount)
+	for i := uint64(0); i < txCount; i++ {
+		tx := MsgTx{}
+		if err := tx.BtcDecode(r, pver); err != nil {
+			return err
+		}
+		msg.Transactions = append(msg.Transactions, &tx)
+	}
+	return nil
+}
+
+// BtcEncode encodes the block to w.
+func (msg *MsgBlock) BtcEncode(w io.Writer, pver uint32) error {
+	if err := writeBlockHeader(w, &msg.Header); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(msg.Transactions))); err != nil {
+		return err
+	}
+	for _, tx := range msg.Transactions {
+		if err := tx.BtcEncode(w, pver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serialize writes the block in stored form.
+func (msg *MsgBlock) Serialize(w io.Writer) error { return msg.BtcEncode(w, ProtocolVersion) }
+
+// Deserialize reads the block in stored form.
+func (msg *MsgBlock) Deserialize(r io.Reader) error { return msg.BtcDecode(r, ProtocolVersion) }
+
+// SerializeSize returns the serialized size of the block.
+func (msg *MsgBlock) SerializeSize() int {
+	n := BlockHeaderLen + VarIntSerializeSize(uint64(len(msg.Transactions)))
+	for _, tx := range msg.Transactions {
+		n += tx.SerializeSize()
+	}
+	return n
+}
+
+// Command returns the protocol command string.
+func (msg *MsgBlock) Command() string { return CmdBlock }
+
+// MaxPayloadLength returns the maximum payload a BLOCK message can be.
+func (msg *MsgBlock) MaxPayloadLength(uint32) uint32 { return MaxBlockPayload }

@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"banscore/internal/chainhash"
+)
+
+// MsgSendCmpct implements the Message interface and represents a SENDCMPCT
+// message (BIP152) negotiating compact-block relay.
+type MsgSendCmpct struct {
+	// Announce requests announcement via CMPCTBLOCK when true.
+	Announce bool
+
+	// Version of compact blocks requested (1 legacy, 2 segwit).
+	Version uint64
+}
+
+var _ Message = (*MsgSendCmpct)(nil)
+
+// NewMsgSendCmpct returns a SENDCMPCT with the given parameters.
+func NewMsgSendCmpct(announce bool, version uint64) *MsgSendCmpct {
+	return &MsgSendCmpct{Announce: announce, Version: version}
+}
+
+// BtcDecode decodes the SENDCMPCT message.
+func (msg *MsgSendCmpct) BtcDecode(r io.Reader, _ uint32) error {
+	announce, err := readBool(r)
+	if err != nil {
+		return err
+	}
+	msg.Announce = announce
+	msg.Version, err = readUint64(r)
+	return err
+}
+
+// BtcEncode encodes the SENDCMPCT message.
+func (msg *MsgSendCmpct) BtcEncode(w io.Writer, _ uint32) error {
+	if err := writeBool(w, msg.Announce); err != nil {
+		return err
+	}
+	return writeUint64(w, msg.Version)
+}
+
+// Command returns the protocol command string.
+func (msg *MsgSendCmpct) Command() string { return CmdSendCmpct }
+
+// MaxPayloadLength returns the maximum payload a SENDCMPCT message can be.
+func (msg *MsgSendCmpct) MaxPayloadLength(uint32) uint32 { return 9 }
+
+// PrefilledTx is a transaction sent verbatim inside a CMPCTBLOCK, with its
+// index differentially encoded.
+type PrefilledTx struct {
+	Index uint32
+	Tx    *MsgTx
+}
+
+// maxShortIDsPerBlock caps the short id list of a compact block.
+const maxShortIDsPerBlock = maxTxPerMsg
+
+// MsgCmpctBlock implements the Message interface and represents a CMPCTBLOCK
+// message (BIP152): header, nonce, 6-byte short ids, and prefilled txs.
+type MsgCmpctBlock struct {
+	Header       BlockHeader
+	Nonce        uint64
+	ShortIDs     []uint64 // low 48 bits significant
+	PrefilledTxs []*PrefilledTx
+}
+
+var _ Message = (*MsgCmpctBlock)(nil)
+
+// NewMsgCmpctBlock returns a CMPCTBLOCK for the given header.
+func NewMsgCmpctBlock(header *BlockHeader) *MsgCmpctBlock {
+	return &MsgCmpctBlock{Header: *header}
+}
+
+// BtcDecode decodes the CMPCTBLOCK message.
+func (msg *MsgCmpctBlock) BtcDecode(r io.Reader, pver uint32) error {
+	if err := readBlockHeader(r, &msg.Header); err != nil {
+		return err
+	}
+	var err error
+	if msg.Nonce, err = readUint64(r); err != nil {
+		return err
+	}
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxShortIDsPerBlock {
+		return messageError("MsgCmpctBlock.BtcDecode",
+			fmt.Sprintf("too many short ids [%d, max %d]", count, maxShortIDsPerBlock))
+	}
+	msg.ShortIDs = make([]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		var b [6]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return err
+		}
+		msg.ShortIDs[i] = uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+			uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40
+	}
+	count, err = ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxShortIDsPerBlock {
+		return messageError("MsgCmpctBlock.BtcDecode",
+			fmt.Sprintf("too many prefilled txs [%d, max %d]", count, maxShortIDsPerBlock))
+	}
+	msg.PrefilledTxs = make([]*PrefilledTx, 0, count)
+	for i := uint64(0); i < count; i++ {
+		idx, err := ReadVarInt(r)
+		if err != nil {
+			return err
+		}
+		tx := MsgTx{}
+		if err := tx.BtcDecode(r, pver); err != nil {
+			return err
+		}
+		msg.PrefilledTxs = append(msg.PrefilledTxs, &PrefilledTx{Index: uint32(idx), Tx: &tx})
+	}
+	return nil
+}
+
+// BtcEncode encodes the CMPCTBLOCK message.
+func (msg *MsgCmpctBlock) BtcEncode(w io.Writer, pver uint32) error {
+	if err := writeBlockHeader(w, &msg.Header); err != nil {
+		return err
+	}
+	if err := writeUint64(w, msg.Nonce); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(msg.ShortIDs))); err != nil {
+		return err
+	}
+	for _, id := range msg.ShortIDs {
+		b := [6]byte{
+			byte(id), byte(id >> 8), byte(id >> 16),
+			byte(id >> 24), byte(id >> 32), byte(id >> 40),
+		}
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	if err := WriteVarInt(w, uint64(len(msg.PrefilledTxs))); err != nil {
+		return err
+	}
+	for _, ptx := range msg.PrefilledTxs {
+		if err := WriteVarInt(w, uint64(ptx.Index)); err != nil {
+			return err
+		}
+		if err := ptx.Tx.BtcEncode(w, pver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Command returns the protocol command string.
+func (msg *MsgCmpctBlock) Command() string { return CmdCmpctBlock }
+
+// MaxPayloadLength returns the maximum payload a CMPCTBLOCK message can be.
+func (msg *MsgCmpctBlock) MaxPayloadLength(uint32) uint32 { return MaxBlockPayload }
+
+// MsgGetBlockTxn implements the Message interface and represents a
+// GETBLOCKTXN message (BIP152) requesting transactions of a compact block by
+// differentially-encoded index. Out-of-bounds indices score 100 per Table I
+// ("GETBLOCKTXN: Out-of-bounds transaction indices") — bounds are checked by
+// the node against the referenced block, not at decode time.
+type MsgGetBlockTxn struct {
+	BlockHash chainhash.Hash
+	// Indexes are absolute transaction indexes (differential on the wire).
+	Indexes []uint32
+}
+
+var _ Message = (*MsgGetBlockTxn)(nil)
+
+// NewMsgGetBlockTxn returns a GETBLOCKTXN for the given block.
+func NewMsgGetBlockTxn(blockHash *chainhash.Hash, indexes []uint32) *MsgGetBlockTxn {
+	return &MsgGetBlockTxn{BlockHash: *blockHash, Indexes: indexes}
+}
+
+// BtcDecode decodes the GETBLOCKTXN message, converting differential indexes
+// to absolute ones.
+func (msg *MsgGetBlockTxn) BtcDecode(r io.Reader, _ uint32) error {
+	if err := readHash(r, &msg.BlockHash); err != nil {
+		return err
+	}
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxShortIDsPerBlock {
+		return messageError("MsgGetBlockTxn.BtcDecode",
+			fmt.Sprintf("too many indexes [%d, max %d]", count, maxShortIDsPerBlock))
+	}
+	msg.Indexes = make([]uint32, count)
+	offset := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		diff, err := ReadVarInt(r)
+		if err != nil {
+			return err
+		}
+		offset += diff
+		if offset > 0xffffffff {
+			return messageError("MsgGetBlockTxn.BtcDecode", "index overflow")
+		}
+		msg.Indexes[i] = uint32(offset)
+		offset++
+	}
+	return nil
+}
+
+// BtcEncode encodes the GETBLOCKTXN message using differential indexes.
+func (msg *MsgGetBlockTxn) BtcEncode(w io.Writer, _ uint32) error {
+	if err := writeHash(w, &msg.BlockHash); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(msg.Indexes))); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for i, idx := range msg.Indexes {
+		cur := uint64(idx)
+		if i > 0 && cur < prev {
+			return messageError("MsgGetBlockTxn.BtcEncode", "indexes must be ascending")
+		}
+		diff := cur - prev
+		if err := WriteVarInt(w, diff); err != nil {
+			return err
+		}
+		prev = cur + 1
+	}
+	return nil
+}
+
+// Command returns the protocol command string.
+func (msg *MsgGetBlockTxn) Command() string { return CmdGetBlockTxn }
+
+// MaxPayloadLength returns the maximum payload a GETBLOCKTXN message can be.
+func (msg *MsgGetBlockTxn) MaxPayloadLength(uint32) uint32 {
+	return chainhash.HashSize + MaxVarIntPayload + maxShortIDsPerBlock*MaxVarIntPayload
+}
+
+// MsgBlockTxn implements the Message interface and represents a BLOCKTXN
+// message (BIP152) answering GETBLOCKTXN with the requested transactions.
+type MsgBlockTxn struct {
+	BlockHash chainhash.Hash
+	Txs       []*MsgTx
+}
+
+var _ Message = (*MsgBlockTxn)(nil)
+
+// NewMsgBlockTxn returns a BLOCKTXN for the given block and transactions.
+func NewMsgBlockTxn(blockHash *chainhash.Hash, txs []*MsgTx) *MsgBlockTxn {
+	return &MsgBlockTxn{BlockHash: *blockHash, Txs: txs}
+}
+
+// BtcDecode decodes the BLOCKTXN message.
+func (msg *MsgBlockTxn) BtcDecode(r io.Reader, pver uint32) error {
+	if err := readHash(r, &msg.BlockHash); err != nil {
+		return err
+	}
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxTxPerMsg {
+		return messageError("MsgBlockTxn.BtcDecode",
+			fmt.Sprintf("too many transactions [%d, max %d]", count, maxTxPerMsg))
+	}
+	msg.Txs = make([]*MsgTx, 0, count)
+	for i := uint64(0); i < count; i++ {
+		tx := MsgTx{}
+		if err := tx.BtcDecode(r, pver); err != nil {
+			return err
+		}
+		msg.Txs = append(msg.Txs, &tx)
+	}
+	return nil
+}
+
+// BtcEncode encodes the BLOCKTXN message.
+func (msg *MsgBlockTxn) BtcEncode(w io.Writer, pver uint32) error {
+	if err := writeHash(w, &msg.BlockHash); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(msg.Txs))); err != nil {
+		return err
+	}
+	for _, tx := range msg.Txs {
+		if err := tx.BtcEncode(w, pver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Command returns the protocol command string.
+func (msg *MsgBlockTxn) Command() string { return CmdBlockTxn }
+
+// MaxPayloadLength returns the maximum payload a BLOCKTXN message can be.
+func (msg *MsgBlockTxn) MaxPayloadLength(uint32) uint32 { return MaxBlockPayload }

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"banscore/internal/chainhash"
+)
+
+// MaxBlockLocatorsPerMsg is the maximum number of block locator hashes in a
+// GETBLOCKS or GETHEADERS message.
+const MaxBlockLocatorsPerMsg = 500
+
+// locatorMessage is the shared body of GETBLOCKS and GETHEADERS.
+type locatorMessage struct {
+	ProtocolVersion    uint32
+	BlockLocatorHashes []*chainhash.Hash
+	HashStop           chainhash.Hash
+}
+
+// AddBlockLocatorHash appends a locator hash, enforcing the protocol cap.
+func (msg *locatorMessage) AddBlockLocatorHash(hash *chainhash.Hash) error {
+	if len(msg.BlockLocatorHashes)+1 > MaxBlockLocatorsPerMsg {
+		return messageError("AddBlockLocatorHash",
+			fmt.Sprintf("too many block locator hashes [max %d]", MaxBlockLocatorsPerMsg))
+	}
+	msg.BlockLocatorHashes = append(msg.BlockLocatorHashes, hash)
+	return nil
+}
+
+// BtcDecode decodes the locator message.
+func (msg *locatorMessage) BtcDecode(r io.Reader, _ uint32) error {
+	pv, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	msg.ProtocolVersion = pv
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > MaxBlockLocatorsPerMsg {
+		return messageError("locatorMessage.BtcDecode",
+			fmt.Sprintf("too many block locator hashes [%d, max %d]", count, MaxBlockLocatorsPerMsg))
+	}
+	msg.BlockLocatorHashes = make([]*chainhash.Hash, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var h chainhash.Hash
+		if err := readHash(r, &h); err != nil {
+			return err
+		}
+		msg.BlockLocatorHashes = append(msg.BlockLocatorHashes, &h)
+	}
+	return readHash(r, &msg.HashStop)
+}
+
+// BtcEncode encodes the locator message.
+func (msg *locatorMessage) BtcEncode(w io.Writer, _ uint32) error {
+	if len(msg.BlockLocatorHashes) > MaxBlockLocatorsPerMsg {
+		return messageError("locatorMessage.BtcEncode",
+			fmt.Sprintf("too many block locator hashes [%d, max %d]",
+				len(msg.BlockLocatorHashes), MaxBlockLocatorsPerMsg))
+	}
+	if err := writeUint32(w, msg.ProtocolVersion); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(msg.BlockLocatorHashes))); err != nil {
+		return err
+	}
+	for _, h := range msg.BlockLocatorHashes {
+		if err := writeHash(w, h); err != nil {
+			return err
+		}
+	}
+	return writeHash(w, &msg.HashStop)
+}
+
+// MaxPayloadLength returns the maximum payload for locator messages.
+func (msg *locatorMessage) MaxPayloadLength(uint32) uint32 {
+	return 4 + MaxVarIntPayload + (MaxBlockLocatorsPerMsg+1)*chainhash.HashSize
+}
+
+// MsgGetBlocks implements the Message interface and represents a GETBLOCKS
+// message requesting block inventory after the locator.
+type MsgGetBlocks struct{ locatorMessage }
+
+// NewMsgGetBlocks returns a GETBLOCKS message with the given stop hash.
+func NewMsgGetBlocks(hashStop *chainhash.Hash) *MsgGetBlocks {
+	return &MsgGetBlocks{locatorMessage{
+		ProtocolVersion: ProtocolVersion,
+		HashStop:        *hashStop,
+	}}
+}
+
+// Command returns the protocol command string.
+func (*MsgGetBlocks) Command() string { return CmdGetBlocks }
+
+// MsgGetHeaders implements the Message interface and represents a GETHEADERS
+// message requesting headers after the locator.
+type MsgGetHeaders struct{ locatorMessage }
+
+// NewMsgGetHeaders returns an empty GETHEADERS message.
+func NewMsgGetHeaders() *MsgGetHeaders {
+	return &MsgGetHeaders{locatorMessage{ProtocolVersion: ProtocolVersion}}
+}
+
+// Command returns the protocol command string.
+func (*MsgGetHeaders) Command() string { return CmdGetHeaders }
+
+var (
+	_ Message = (*MsgGetBlocks)(nil)
+	_ Message = (*MsgGetHeaders)(nil)
+)

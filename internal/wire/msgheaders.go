@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// hardMaxBlockHeadersPerMsg is the decode-time allocation cap for HEADERS,
+// above the MaxBlockHeadersPerMsg policy limit so oversize HEADERS reach the
+// ban-score rules (+20 per Table I).
+const hardMaxBlockHeadersPerMsg = 5 * MaxBlockHeadersPerMsg
+
+// MsgHeaders implements the Message interface and represents a HEADERS
+// message answering GETHEADERS.
+type MsgHeaders struct {
+	Headers []*BlockHeader
+}
+
+var _ Message = (*MsgHeaders)(nil)
+
+// NewMsgHeaders returns an empty HEADERS message.
+func NewMsgHeaders() *MsgHeaders { return &MsgHeaders{} }
+
+// AddBlockHeader appends a header.
+func (msg *MsgHeaders) AddBlockHeader(bh *BlockHeader) {
+	msg.Headers = append(msg.Headers, bh)
+}
+
+// BtcDecode decodes the HEADERS message. Each entry is a header followed by
+// a transaction count which must be zero.
+func (msg *MsgHeaders) BtcDecode(r io.Reader, _ uint32) error {
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > hardMaxBlockHeadersPerMsg {
+		return messageError("MsgHeaders.BtcDecode",
+			fmt.Sprintf("header count %d exceeds hard cap %d", count, hardMaxBlockHeadersPerMsg))
+	}
+	msg.Headers = make([]*BlockHeader, 0, min(count, MaxBlockHeadersPerMsg))
+	for i := uint64(0); i < count; i++ {
+		bh := BlockHeader{}
+		if err := readBlockHeader(r, &bh); err != nil {
+			return err
+		}
+		txCount, err := ReadVarInt(r)
+		if err != nil {
+			return err
+		}
+		if txCount > 0 {
+			return messageError("MsgHeaders.BtcDecode",
+				fmt.Sprintf("block headers may not contain transactions [count %d]", txCount))
+		}
+		msg.Headers = append(msg.Headers, &bh)
+	}
+	return nil
+}
+
+// BtcEncode encodes the HEADERS message without enforcing the policy limit.
+func (msg *MsgHeaders) BtcEncode(w io.Writer, _ uint32) error {
+	if err := WriteVarInt(w, uint64(len(msg.Headers))); err != nil {
+		return err
+	}
+	for _, bh := range msg.Headers {
+		if err := writeBlockHeader(w, bh); err != nil {
+			return err
+		}
+		if err := WriteVarInt(w, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Command returns the protocol command string.
+func (msg *MsgHeaders) Command() string { return CmdHeaders }
+
+// MaxPayloadLength returns the maximum payload a HEADERS message can be.
+func (msg *MsgHeaders) MaxPayloadLength(uint32) uint32 {
+	return MaxVarIntPayload + hardMaxBlockHeadersPerMsg*(BlockHeaderLen+1)
+}

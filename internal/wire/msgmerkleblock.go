@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"banscore/internal/chainhash"
+)
+
+// maxFlagsPerMerkleBlock caps the flag bitfield of a MERKLEBLOCK.
+const maxFlagsPerMerkleBlock = maxTxPerMsg / 8
+
+// MsgMerkleBlock implements the Message interface and represents a
+// MERKLEBLOCK message (BIP37): a header plus a partial merkle branch proving
+// filtered transactions.
+type MsgMerkleBlock struct {
+	Header       BlockHeader
+	Transactions uint32
+	Hashes       []*chainhash.Hash
+	Flags        []byte
+}
+
+var _ Message = (*MsgMerkleBlock)(nil)
+
+// NewMsgMerkleBlock returns a MERKLEBLOCK for the given header.
+func NewMsgMerkleBlock(header *BlockHeader) *MsgMerkleBlock {
+	return &MsgMerkleBlock{Header: *header}
+}
+
+// AddTxHash appends a transaction hash to the partial merkle proof.
+func (msg *MsgMerkleBlock) AddTxHash(hash *chainhash.Hash) error {
+	if len(msg.Hashes)+1 > maxTxPerMsg {
+		return messageError("MsgMerkleBlock.AddTxHash",
+			fmt.Sprintf("too many tx hashes [max %d]", maxTxPerMsg))
+	}
+	msg.Hashes = append(msg.Hashes, hash)
+	return nil
+}
+
+// BtcDecode decodes the MERKLEBLOCK message.
+func (msg *MsgMerkleBlock) BtcDecode(r io.Reader, _ uint32) error {
+	if err := readBlockHeader(r, &msg.Header); err != nil {
+		return err
+	}
+	var err error
+	if msg.Transactions, err = readUint32(r); err != nil {
+		return err
+	}
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxTxPerMsg {
+		return messageError("MsgMerkleBlock.BtcDecode",
+			fmt.Sprintf("too many tx hashes [%d, max %d]", count, maxTxPerMsg))
+	}
+	msg.Hashes = make([]*chainhash.Hash, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var h chainhash.Hash
+		if err := readHash(r, &h); err != nil {
+			return err
+		}
+		msg.Hashes = append(msg.Hashes, &h)
+	}
+	msg.Flags, err = ReadVarBytes(r, maxFlagsPerMerkleBlock, "merkle block flags")
+	return err
+}
+
+// BtcEncode encodes the MERKLEBLOCK message.
+func (msg *MsgMerkleBlock) BtcEncode(w io.Writer, _ uint32) error {
+	if len(msg.Hashes) > maxTxPerMsg {
+		return messageError("MsgMerkleBlock.BtcEncode",
+			fmt.Sprintf("too many tx hashes [%d, max %d]", len(msg.Hashes), maxTxPerMsg))
+	}
+	if len(msg.Flags) > maxFlagsPerMerkleBlock {
+		return messageError("MsgMerkleBlock.BtcEncode",
+			fmt.Sprintf("too many flag bytes [%d, max %d]", len(msg.Flags), maxFlagsPerMerkleBlock))
+	}
+	if err := writeBlockHeader(w, &msg.Header); err != nil {
+		return err
+	}
+	if err := writeUint32(w, msg.Transactions); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(msg.Hashes))); err != nil {
+		return err
+	}
+	for _, h := range msg.Hashes {
+		if err := writeHash(w, h); err != nil {
+			return err
+		}
+	}
+	return WriteVarBytes(w, msg.Flags)
+}
+
+// Command returns the protocol command string.
+func (msg *MsgMerkleBlock) Command() string { return CmdMerkleBlock }
+
+// MaxPayloadLength returns the maximum payload a MERKLEBLOCK message can be.
+func (msg *MsgMerkleBlock) MaxPayloadLength(uint32) uint32 { return MaxBlockPayload }

@@ -1,0 +1,431 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"banscore/internal/chainhash"
+)
+
+// Command strings for all 26 P2P messages of the developer reference.
+const (
+	CmdVersion     = "version"
+	CmdVerAck      = "verack"
+	CmdAddr        = "addr"
+	CmdGetAddr     = "getaddr"
+	CmdInv         = "inv"
+	CmdGetData     = "getdata"
+	CmdNotFound    = "notfound"
+	CmdGetBlocks   = "getblocks"
+	CmdGetHeaders  = "getheaders"
+	CmdHeaders     = "headers"
+	CmdTx          = "tx"
+	CmdBlock       = "block"
+	CmdMemPool     = "mempool"
+	CmdPing        = "ping"
+	CmdPong        = "pong"
+	CmdReject      = "reject"
+	CmdFilterLoad  = "filterload"
+	CmdFilterAdd   = "filteradd"
+	CmdFilterClear = "filterclear"
+	CmdMerkleBlock = "merkleblock"
+	CmdSendHeaders = "sendheaders"
+	CmdFeeFilter   = "feefilter"
+	CmdSendCmpct   = "sendcmpct"
+	CmdCmpctBlock  = "cmpctblock"
+	CmdGetBlockTxn = "getblocktxn"
+	CmdBlockTxn    = "blocktxn"
+)
+
+// Transaction constants.
+const (
+	// TxVersion is the current default transaction version.
+	TxVersion = 2
+
+	// MaxTxInSequenceNum is the maximum sequence number a TxIn can carry.
+	MaxTxInSequenceNum uint32 = 0xffffffff
+
+	// MaxPrevOutIndex is the maximum index an OutPoint can carry.
+	MaxPrevOutIndex uint32 = 0xffffffff
+
+	// maxTxPerMsg caps the transaction count sanity check during decode.
+	maxTxPerMsg = 100000
+
+	// maxScriptSize caps a script during decode.
+	maxScriptSize = 10000
+
+	// maxWitnessItemsPerInput / maxWitnessItemSize cap witness decode.
+	maxWitnessItemsPerInput = 500000
+	maxWitnessItemSize      = 11000
+
+	// TxFlagMarker is the first byte of the optional segwit flag field.
+	TxFlagMarker = 0x00
+
+	// WitnessFlag indicates witness data is present.
+	WitnessFlag = 0x01
+
+	// MaxSatoshi is 21 million coins in satoshi units, the most a TxOut
+	// value can hold.
+	MaxSatoshi int64 = 21e6 * 1e8
+)
+
+// OutPoint identifies a previous transaction output.
+type OutPoint struct {
+	Hash  chainhash.Hash
+	Index uint32
+}
+
+// NewOutPoint returns an OutPoint for the given hash and index.
+func NewOutPoint(hash *chainhash.Hash, index uint32) *OutPoint {
+	return &OutPoint{Hash: *hash, Index: index}
+}
+
+// String renders the outpoint as "hash:index".
+func (o OutPoint) String() string {
+	return fmt.Sprintf("%s:%d", o.Hash, o.Index)
+}
+
+// TxIn is a transaction input.
+type TxIn struct {
+	PreviousOutPoint OutPoint
+	SignatureScript  []byte
+	Witness          TxWitness
+	Sequence         uint32
+}
+
+// NewTxIn returns a TxIn with the maximum sequence number.
+func NewTxIn(prevOut *OutPoint, signatureScript []byte, witness TxWitness) *TxIn {
+	return &TxIn{
+		PreviousOutPoint: *prevOut,
+		SignatureScript:  signatureScript,
+		Witness:          witness,
+		Sequence:         MaxTxInSequenceNum,
+	}
+}
+
+// TxWitness is the witness stack of a single input.
+type TxWitness [][]byte
+
+// SerializeSize returns the wire size of the witness stack.
+func (t TxWitness) SerializeSize() int {
+	n := VarIntSerializeSize(uint64(len(t)))
+	for _, item := range t {
+		n += VarIntSerializeSize(uint64(len(item))) + len(item)
+	}
+	return n
+}
+
+// TxOut is a transaction output.
+type TxOut struct {
+	Value    int64
+	PkScript []byte
+}
+
+// NewTxOut returns a TxOut with the given value and script.
+func NewTxOut(value int64, pkScript []byte) *TxOut {
+	return &TxOut{Value: value, PkScript: pkScript}
+}
+
+// MsgTx implements the Message interface and represents a Bitcoin TX message
+// (and the transaction structure embedded in blocks).
+type MsgTx struct {
+	Version  int32
+	TxIn     []*TxIn
+	TxOut    []*TxOut
+	LockTime uint32
+}
+
+var _ Message = (*MsgTx)(nil)
+
+// NewMsgTx returns an empty transaction of the given version.
+func NewMsgTx(version int32) *MsgTx {
+	return &MsgTx{Version: version}
+}
+
+// AddTxIn appends a transaction input.
+func (msg *MsgTx) AddTxIn(ti *TxIn) { msg.TxIn = append(msg.TxIn, ti) }
+
+// AddTxOut appends a transaction output.
+func (msg *MsgTx) AddTxOut(to *TxOut) { msg.TxOut = append(msg.TxOut, to) }
+
+// HasWitness reports whether any input carries witness data.
+func (msg *MsgTx) HasWitness() bool {
+	for _, ti := range msg.TxIn {
+		if len(ti.Witness) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TxHash computes the transaction id: the double-SHA256 of the transaction
+// serialized without witness data.
+func (msg *MsgTx) TxHash() chainhash.Hash {
+	buf := bytes.NewBuffer(make([]byte, 0, msg.baseSize()))
+	_ = msg.serialize(buf, false)
+	return chainhash.DoubleHashH(buf.Bytes())
+}
+
+// WitnessHash computes wtxid: the double-SHA256 including witness data. For
+// transactions without witnesses this equals TxHash.
+func (msg *MsgTx) WitnessHash() chainhash.Hash {
+	if !msg.HasWitness() {
+		return msg.TxHash()
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, msg.SerializeSize()))
+	_ = msg.serialize(buf, true)
+	return chainhash.DoubleHashH(buf.Bytes())
+}
+
+// Copy returns a deep copy of the transaction.
+func (msg *MsgTx) Copy() *MsgTx {
+	newTx := MsgTx{
+		Version:  msg.Version,
+		LockTime: msg.LockTime,
+		TxIn:     make([]*TxIn, 0, len(msg.TxIn)),
+		TxOut:    make([]*TxOut, 0, len(msg.TxOut)),
+	}
+	for _, oldIn := range msg.TxIn {
+		newIn := TxIn{
+			PreviousOutPoint: oldIn.PreviousOutPoint,
+			Sequence:         oldIn.Sequence,
+			SignatureScript:  append([]byte(nil), oldIn.SignatureScript...),
+		}
+		if len(oldIn.Witness) != 0 {
+			newIn.Witness = make(TxWitness, len(oldIn.Witness))
+			for i, item := range oldIn.Witness {
+				newIn.Witness[i] = append([]byte(nil), item...)
+			}
+		}
+		newTx.TxIn = append(newTx.TxIn, &newIn)
+	}
+	for _, oldOut := range msg.TxOut {
+		newTx.TxOut = append(newTx.TxOut, &TxOut{
+			Value:    oldOut.Value,
+			PkScript: append([]byte(nil), oldOut.PkScript...),
+		})
+	}
+	return &newTx
+}
+
+// BtcDecode decodes the transaction from r.
+func (msg *MsgTx) BtcDecode(r io.Reader, _ uint32) error {
+	version, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	msg.Version = int32(version)
+
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+
+	// A count of zero with a following WitnessFlag byte indicates a
+	// segwit-serialized transaction.
+	var flag byte
+	if count == TxFlagMarker {
+		if flag, err = readUint8(r); err != nil {
+			return err
+		}
+		if flag != WitnessFlag {
+			return messageError("MsgTx.BtcDecode", fmt.Sprintf("witness tx but flag byte is %x", flag))
+		}
+		if count, err = ReadVarInt(r); err != nil {
+			return err
+		}
+	}
+	if count > maxTxPerMsg {
+		return messageError("MsgTx.BtcDecode", fmt.Sprintf("too many input transactions [%d]", count))
+	}
+
+	msg.TxIn = make([]*TxIn, count)
+	for i := uint64(0); i < count; i++ {
+		ti := &TxIn{}
+		if err := readTxIn(r, ti); err != nil {
+			return err
+		}
+		msg.TxIn[i] = ti
+	}
+
+	count, err = ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxTxPerMsg {
+		return messageError("MsgTx.BtcDecode", fmt.Sprintf("too many output transactions [%d]", count))
+	}
+	msg.TxOut = make([]*TxOut, count)
+	for i := uint64(0); i < count; i++ {
+		to := &TxOut{}
+		if err := readTxOut(r, to); err != nil {
+			return err
+		}
+		msg.TxOut[i] = to
+	}
+
+	if flag != 0 {
+		for _, ti := range msg.TxIn {
+			witCount, err := ReadVarInt(r)
+			if err != nil {
+				return err
+			}
+			if witCount > maxWitnessItemsPerInput {
+				return messageError("MsgTx.BtcDecode", fmt.Sprintf("too many witness items [%d]", witCount))
+			}
+			ti.Witness = make(TxWitness, witCount)
+			for j := uint64(0); j < witCount; j++ {
+				item, err := ReadVarBytes(r, maxWitnessItemSize, "script witness item")
+				if err != nil {
+					return err
+				}
+				ti.Witness[j] = item
+			}
+		}
+	}
+
+	msg.LockTime, err = readUint32(r)
+	return err
+}
+
+// BtcEncode encodes the transaction to w, including witness data if present.
+func (msg *MsgTx) BtcEncode(w io.Writer, _ uint32) error {
+	return msg.serialize(w, true)
+}
+
+// Serialize writes the transaction in stored form (with witness if present).
+func (msg *MsgTx) Serialize(w io.Writer) error { return msg.serialize(w, true) }
+
+// SerializeNoWitness writes the transaction in legacy form.
+func (msg *MsgTx) SerializeNoWitness(w io.Writer) error { return msg.serialize(w, false) }
+
+// Deserialize reads the transaction in stored form.
+func (msg *MsgTx) Deserialize(r io.Reader) error { return msg.BtcDecode(r, ProtocolVersion) }
+
+func (msg *MsgTx) serialize(w io.Writer, withWitness bool) error {
+	if err := writeUint32(w, uint32(msg.Version)); err != nil {
+		return err
+	}
+	doWitness := withWitness && msg.HasWitness()
+	if doWitness {
+		if _, err := w.Write([]byte{TxFlagMarker, WitnessFlag}); err != nil {
+			return err
+		}
+	}
+	if err := WriteVarInt(w, uint64(len(msg.TxIn))); err != nil {
+		return err
+	}
+	for _, ti := range msg.TxIn {
+		if err := writeTxIn(w, ti); err != nil {
+			return err
+		}
+	}
+	if err := WriteVarInt(w, uint64(len(msg.TxOut))); err != nil {
+		return err
+	}
+	for _, to := range msg.TxOut {
+		if err := writeTxOut(w, to); err != nil {
+			return err
+		}
+	}
+	if doWitness {
+		for _, ti := range msg.TxIn {
+			if err := WriteVarInt(w, uint64(len(ti.Witness))); err != nil {
+				return err
+			}
+			for _, item := range ti.Witness {
+				if err := WriteVarBytes(w, item); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return writeUint32(w, msg.LockTime)
+}
+
+// baseSize is the serialized size without witness data.
+func (msg *MsgTx) baseSize() int {
+	n := 8 + VarIntSerializeSize(uint64(len(msg.TxIn))) + VarIntSerializeSize(uint64(len(msg.TxOut)))
+	for _, ti := range msg.TxIn {
+		n += 40 + VarIntSerializeSize(uint64(len(ti.SignatureScript))) + len(ti.SignatureScript)
+	}
+	for _, to := range msg.TxOut {
+		n += 8 + VarIntSerializeSize(uint64(len(to.PkScript))) + len(to.PkScript)
+	}
+	return n
+}
+
+// SerializeSize returns the full serialized size including witness data.
+func (msg *MsgTx) SerializeSize() int {
+	n := msg.baseSize()
+	if msg.HasWitness() {
+		n += 2
+		for _, ti := range msg.TxIn {
+			n += ti.Witness.SerializeSize()
+		}
+	}
+	return n
+}
+
+// Command returns the protocol command string.
+func (msg *MsgTx) Command() string { return CmdTx }
+
+// MaxPayloadLength returns the maximum payload a TX message can be.
+func (msg *MsgTx) MaxPayloadLength(uint32) uint32 { return MaxBlockPayload }
+
+func readTxIn(r io.Reader, ti *TxIn) error {
+	if err := readOutPoint(r, &ti.PreviousOutPoint); err != nil {
+		return err
+	}
+	script, err := ReadVarBytes(r, maxScriptSize, "transaction input signature script")
+	if err != nil {
+		return err
+	}
+	ti.SignatureScript = script
+	ti.Sequence, err = readUint32(r)
+	return err
+}
+
+func writeTxIn(w io.Writer, ti *TxIn) error {
+	if err := writeOutPoint(w, &ti.PreviousOutPoint); err != nil {
+		return err
+	}
+	if err := WriteVarBytes(w, ti.SignatureScript); err != nil {
+		return err
+	}
+	return writeUint32(w, ti.Sequence)
+}
+
+func readTxOut(r io.Reader, to *TxOut) error {
+	value, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	to.Value = int64(value)
+	to.PkScript, err = ReadVarBytes(r, maxScriptSize, "transaction output public key script")
+	return err
+}
+
+func writeTxOut(w io.Writer, to *TxOut) error {
+	if err := writeUint64(w, uint64(to.Value)); err != nil {
+		return err
+	}
+	return WriteVarBytes(w, to.PkScript)
+}
+
+func readOutPoint(r io.Reader, op *OutPoint) error {
+	if err := readHash(r, &op.Hash); err != nil {
+		return err
+	}
+	var err error
+	op.Index, err = readUint32(r)
+	return err
+}
+
+func writeOutPoint(w io.Writer, op *OutPoint) error {
+	if err := writeHash(w, &op.Hash); err != nil {
+		return err
+	}
+	return writeUint32(w, op.Index)
+}

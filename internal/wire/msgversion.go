@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// MsgVersion implements the Message interface and represents a Bitcoin
+// VERSION message, the first message of the version handshake.
+type MsgVersion struct {
+	// ProtocolVersion the sender speaks.
+	ProtocolVersion int32
+
+	// Services the sender supports.
+	Services ServiceFlag
+
+	// Timestamp at the sender (seconds on the wire).
+	Timestamp time.Time
+
+	// AddrYou is the address of the remote peer as seen by the sender.
+	AddrYou NetAddress
+
+	// AddrMe is the sender's own address.
+	AddrMe NetAddress
+
+	// Nonce to detect self connections.
+	Nonce uint64
+
+	// UserAgent of the sender.
+	UserAgent string
+
+	// LastBlock is the sender's best block height.
+	LastBlock int32
+
+	// DisableRelay requests no transaction relay (BIP37).
+	DisableRelay bool
+}
+
+var _ Message = (*MsgVersion)(nil)
+
+// NewMsgVersion returns a VERSION message with defaults for this package's
+// protocol version.
+func NewMsgVersion(me, you *NetAddress, nonce uint64, lastBlock int32) *MsgVersion {
+	return &MsgVersion{
+		ProtocolVersion: int32(ProtocolVersion),
+		Services:        me.Services,
+		Timestamp:       time.Unix(time.Now().Unix(), 0),
+		AddrYou:         *you,
+		AddrMe:          *me,
+		Nonce:           nonce,
+		UserAgent:       DefaultUserAgent,
+		LastBlock:       lastBlock,
+	}
+}
+
+// DefaultUserAgent mirrors the Satoshi 0.20.0 client string of the paper's
+// testbed.
+const DefaultUserAgent = "/Satoshi:0.20.0/"
+
+// HasService reports whether the sender advertises the given service.
+func (msg *MsgVersion) HasService(service ServiceFlag) bool {
+	return msg.Services&service == service
+}
+
+// BtcDecode decodes the VERSION message. Fields past LastBlock are optional
+// for old peers, matching the tolerant decoding of real nodes.
+func (msg *MsgVersion) BtcDecode(r io.Reader, _ uint32) error {
+	pv, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	msg.ProtocolVersion = int32(pv)
+	services, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	msg.Services = ServiceFlag(services)
+	ts, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	msg.Timestamp = time.Unix(int64(ts), 0)
+	if err := readNetAddress(r, &msg.AddrYou, false); err != nil {
+		return err
+	}
+	if err := readNetAddress(r, &msg.AddrMe, false); err != nil {
+		return err
+	}
+	if msg.Nonce, err = readUint64(r); err != nil {
+		return err
+	}
+	ua, err := ReadVarString(r, MaxUserAgentLen)
+	if err != nil {
+		return err
+	}
+	msg.UserAgent = ua
+	lastBlock, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	msg.LastBlock = int32(lastBlock)
+	// Relay flag is optional trailing data.
+	relay, err := readBool(r)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	msg.DisableRelay = !relay
+	return nil
+}
+
+// BtcEncode encodes the VERSION message.
+func (msg *MsgVersion) BtcEncode(w io.Writer, _ uint32) error {
+	if len(msg.UserAgent) > MaxUserAgentLen {
+		return messageError("MsgVersion.BtcEncode",
+			fmt.Sprintf("user agent too long [len %d, max %d]", len(msg.UserAgent), MaxUserAgentLen))
+	}
+	if err := writeUint32(w, uint32(msg.ProtocolVersion)); err != nil {
+		return err
+	}
+	if err := writeUint64(w, uint64(msg.Services)); err != nil {
+		return err
+	}
+	if err := writeUint64(w, uint64(msg.Timestamp.Unix())); err != nil {
+		return err
+	}
+	if err := writeNetAddress(w, &msg.AddrYou, false); err != nil {
+		return err
+	}
+	if err := writeNetAddress(w, &msg.AddrMe, false); err != nil {
+		return err
+	}
+	if err := writeUint64(w, msg.Nonce); err != nil {
+		return err
+	}
+	if err := WriteVarString(w, msg.UserAgent); err != nil {
+		return err
+	}
+	if err := writeUint32(w, uint32(msg.LastBlock)); err != nil {
+		return err
+	}
+	return writeBool(w, !msg.DisableRelay)
+}
+
+// Command returns the protocol command string.
+func (msg *MsgVersion) Command() string { return CmdVersion }
+
+// MaxPayloadLength returns the maximum payload a VERSION message can be.
+func (msg *MsgVersion) MaxPayloadLength(uint32) uint32 {
+	// version 4 + services 8 + timestamp 8 + two addresses + nonce 8 +
+	// user agent + last block 4 + relay 1.
+	return 4 + 8 + 8 + 2*(maxNetAddressPayload-4) + 8 + (MaxVarIntPayload + MaxUserAgentLen) + 4 + 1
+}

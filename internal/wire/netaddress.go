@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// NetAddress defines information about a peer on the network as carried in
+// ADDR messages and the VERSION message. The timestamp is omitted on the
+// wire inside VERSION messages, matching the protocol.
+type NetAddress struct {
+	// Timestamp is the last time the address was seen. Not present in
+	// VERSION messages nor in protocol versions before 31402.
+	Timestamp time.Time
+
+	// Services advertised by the node at this address.
+	Services ServiceFlag
+
+	// IP address, always stored as 16 bytes (IPv4 uses the mapped form).
+	IP net.IP
+
+	// Port the node is listening on, big-endian on the wire.
+	Port uint16
+}
+
+// HasService reports whether the address advertises the given service.
+func (na *NetAddress) HasService(service ServiceFlag) bool {
+	return na.Services&service == service
+}
+
+// AddService adds a service to the advertised set.
+func (na *NetAddress) AddService(service ServiceFlag) {
+	na.Services |= service
+}
+
+// NewNetAddressIPPort returns a NetAddress with the current fields set and a
+// zero timestamp (callers stamping ADDR entries set Timestamp themselves).
+func NewNetAddressIPPort(ip net.IP, port uint16, services ServiceFlag) *NetAddress {
+	return &NetAddress{
+		Services: services,
+		IP:       ip,
+		Port:     port,
+	}
+}
+
+// NewNetAddress converts a net.TCPAddr into a NetAddress.
+func NewNetAddress(addr *net.TCPAddr, services ServiceFlag) *NetAddress {
+	return NewNetAddressIPPort(addr.IP, uint16(addr.Port), services)
+}
+
+// maxNetAddressPayload is the wire size of a NetAddress with timestamp.
+const maxNetAddressPayload = 4 + 8 + 16 + 2
+
+func readNetAddress(r io.Reader, na *NetAddress, withTimestamp bool) error {
+	if withTimestamp {
+		ts, err := readUint32(r)
+		if err != nil {
+			return err
+		}
+		na.Timestamp = time.Unix(int64(ts), 0)
+	}
+	services, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	na.Services = ServiceFlag(services)
+	var ip [16]byte
+	if _, err := io.ReadFull(r, ip[:]); err != nil {
+		return err
+	}
+	na.IP = net.IP(ip[:])
+	port, err := readUint16BE(r)
+	if err != nil {
+		return err
+	}
+	na.Port = port
+	return nil
+}
+
+func writeNetAddress(w io.Writer, na *NetAddress, withTimestamp bool) error {
+	if withTimestamp {
+		if err := writeUint32(w, uint32(na.Timestamp.Unix())); err != nil {
+			return err
+		}
+	}
+	if err := writeUint64(w, uint64(na.Services)); err != nil {
+		return err
+	}
+	var ip [16]byte
+	if na.IP != nil {
+		copy(ip[:], na.IP.To16())
+	}
+	if _, err := w.Write(ip[:]); err != nil {
+		return err
+	}
+	return writeUint16BE(w, na.Port)
+}

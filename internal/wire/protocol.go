@@ -1,0 +1,177 @@
+// Package wire implements the Bitcoin P2P wire protocol: the 24-byte message
+// header, compact-size integers, and all 26 message types of the Bitcoin
+// developer reference, matching protocol version 70015 as used by Bitcoin
+// Core 0.20.0 (the version the paper studies).
+package wire
+
+import "fmt"
+
+// ProtocolVersion is the protocol version this package speaks. 70015 is the
+// "Satoshi 0.20.0 / protocol version 70015" configuration used by the paper's
+// target node and innocent peer.
+const ProtocolVersion uint32 = 70015
+
+// Protocol version milestones referenced by validation rules.
+const (
+	// BIP37Version is the protocol version that introduced bloom
+	// filtering (FILTERLOAD / FILTERADD / FILTERCLEAR / MERKLEBLOCK).
+	BIP37Version uint32 = 70001
+
+	// NoBloomVersion is the protocol version from which unsolicited bloom
+	// filter messages are a misbehavior unless NODE_BLOOM is negotiated.
+	// Table I: "FILTERADD: Protocol version number >= 70011".
+	NoBloomVersion uint32 = 70011
+
+	// SendHeadersVersion added the SENDHEADERS negotiation.
+	SendHeadersVersion uint32 = 70012
+
+	// FeeFilterVersion added the FEEFILTER message.
+	FeeFilterVersion uint32 = 70013
+
+	// ShortIDsBlocksVersion added BIP152 compact blocks.
+	ShortIDsBlocksVersion uint32 = 70014
+)
+
+// ServiceFlag identifies services supported by a Bitcoin node, advertised in
+// the VERSION message and in ADDR entries.
+type ServiceFlag uint64
+
+// Service flags.
+const (
+	SFNodeNetwork ServiceFlag = 1 << iota
+	SFNodeGetUTXO
+	SFNodeBloom
+	SFNodeWitness
+	SFNodeXthin
+	_ // bit 5 unused
+	SFNodeCF
+	_ // bits 7..9 unused
+	_
+	_
+	SFNodeNetworkLimited ServiceFlag = 1 << 10
+)
+
+// String returns the service flag in human-readable form.
+func (f ServiceFlag) String() string {
+	if f == 0 {
+		return "0x0"
+	}
+	names := []struct {
+		flag ServiceFlag
+		name string
+	}{
+		{SFNodeNetwork, "SFNodeNetwork"},
+		{SFNodeGetUTXO, "SFNodeGetUTXO"},
+		{SFNodeBloom, "SFNodeBloom"},
+		{SFNodeWitness, "SFNodeWitness"},
+		{SFNodeXthin, "SFNodeXthin"},
+		{SFNodeCF, "SFNodeCF"},
+		{SFNodeNetworkLimited, "SFNodeNetworkLimited"},
+	}
+	s := ""
+	for _, n := range names {
+		if f&n.flag == n.flag {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+			f &^= n.flag
+		}
+	}
+	if f != 0 {
+		if s != "" {
+			s += "|"
+		}
+		s += fmt.Sprintf("0x%x", uint64(f))
+	}
+	return s
+}
+
+// BitcoinNet represents the network magic that prefixes every message.
+type BitcoinNet uint32
+
+// Network magic numbers.
+const (
+	// MainNet is the Bitcoin main network.
+	MainNet BitcoinNet = 0xd9b4bef9
+	// TestNet3 is the Bitcoin test network (version 3).
+	TestNet3 BitcoinNet = 0x0709110b
+	// SimNet is the magic used by the in-memory simulation network of
+	// this reproduction, so that simulated traffic can never be confused
+	// with real Mainnet traffic.
+	SimNet BitcoinNet = 0x12141c16
+)
+
+// String returns the network in human-readable form.
+func (n BitcoinNet) String() string {
+	switch n {
+	case MainNet:
+		return "MainNet"
+	case TestNet3:
+		return "TestNet3"
+	case SimNet:
+		return "SimNet"
+	}
+	return fmt.Sprintf("Unknown BitcoinNet (0x%x)", uint32(n))
+}
+
+// Protocol limits. The first group are hard wire limits enforced at decode
+// time; exceeding them is a malformed message. The second group are the
+// *policy* limits whose violation is a scored misbehavior per Table I — those
+// are deliberately NOT enforced at decode time so that the node's misbehavior
+// tracking (package core) observes them, mirroring Bitcoin Core's split
+// between deserialization and net_processing.
+const (
+	// MaxMessagePayload is the maximum bytes a message payload can be.
+	MaxMessagePayload = 32 * 1024 * 1024 // 32 MiB
+
+	// MaxVarIntPayload is the maximum payload size for a variable length integer.
+	MaxVarIntPayload = 9
+
+	// MaxUserAgentLen is the maximum allowed length for the user agent
+	// field in a VERSION message.
+	MaxUserAgentLen = 256
+
+	// MaxBlockPayload is the maximum bytes a BLOCK message can be.
+	MaxBlockPayload = 4 * 1024 * 1024
+)
+
+// Policy limits from Table I (checked by the node, scored by ban rules).
+const (
+	// MaxAddrPerMsg: "ADDR: More than 1000 addresses" scores 20.
+	MaxAddrPerMsg = 1000
+
+	// MaxInvPerMsg: "INV/GETDATA: More than 50000 inventory entries" scores 20.
+	MaxInvPerMsg = 50000
+
+	// MaxBlockHeadersPerMsg: "HEADERS: More than 2000 headers" scores 20.
+	MaxBlockHeadersPerMsg = 2000
+
+	// MaxFilterLoadFilterSize: "FILTERLOAD: Bloom filter size > 36000 bytes" scores 100.
+	MaxFilterLoadFilterSize = 36000
+
+	// MaxFilterLoadHashFuncs is the maximum number of bloom hash funcs.
+	MaxFilterLoadHashFuncs = 50
+
+	// MaxFilterAddDataSize: "FILTERADD: Data item > 520 bytes" scores 100.
+	MaxFilterAddDataSize = 520
+)
+
+// MessageError describes a malformed or protocol-violating message. Func is
+// the operation that detected it, Description the human-readable cause.
+type MessageError struct {
+	Func        string
+	Description string
+}
+
+// Error implements the error interface.
+func (e *MessageError) Error() string {
+	if e.Func != "" {
+		return fmt.Sprintf("%s: %s", e.Func, e.Description)
+	}
+	return e.Description
+}
+
+func messageError(f, desc string) *MessageError {
+	return &MessageError{Func: f, Description: desc}
+}
