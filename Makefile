@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the PR gate: vet, build, the
+# full test suite under the race detector, and the telemetry hot-path
+# benchmarks (one iteration — enough to catch a broken or regressing
+# instrumentation path without benchmarking noise in CI).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-telemetry
+
+check: vet build race bench-telemetry
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-telemetry:
+	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 1x ./...
+
+# Full benchmark sweep (tables, figures, ablations). Slow; not part of check.
+bench:
+	$(GO) test -bench . -benchmem ./...

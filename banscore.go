@@ -32,6 +32,7 @@ import (
 	"banscore/internal/detect"
 	"banscore/internal/node"
 	"banscore/internal/simnet"
+	"banscore/internal/telemetry"
 	"banscore/internal/wire"
 )
 
@@ -110,9 +111,27 @@ func WithMiningDifficulty() NodeOption {
 	return func(cfg *node.Config) { cfg.ChainParams = blockchain.HardNetParams() }
 }
 
-// WithDetector attaches a Detector's monitor to the node's message path.
+// WithDetector attaches a Detector's monitor to the node's message path. It
+// composes with WithTap and other observers via node.MultiTap.
 func WithDetector(d *Detector) NodeOption {
-	return func(cfg *node.Config) { cfg.Tap = d.tap() }
+	return func(cfg *node.Config) { cfg.Tap = node.MultiTap(cfg.Tap, d.monitor) }
+}
+
+// WithTap attaches an arbitrary observer to the node's message path,
+// composing with any previously configured tap (a detector, another tap).
+func WithTap(t node.Tap) NodeOption {
+	return func(cfg *node.Config) { cfg.Tap = node.MultiTap(cfg.Tap, t) }
+}
+
+// WithTelemetry attaches a metrics registry and (optionally nil) event
+// journal to the node: per-command message counters, dispatch latency,
+// per-rule misbehavior counters, ban totals, slot occupancy, peer traffic,
+// and typed events. Serve them with telemetry.NewServer.
+func WithTelemetry(reg *telemetry.Registry, j *telemetry.Journal) NodeOption {
+	return func(cfg *node.Config) {
+		cfg.Telemetry = reg
+		cfg.Journal = j
+	}
 }
 
 // WithMaxInbound overrides the 117-inbound-slot default.
@@ -306,16 +325,9 @@ func NewDetector(window time.Duration) *Detector {
 	return &Detector{monitor: detect.NewMonitor(window)}
 }
 
-// Monitor exposes the underlying monitor.
+// Monitor exposes the underlying monitor. It implements node.Tap directly,
+// so it can be combined with other observers via node.MultiTap.
 func (d *Detector) Monitor() *detect.Monitor { return d.monitor }
-
-// tap adapts the monitor to the node Tap interface.
-func (d *Detector) tap() node.Tap { return detectorTap{d.monitor} }
-
-type detectorTap struct{ m *detect.Monitor }
-
-func (t detectorTap) OnMessage(cmd string, at time.Time) { t.m.OnMessage(cmd, at) }
-func (t detectorTap) OnOutboundReconnect(at time.Time)   { t.m.OnOutboundReconnect(at) }
 
 // Train fits the thresholds from the windows collected so far (which must
 // be normal traffic) and returns them.

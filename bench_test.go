@@ -23,6 +23,7 @@ import (
 	"banscore/internal/experiments"
 	"banscore/internal/miner"
 	"banscore/internal/mlbase"
+	"banscore/internal/telemetry"
 	"banscore/internal/traffic"
 	"banscore/internal/wire"
 )
@@ -65,6 +66,47 @@ func newBenchEnv(b *testing.B) (*experiments.Testbed, *attack.Session, *attack.F
 }
 
 type processFunc func(wire.Message)
+
+// BenchmarkTelemetryNodeDispatch measures what the telemetry hooks cost on
+// the node's hot dispatch path: the same direct-injection PING pipeline
+// with no registry attached and with a live registry + journal. The
+// enabled/disabled delta is the instrumentation overhead — one atomic
+// counter increment through a single-entry command cache plus a 1-in-64
+// sampled latency timing, ~6 ns (≈5%) on the development host.
+func BenchmarkTelemetryNodeDispatch(b *testing.B) {
+	run := func(b *testing.B, cfg experiments.TestbedConfig) {
+		cfg.TrackerConfig = core.Config{Mode: core.ModeThresholdInfinity}
+		tb, err := experiments.NewTestbed(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(tb.Close)
+		const attacker = "10.0.0.2:50001"
+		s, err := tb.NewAttackSession(attacker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		p, err := tb.VictimPeer(attacker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Victim.ProcessMessageDirect(p, wire.NewMsgPing(uint64(i)), 0)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, experiments.TestbedConfig{})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		run(b, experiments.TestbedConfig{
+			Telemetry: telemetry.NewRegistry(),
+			Journal:   telemetry.NewJournal(0),
+		})
+	})
+}
 
 // BenchmarkTable1Render regenerates Table I.
 func BenchmarkTable1Render(b *testing.B) {

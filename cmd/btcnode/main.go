@@ -6,7 +6,10 @@
 // Usage:
 //
 //	btcnode -listen :8333 [-connect host:port,...] [-mode standard|infinity|disabled|goodscore]
-//	        [-core-version 0.20.0|0.21.0|0.22.0] [-stats 10s]
+//	        [-core-version 0.20.0|0.21.0|0.22.0] [-stats 10s] [-telemetry 127.0.0.1:9333]
+//
+// With -telemetry set, an HTTP endpoint serves /metrics (Prometheus text, or
+// ?format=json), /healthz, and /events (the typed event journal).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"banscore/internal/core"
 	"banscore/internal/detect"
 	"banscore/internal/node"
+	"banscore/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func run() error {
 	mode := flag.String("mode", "standard", "tracker mode: standard, infinity, disabled, goodscore")
 	coreVersion := flag.String("core-version", "0.20.0", "Table I rule set: 0.20.0, 0.21.0, 0.22.0")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	telemetryAddr := flag.String("telemetry", "", "HTTP address for /metrics, /healthz, /events (empty disables; \":0\" picks a port)")
 	flag.Parse()
 
 	trackerMode, err := parseMode(*mode)
@@ -49,11 +54,29 @@ func run() error {
 	}
 
 	monitor := detect.NewMonitor(detect.DefaultWindow)
-	n := node.New(node.Config{
+	cfg := node.Config{
 		TrackerConfig: core.Config{Mode: trackerMode, Version: version},
 		Dialer:        func(remote string) (net.Conn, error) { return net.Dial("tcp", remote) },
-		Tap:           tap{monitor},
-	})
+		Tap:           monitor,
+	}
+
+	var telemetrySrv *telemetry.Server
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		journal := telemetry.NewJournal(0)
+		monitor.Instrument(reg, journal)
+		cfg.Telemetry = reg
+		cfg.Journal = journal
+		telemetrySrv = telemetry.NewServer(reg, journal)
+		addr, err := telemetrySrv.Start(*telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Printf("telemetry at http://%s/metrics (also /healthz, /events)\n", addr)
+		defer telemetrySrv.Close()
+	}
+
+	n := node.New(cfg)
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -100,12 +123,6 @@ func run() error {
 		}
 	}
 }
-
-// tap adapts the detection monitor to the node Tap interface.
-type tap struct{ m *detect.Monitor }
-
-func (t tap) OnMessage(cmd string, at time.Time) { t.m.OnMessage(cmd, at) }
-func (t tap) OnOutboundReconnect(at time.Time)   { t.m.OnOutboundReconnect(at) }
 
 func parseMode(s string) (core.Mode, error) {
 	switch s {

@@ -1,11 +1,14 @@
 // Detection: train the paper's §VII anomaly-detection engine on synthetic
 // Mainnet traffic, then detect both a BM-DoS flood and a Defamation attack
-// from the three features (c, n, Λ) — without any node change.
+// from the three features (c, n, Λ) — without any node change. A final
+// section attaches the same Monitor to a live simnet node, composed with a
+// second observer via node.MultiTap.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"banscore"
@@ -13,6 +16,15 @@ import (
 	"banscore/internal/traffic"
 	"banscore/internal/wire"
 )
+
+// countingTap is a second message-path observer riding alongside the
+// detection Monitor — the kind of composition node.MultiTap exists for.
+type countingTap struct{ messages, reconnects atomic.Uint64 }
+
+func (c *countingTap) OnMessage(string, time.Time) { c.messages.Add(1) }
+func (c *countingTap) OnOutboundReconnect(time.Time) {
+	c.reconnects.Add(1)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -86,5 +98,44 @@ func run() error {
 	if err := report("under-Defamation", defamation); err != nil {
 		return err
 	}
+
+	return liveMonitor()
+}
+
+// liveMonitor attaches a detection Monitor to a running node's message
+// path alongside a plain counting tap. WithDetector and WithTap both
+// compose through node.MultiTap, so the two observers see the same stream
+// with no wrapper types.
+func liveMonitor() error {
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+
+	live := banscore.NewDetector(time.Second)
+	counter := &countingTap{}
+	victim, err := sim.StartNode("10.0.0.1:8333",
+		banscore.WithDetector(live),
+		banscore.WithTap(counter),
+	)
+	if err != nil {
+		return err
+	}
+	defer victim.Stop()
+
+	attacker := sim.NewAttacker("10.0.0.66", victim.Addr())
+	if _, err := attacker.FloodPings(500); err != nil {
+		return err
+	}
+	// The flood returns once sent; give the victim a moment to drain it.
+	for deadline := time.Now().Add(5 * time.Second); counter.messages.Load() < 500 && time.Now().Before(deadline); {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	windows := live.Monitor().Flush()
+	var monitored int
+	for _, w := range windows {
+		monitored += w.Messages
+	}
+	fmt.Printf("\nlive node, two taps via MultiTap: counter saw %d messages, monitor saw %d across %d windows\n",
+		counter.messages.Load(), monitored, len(windows))
 	return nil
 }

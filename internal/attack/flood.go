@@ -40,8 +40,25 @@ type FloodOptions struct {
 	// (the paper's "no interval/delay" configuration).
 	Delay time.Duration
 
+	// Burst, when > 1, applies Delay only after every Burst-th message —
+	// a sender that dumps a socket buffer's worth of traffic and then
+	// pauses. This expresses duty cycles finer than the OS sleep
+	// granularity allows with a per-message Delay.
+	Burst uint64
+
 	// Stop, when non-nil, aborts the flood when closed.
 	Stop <-chan struct{}
+}
+
+// pause sleeps o.Delay if the flood owes a pause after its sent-th message.
+func (o FloodOptions) pause(sent uint64) {
+	if o.Delay <= 0 {
+		return
+	}
+	if o.Burst > 1 && sent%o.Burst != 0 {
+		return
+	}
+	time.Sleep(o.Delay)
 }
 
 // Flood repeatedly sends messages produced by next over the session. It
@@ -74,9 +91,7 @@ func Flood(s *Session, next func() wire.Message, opts FloodOptions) FloodResult 
 			break
 		}
 		res.Sent++
-		if opts.Delay > 0 {
-			time.Sleep(opts.Delay)
-		}
+		opts.pause(res.Sent)
 	}
 	res.Elapsed = time.Since(start)
 	return res
@@ -114,9 +129,7 @@ func FloodRaw(s *Session, command string, payload []byte, opts FloodOptions) Flo
 			break
 		}
 		res.Sent++
-		if opts.Delay > 0 {
-			time.Sleep(opts.Delay)
-		}
+		opts.pause(res.Sent)
 	}
 	res.Elapsed = time.Since(start)
 	return res

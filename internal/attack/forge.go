@@ -3,6 +3,7 @@ package attack
 import (
 	"bytes"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"banscore/internal/blockchain"
@@ -11,10 +12,11 @@ import (
 )
 
 // Forge crafts the attack payloads of the paper's vectors. All methods are
-// deterministic given the seed state so experiments are reproducible.
+// deterministic given the seed state so experiments are reproducible, and
+// safe to share across flood goroutines (the sequence is atomic).
 type Forge struct {
 	params *blockchain.Params
-	seq    uint64
+	seq    atomic.Uint64
 }
 
 // NewForge returns a Forge for the given chain parameters.
@@ -23,8 +25,7 @@ func NewForge(params *blockchain.Params) *Forge {
 }
 
 func (f *Forge) nextSeq() uint64 {
-	f.seq++
-	return f.seq
+	return f.seq.Add(1)
 }
 
 // hash produces a deterministic unique hash.

@@ -80,6 +80,13 @@ type Config struct {
 	// OnBan, if set, is invoked (synchronously) whenever a peer crosses
 	// the threshold, before the identifier enters the ban list.
 	OnBan func(id PeerID, score int)
+
+	// OnApplied, if set, is invoked (synchronously) for every rule hit
+	// that actually scored, with the rule, the score delta, and the
+	// peer's resulting total. The telemetry layer hooks this to expose
+	// live per-rule hit counters (Table I, observable on a running node)
+	// without the tracker importing anything.
+	OnApplied func(id PeerID, rule RuleID, delta, total int)
 }
 
 func (c *Config) fillDefaults() {
@@ -177,6 +184,9 @@ func (t *Tracker) Misbehaving(id PeerID, inbound bool, rule RuleID) Result {
 	total := t.scores[id]
 	t.mu.Unlock()
 
+	if t.cfg.OnApplied != nil {
+		t.cfg.OnApplied(id, rule, score, total)
+	}
 	res := Result{Applied: true, Score: total}
 	if t.cfg.Mode == ModeStandard && total >= t.cfg.BanThreshold {
 		res.Banned = true

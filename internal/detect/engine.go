@@ -46,6 +46,13 @@ func (t Thresholds) String() string {
 type Detection struct {
 	Anomalous bool
 
+	// Skipped marks a window that carried no samples at all (no messages
+	// and no reconnects — a silent gap in the feed). Such a window has no
+	// distribution to correlate and a meaningless rate of exactly zero;
+	// scoring it would flag every quiet period as an attack. A skipped
+	// window is never Anomalous.
+	Skipped bool
+
 	// Per-feature triggers.
 	TriggeredC      bool
 	TriggeredN      bool
@@ -59,6 +66,9 @@ type Detection struct {
 
 // Reasons lists the triggered features in a human-readable form.
 func (d Detection) Reasons() string {
+	if d.Skipped {
+		return "skipped (empty window)"
+	}
 	var out []string
 	if d.TriggeredC {
 		out = append(out, fmt.Sprintf("reconnection rate c=%.1f/min outside τ_c", d.C))
@@ -87,6 +97,7 @@ type Config struct {
 // Train.
 type Engine struct {
 	thresholds Thresholds
+	tele       *engineTelemetry // nil unless Instrument was called
 }
 
 // Train fits the thresholds from normal-traffic windows — the paper's
@@ -94,6 +105,19 @@ type Engine struct {
 // returns the wall-clock training latency for the Fig. 11 comparison.
 func Train(windows []WindowStats, cfg Config) (*Engine, time.Duration, error) {
 	start := time.Now()
+	// Empty windows (no messages at all) are silent gaps in the training
+	// feed, not samples of normal behavior. Keeping them would silently
+	// zero two thresholds: NMin collapses to 0 (a message rate of 0
+	// becomes "normal") and LambdaMin collapses to 0 (the Pearson
+	// correlation of a zero vector is 0), disabling the Λ feature
+	// entirely. Skip them instead of scoring them.
+	trainable := windows[:0:0]
+	for _, w := range windows {
+		if w.Messages > 0 {
+			trainable = append(trainable, w)
+		}
+	}
+	windows = trainable
 	if len(windows) == 0 {
 		return nil, 0, ErrNoTrainingData
 	}
@@ -174,21 +198,32 @@ func vectorize(w WindowStats, commands []string) []float64 {
 	return stats.Normalize(v)
 }
 
-// Detect evaluates one window against the thresholds.
+// Detect evaluates one window against the thresholds. A window carrying no
+// samples at all is skipped, not scored: its zero vector has no correlation
+// with any reference, so evaluating it would report every silent gap as a
+// Λ anomaly.
 func (e *Engine) Detect(w WindowStats) Detection {
 	th := e.thresholds
+	if w.Messages == 0 && w.Reconnects == 0 {
+		d := Detection{Skipped: true}
+		e.tele.observe(d, w)
+		return d
+	}
 	d := Detection{
 		C: w.ReconnectRatePerMinute(),
 		N: w.RatePerMinute(),
 	}
-	rho, err := stats.PearsonCorrelation(vectorize(w, th.Commands), th.Reference)
-	if err == nil {
-		d.Rho = rho
-	}
 	d.TriggeredC = d.C < th.CMin || d.C > th.CMax
 	d.TriggeredN = d.N < th.NMin || d.N > th.NMax
-	d.TriggeredLambda = d.Rho < th.LambdaMin
+	if w.Messages > 0 {
+		rho, err := stats.PearsonCorrelation(vectorize(w, th.Commands), th.Reference)
+		if err == nil {
+			d.Rho = rho
+		}
+		d.TriggeredLambda = d.Rho < th.LambdaMin
+	}
 	d.Anomalous = d.TriggeredC || d.TriggeredN || d.TriggeredLambda
+	e.tele.observe(d, w)
 	return d
 }
 

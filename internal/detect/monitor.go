@@ -72,9 +72,10 @@ func (w WindowStats) Commands() []string {
 type Monitor struct {
 	window time.Duration
 
-	mu        sync.Mutex
-	current   *WindowStats
-	completed []WindowStats
+	mu         sync.Mutex
+	current    *WindowStats
+	completed  []WindowStats
+	onComplete func(WindowStats)
 }
 
 // NewMonitor returns a Monitor with the given window length (zero selects
@@ -89,6 +90,16 @@ func NewMonitor(window time.Duration) *Monitor {
 // Window returns the configured window length.
 func (m *Monitor) Window() time.Duration { return m.window }
 
+// OnWindowComplete registers fn to be invoked for every window the Monitor
+// closes (including the empty gap windows of quiet periods). fn runs with
+// the Monitor's lock held and must not call back into the Monitor; keep it
+// cheap — the telemetry layer uses it to publish live window gauges.
+func (m *Monitor) OnWindowComplete(fn func(WindowStats)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onComplete = fn
+}
+
 // roll opens/advances windows so that `at` falls into the current one.
 // Caller holds mu.
 func (m *Monitor) roll(at time.Time) {
@@ -102,6 +113,9 @@ func (m *Monitor) roll(at time.Time) {
 	}
 	for !at.Before(m.current.Start.Add(m.window)) {
 		m.completed = append(m.completed, *m.current)
+		if m.onComplete != nil {
+			m.onComplete(*m.current)
+		}
 		m.current = &WindowStats{
 			Start:    m.current.Start.Add(m.window),
 			Duration: m.window,
@@ -144,6 +158,9 @@ func (m *Monitor) Flush() []WindowStats {
 	defer m.mu.Unlock()
 	if m.current != nil && m.current.Messages+m.current.Reconnects > 0 {
 		m.completed = append(m.completed, *m.current)
+		if m.onComplete != nil {
+			m.onComplete(*m.current)
+		}
 		m.current = nil
 	}
 	out := make([]WindowStats, len(m.completed))

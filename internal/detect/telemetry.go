@@ -1,0 +1,99 @@
+package detect
+
+import (
+	"strconv"
+
+	"banscore/internal/telemetry"
+)
+
+// fmtRate renders a feature value compactly for journal detail strings.
+func fmtRate(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+// Instrument publishes the Monitor's windowing activity to reg and,
+// optionally, j: the last completed window's feature inputs as gauges
+// (detect_window_c_per_min, detect_window_n_per_min, detect_window_messages)
+// plus a detect_windows_total counter and an EventDetectWindow journal entry
+// per closed window. Call before attaching the Monitor to a node.
+func (m *Monitor) Instrument(reg *telemetry.Registry, j *telemetry.Journal) {
+	reg.Describe("detect_windows_total", "Observation windows closed by the detection Monitor.")
+	windows := reg.Counter("detect_windows_total")
+	reg.Describe("detect_window_c_per_min", "Reconnection rate c of the last completed window (feature input).")
+	cGauge := reg.Gauge("detect_window_c_per_min")
+	reg.Describe("detect_window_n_per_min", "Message rate n of the last completed window (feature input).")
+	nGauge := reg.Gauge("detect_window_n_per_min")
+	reg.Describe("detect_window_messages", "Total messages in the last completed window.")
+	msgGauge := reg.Gauge("detect_window_messages")
+
+	m.OnWindowComplete(func(w WindowStats) {
+		windows.Inc()
+		cGauge.Set(w.ReconnectRatePerMinute())
+		nGauge.Set(w.RatePerMinute())
+		msgGauge.Set(float64(w.Messages))
+		j.Record(telemetry.Event{
+			At:    w.Start.Add(w.Duration),
+			Type:  telemetry.EventDetectWindow,
+			Value: float64(w.Messages),
+			Detail: "c=" + fmtRate(w.ReconnectRatePerMinute()) +
+				"/min n=" + fmtRate(w.RatePerMinute()) + "/min",
+		})
+	})
+}
+
+// engineTelemetry is the Engine's optional metric surface. All methods are
+// nil-safe so the uninstrumented Detect path costs one nil check.
+type engineTelemetry struct {
+	evaluated *telemetry.Counter
+	skipped   *telemetry.Counter
+	alarms    *telemetry.Counter
+	cGauge    *telemetry.Gauge
+	nGauge    *telemetry.Gauge
+	lambda    *telemetry.Gauge
+	journal   *telemetry.Journal
+}
+
+// Instrument publishes the Engine's verdicts to reg and, optionally, j: the
+// measured feature values of the last evaluated window as gauges
+// (detect_feature_c, detect_feature_n, detect_feature_lambda), counters for
+// evaluated/skipped/alarmed windows, and an EventDetectAlarm journal entry
+// for every anomalous verdict.
+func (e *Engine) Instrument(reg *telemetry.Registry, j *telemetry.Journal) {
+	reg.Describe("detect_windows_evaluated_total", "Windows scored by the analysis engine.")
+	reg.Describe("detect_windows_skipped_total", "Empty windows the engine skipped instead of scoring.")
+	reg.Describe("detect_alarms_total", "Windows the engine flagged as anomalous.")
+	reg.Describe("detect_feature_c", "Reconnection rate c of the last evaluated window.")
+	reg.Describe("detect_feature_n", "Message rate n of the last evaluated window.")
+	reg.Describe("detect_feature_lambda", "Distribution correlation rho of the last evaluated window.")
+	e.tele = &engineTelemetry{
+		evaluated: reg.Counter("detect_windows_evaluated_total"),
+		skipped:   reg.Counter("detect_windows_skipped_total"),
+		alarms:    reg.Counter("detect_alarms_total"),
+		cGauge:    reg.Gauge("detect_feature_c"),
+		nGauge:    reg.Gauge("detect_feature_n"),
+		lambda:    reg.Gauge("detect_feature_lambda"),
+		journal:   j,
+	}
+}
+
+// observe records one verdict against the window that produced it.
+func (t *engineTelemetry) observe(d Detection, w WindowStats) {
+	if t == nil {
+		return
+	}
+	if d.Skipped {
+		t.skipped.Inc()
+		return
+	}
+	t.evaluated.Inc()
+	t.cGauge.Set(d.C)
+	t.nGauge.Set(d.N)
+	t.lambda.Set(d.Rho)
+	if d.Anomalous {
+		t.alarms.Inc()
+		t.journal.Record(telemetry.Event{
+			At:     w.Start.Add(w.Duration),
+			Type:   telemetry.EventDetectAlarm,
+			Value:  d.Rho,
+			Detail: d.Reasons(),
+		})
+	}
+}

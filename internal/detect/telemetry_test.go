@@ -1,0 +1,166 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"banscore/internal/telemetry"
+	"banscore/internal/traffic"
+	"banscore/internal/wire"
+)
+
+// TestTrainSkipsEmptyWindows is the regression test for the silent-zero bug:
+// a gap window with zero messages used to collapse NMin to 0 and LambdaMin
+// to 0 (Pearson of a zero vector is 0), disabling the n lower bound and the
+// whole Λ feature without any error.
+func TestTrainSkipsEmptyWindows(t *testing.T) {
+	gen := traffic.NewGenerator(42)
+	windows := WindowsFromEvents(gen.Events(t0, 4*time.Hour), nil, DefaultWindow)
+	clean, _, err := Train(windows, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject silent gap windows into the same dataset.
+	poisoned := append([]WindowStats{
+		{Start: t0.Add(-2 * DefaultWindow), Duration: DefaultWindow, Counts: map[string]float64{}},
+	}, windows...)
+	poisoned = append(poisoned, WindowStats{
+		Start: t0.Add(5 * time.Hour), Duration: DefaultWindow, Counts: map[string]float64{},
+	})
+	trained, _, err := Train(poisoned, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ct, pt := clean.Thresholds(), trained.Thresholds()
+	if pt.NMin != ct.NMin {
+		t.Errorf("empty windows changed NMin: %v vs clean %v", pt.NMin, ct.NMin)
+	}
+	if pt.LambdaMin != ct.LambdaMin {
+		t.Errorf("empty windows changed LambdaMin: %v vs clean %v", pt.LambdaMin, ct.LambdaMin)
+	}
+	if pt.NMin == 0 {
+		t.Error("NMin collapsed to 0 — silent-zero poisoning is back")
+	}
+	if pt.LambdaMin == 0 {
+		t.Error("LambdaMin collapsed to 0 — silent-zero poisoning is back")
+	}
+}
+
+func TestTrainAllEmptyWindowsErrors(t *testing.T) {
+	empty := []WindowStats{
+		{Start: t0, Duration: DefaultWindow, Counts: map[string]float64{}},
+		{Start: t0.Add(DefaultWindow), Duration: DefaultWindow, Counts: map[string]float64{}},
+	}
+	if _, _, err := Train(empty, Config{}); err != ErrNoTrainingData {
+		t.Errorf("Train on all-empty dataset: err = %v, want ErrNoTrainingData", err)
+	}
+}
+
+// TestDetectSkipsEmptyWindow verifies the scoring half of the fix: an empty
+// window comes back Skipped, never Anomalous, where it previously triggered
+// the Λ feature (correlation of the zero vector is 0 < τ_Λ).
+func TestDetectSkipsEmptyWindow(t *testing.T) {
+	engine := trainEngine(t, 4)
+	empty := WindowStats{Start: t0, Duration: DefaultWindow, Counts: map[string]float64{}}
+	d := engine.Detect(empty)
+	if !d.Skipped {
+		t.Fatal("empty window was not skipped")
+	}
+	if d.Anomalous || d.TriggeredC || d.TriggeredN || d.TriggeredLambda {
+		t.Errorf("skipped window carries triggers: %+v", d)
+	}
+	if got := d.Reasons(); got != "skipped (empty window)" {
+		t.Errorf("Reasons() = %q", got)
+	}
+
+	// A reconnect-only window (Defamation signature with no chatter) must
+	// still be scored on c, not skipped.
+	reconn := WindowStats{Start: t0, Duration: DefaultWindow, Counts: map[string]float64{}, Reconnects: 500}
+	d = engine.Detect(reconn)
+	if d.Skipped {
+		t.Fatal("reconnect-only window was skipped")
+	}
+	if !d.TriggeredC || !d.Anomalous {
+		t.Errorf("reconnect flood not flagged: %+v", d)
+	}
+	if d.TriggeredLambda {
+		t.Error("Λ triggered on a window with no messages — zero-vector correlation leaked back in")
+	}
+}
+
+func TestMonitorInstrument(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	j := telemetry.NewJournal(16)
+	m := NewMonitor(time.Minute)
+	m.Instrument(reg, j)
+
+	// 10 messages spaced 20s apart close 3 windows (plus a trailing
+	// partial one that Flush also completes).
+	for i := 0; i < 10; i++ {
+		m.OnMessage(wire.CmdTx, t0.Add(time.Duration(i)*20*time.Second))
+	}
+	m.OnOutboundReconnect(t0.Add(9 * 20 * time.Second))
+	m.Flush()
+
+	if got := reg.Counter("detect_windows_total").Value(); got != 4 {
+		t.Errorf("detect_windows_total = %d, want 4", got)
+	}
+	if got := reg.Gauge("detect_window_messages").Value(); got != 1 {
+		t.Errorf("detect_window_messages = %v, want 1 (last flushed window)", got)
+	}
+	events := j.Events()
+	if len(events) != 4 {
+		t.Fatalf("journal has %d events, want 4", len(events))
+	}
+	for _, ev := range events {
+		if ev.Type != telemetry.EventDetectWindow {
+			t.Errorf("event type = %q", ev.Type)
+		}
+	}
+}
+
+func TestEngineInstrument(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	j := telemetry.NewJournal(16)
+	engine := trainEngine(t, 4)
+	engine.Instrument(reg, j)
+
+	// One normal-ish window, one empty, one BM-DoS-shaped flood.
+	gen := traffic.NewGenerator(7)
+	normal := WindowsFromEvents(gen.Events(t0, time.Hour), nil, DefaultWindow)
+	engine.Detect(normal[0])
+	engine.Detect(WindowStats{Start: t0, Duration: DefaultWindow, Counts: map[string]float64{}})
+	flood := WindowStats{
+		Start: t0, Duration: DefaultWindow,
+		Counts:   map[string]float64{wire.CmdPing: 1e6},
+		Messages: 1e6,
+	}
+	d := engine.Detect(flood)
+	if !d.Anomalous {
+		t.Fatal("flood window not anomalous")
+	}
+
+	if got := reg.Counter("detect_windows_skipped_total").Value(); got != 1 {
+		t.Errorf("skipped = %d, want 1", got)
+	}
+	if got := reg.Counter("detect_windows_evaluated_total").Value(); got != 2 {
+		t.Errorf("evaluated = %d, want 2", got)
+	}
+	if got := reg.Counter("detect_alarms_total").Value(); got < 1 {
+		t.Errorf("alarms = %d, want >= 1", got)
+	}
+	if got := reg.Gauge("detect_feature_n").Value(); got != flood.RatePerMinute() {
+		t.Errorf("detect_feature_n = %v, want %v", got, flood.RatePerMinute())
+	}
+	alarms := 0
+	for _, ev := range j.Events() {
+		if ev.Type == telemetry.EventDetectAlarm {
+			alarms++
+		}
+	}
+	if alarms < 1 {
+		t.Error("no EventDetectAlarm recorded")
+	}
+}

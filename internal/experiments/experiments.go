@@ -21,6 +21,7 @@ import (
 	"banscore/internal/node"
 	"banscore/internal/peer"
 	"banscore/internal/simnet"
+	"banscore/internal/telemetry"
 	"banscore/internal/wire"
 )
 
@@ -102,6 +103,11 @@ type TestbedConfig struct {
 	TrackerConfig core.Config
 	Tap           node.Tap
 	MaxInbound    int
+
+	// Telemetry/Journal are passed through to the victim node; both may
+	// be nil.
+	Telemetry *telemetry.Registry
+	Journal   *telemetry.Journal
 }
 
 // NewTestbed builds and starts the victim node on a fresh fabric.
@@ -113,6 +119,8 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		TrackerConfig: cfg.TrackerConfig,
 		Tap:           cfg.Tap,
 		MaxInbound:    cfg.MaxInbound,
+		Telemetry:     cfg.Telemetry,
+		Journal:       cfg.Journal,
 		Dialer: func(remote string) (net.Conn, error) {
 			port := 40000 + tb.ports.Add(1)
 			return fabric.Dial(fmt.Sprintf("10.0.0.1:%d", port), remote)

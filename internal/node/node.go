@@ -21,6 +21,7 @@ import (
 	"banscore/internal/core"
 	"banscore/internal/mempool"
 	"banscore/internal/peer"
+	"banscore/internal/telemetry"
 	"banscore/internal/wire"
 )
 
@@ -87,6 +88,17 @@ type Config struct {
 	// instead of being refused. Pair with ModeCKB so misbehavior lowers
 	// reputation without banning.
 	EvictLowestReputation bool
+
+	// Telemetry, if set, receives the node's metric series: per-command
+	// message counters, dispatch latency, per-rule misbehavior counters,
+	// ban totals, slot occupancy, and peer traffic. Nil disables all
+	// instrumentation (the message path then pays a single nil check).
+	Telemetry *telemetry.Registry
+
+	// Journal, if set (together with Telemetry), receives typed events:
+	// connects, disconnects, refusals, score increments, bans,
+	// reconnects. May be nil even when Telemetry is set.
+	Journal *telemetry.Journal
 }
 
 // Stats aggregates node counters.
@@ -108,6 +120,7 @@ type Node struct {
 	mempool *mempool.TxPool
 	tracker *core.Tracker
 	addrmgr *AddrManager
+	metrics *nodeMetrics // nil unless cfg.Telemetry is set
 
 	mu           sync.Mutex
 	peers        map[core.PeerID]*peer.Peer
@@ -158,7 +171,6 @@ func New(cfg Config) *Node {
 		cfg:          cfg,
 		chain:        blockchain.New(cfg.ChainParams, blockchain.WithClock(cfg.Clock)),
 		mempool:      mempool.New(0),
-		tracker:      core.NewTracker(cfg.TrackerConfig),
 		addrmgr:      NewAddrManager(0x5eed),
 		peers:        make(map[core.PeerID]*peer.Peer),
 		blockStore:   make(map[chainhash.Hash]*wire.MsgBlock),
@@ -169,6 +181,27 @@ func New(cfg Config) *Node {
 		quit:         make(chan struct{}),
 	}
 	n.blockStore[cfg.ChainParams.GenesisHash] = cfg.ChainParams.GenesisBlock
+
+	if cfg.Telemetry != nil {
+		n.metrics = newNodeMetrics(n, cfg.Telemetry, cfg.Journal)
+		// Interpose the telemetry hooks ahead of any caller-supplied
+		// tracker callbacks.
+		tc := &n.cfg.TrackerConfig
+		userApplied, userBan := tc.OnApplied, tc.OnBan
+		tc.OnApplied = func(id core.PeerID, rule core.RuleID, delta, total int) {
+			n.metrics.onRuleApplied(id, rule, delta, total)
+			if userApplied != nil {
+				userApplied(id, rule, delta, total)
+			}
+		}
+		tc.OnBan = func(id core.PeerID, score int) {
+			n.metrics.onBan(id, score)
+			if userBan != nil {
+				userBan(id, score)
+			}
+		}
+	}
+	n.tracker = core.NewTracker(n.cfg.TrackerConfig)
 	return n
 }
 
@@ -189,12 +222,18 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	inbound, outbound := n.inbound, n.outbound
 	n.mu.Unlock()
+	// With telemetry enabled the message count lives in the per-command
+	// counter family (see handleMessage); fold it in here.
+	processed := n.messagesProcessed.Load()
+	if m := n.metrics; m != nil {
+		processed += m.msgRx.Total()
+	}
 	return Stats{
 		InboundPeers:       inbound,
 		OutboundPeers:      outbound,
 		BannedConnsRefused: n.bannedRefused.Load(),
 		SlotConnsRefused:   n.slotRefused.Load(),
-		MessagesProcessed:  n.messagesProcessed.Load(),
+		MessagesProcessed:  processed,
 		BlocksAccepted:     n.blocksAccepted.Load(),
 		TxAccepted:         n.txAccepted.Load(),
 		Reconnections:      n.reconnections.Load(),
@@ -227,6 +266,10 @@ func (n *Node) acceptInbound(conn net.Conn) {
 	// reconnect during the ban period.
 	if n.tracker.IsBanned(remote) {
 		n.bannedRefused.Add(1)
+		if m := n.metrics; m != nil {
+			m.refusedBanned.Inc()
+			m.event(telemetry.EventConnRefused, string(remote), "", 0, "banned")
+		}
 		conn.Close()
 		return
 	}
@@ -235,16 +278,14 @@ func (n *Node) acceptInbound(conn net.Conn) {
 	if n.inbound >= n.cfg.MaxInbound {
 		n.mu.Unlock()
 		if !n.cfg.EvictLowestReputation || !n.evictWorstInbound() {
-			n.slotRefused.Add(1)
-			conn.Close()
+			n.refuseForSlots(conn, remote)
 			return
 		}
 		n.mu.Lock()
 		if n.inbound >= n.cfg.MaxInbound {
 			// Lost the race for the freed slot.
 			n.mu.Unlock()
-			n.slotRefused.Add(1)
-			conn.Close()
+			n.refuseForSlots(conn, remote)
 			return
 		}
 	}
@@ -252,6 +293,16 @@ func (n *Node) acceptInbound(conn net.Conn) {
 	n.mu.Unlock()
 
 	n.startPeer(conn, true)
+}
+
+// refuseForSlots closes an inbound connection that found no free slot.
+func (n *Node) refuseForSlots(conn net.Conn, remote core.PeerID) {
+	n.slotRefused.Add(1)
+	if m := n.metrics; m != nil {
+		m.refusedSlots.Inc()
+		m.event(telemetry.EventConnRefused, string(remote), "", 0, "slots")
+	}
+	conn.Close()
 }
 
 // evictWorstInbound disconnects the inbound peer with the lowest negative
@@ -354,8 +405,7 @@ func (n *Node) Connect(addr string) error {
 
 // startPeer wires a connection into the dispatch pipeline.
 func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
-	var p *peer.Peer
-	p = peer.New(conn, inbound, peer.Config{
+	pcfg := peer.Config{
 		Net:         n.cfg.ChainParams.Net,
 		IdleTimeout: n.cfg.IdleTimeout,
 		OnMessage:   n.handleMessage,
@@ -364,10 +414,23 @@ func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
 			// layer rejected it before misbehavior processing).
 		},
 		OnDisconnect: n.peerDisconnected,
-	})
+	}
+	if m := n.metrics; m != nil {
+		pcfg.OnSend = func(cmd string, bytes int) {
+			m.countTx(cmd)
+		}
+	}
+	p := peer.New(conn, inbound, pcfg)
 	n.mu.Lock()
 	n.peers[p.ID()] = p
 	n.mu.Unlock()
+	if m := n.metrics; m != nil {
+		direction := "outbound"
+		if inbound {
+			direction = "inbound"
+		}
+		m.event(telemetry.EventPeerConnect, string(p.ID()), "", 0, direction)
+	}
 	p.Start()
 	return p
 }
@@ -402,6 +465,14 @@ func (n *Node) peerDisconnected(p *peer.Peer) {
 	}
 	n.mu.Unlock()
 	n.tracker.Forget(p.ID())
+	if m := n.metrics; m != nil {
+		m.peerRetired(p.BytesReceived(), p.BytesSent())
+		direction := "outbound"
+		if p.Inbound() {
+			direction = "inbound"
+		}
+		m.event(telemetry.EventPeerDisconnect, string(p.ID()), "", 0, direction)
+	}
 
 	select {
 	case <-n.quit:
@@ -444,6 +515,10 @@ func (n *Node) reconnectOutbound(lostAddr string) {
 		return
 	}
 	n.reconnections.Add(1)
+	if m := n.metrics; m != nil {
+		m.reconnects.Inc()
+		m.event(telemetry.EventReconnect, string(core.PeerIDFromAddr(candidate)), "", 0, "")
+	}
 	if n.cfg.Tap != nil {
 		n.cfg.Tap.OnOutboundReconnect(n.cfg.Clock())
 	}

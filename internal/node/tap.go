@@ -1,0 +1,45 @@
+package node
+
+import "time"
+
+// multiTap fans node events out to several observers.
+type multiTap []Tap
+
+func (m multiTap) OnMessage(cmd string, at time.Time) {
+	for _, t := range m {
+		t.OnMessage(cmd, at)
+	}
+}
+
+func (m multiTap) OnOutboundReconnect(at time.Time) {
+	for _, t := range m {
+		t.OnOutboundReconnect(at)
+	}
+}
+
+// MultiTap combines taps into one that forwards every event to each of them
+// in order. Nil entries are skipped and nested MultiTaps are flattened, so
+// options and call sites can compose observers — the detection Monitor, a
+// telemetry journal, a test recorder — without wrapping hacks. It returns
+// nil when no usable tap remains and the single tap unchanged when only one
+// does.
+func MultiTap(taps ...Tap) Tap {
+	flat := make(multiTap, 0, len(taps))
+	for _, t := range taps {
+		switch tt := t.(type) {
+		case nil:
+			continue
+		case multiTap:
+			flat = append(flat, tt...)
+		default:
+			flat = append(flat, t)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return flat
+}

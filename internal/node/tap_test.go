@@ -1,0 +1,66 @@
+package node
+
+import (
+	"testing"
+	"time"
+)
+
+// recordTap counts the events it observes.
+type recordTap struct {
+	messages   []string
+	reconnects int
+}
+
+func (r *recordTap) OnMessage(cmd string, _ time.Time) { r.messages = append(r.messages, cmd) }
+func (r *recordTap) OnOutboundReconnect(_ time.Time)   { r.reconnects++ }
+
+func TestMultiTapFanOut(t *testing.T) {
+	a, b := &recordTap{}, &recordTap{}
+	tap := MultiTap(a, b)
+	now := time.Now()
+	tap.OnMessage("ping", now)
+	tap.OnMessage("tx", now)
+	tap.OnOutboundReconnect(now)
+
+	for name, r := range map[string]*recordTap{"a": a, "b": b} {
+		if len(r.messages) != 2 || r.messages[0] != "ping" || r.messages[1] != "tx" {
+			t.Errorf("tap %s saw messages %v", name, r.messages)
+		}
+		if r.reconnects != 1 {
+			t.Errorf("tap %s saw %d reconnects", name, r.reconnects)
+		}
+	}
+}
+
+func TestMultiTapSkipsNil(t *testing.T) {
+	a := &recordTap{}
+	tap := MultiTap(nil, a, nil)
+	if tap != a {
+		t.Fatalf("MultiTap(nil, a, nil) = %T, want the single tap unchanged", tap)
+	}
+	if MultiTap() != nil {
+		t.Error("MultiTap() should be nil")
+	}
+	if MultiTap(nil, nil) != nil {
+		t.Error("MultiTap(nil, nil) should be nil")
+	}
+}
+
+func TestMultiTapFlattens(t *testing.T) {
+	a, b, c := &recordTap{}, &recordTap{}, &recordTap{}
+	nested := MultiTap(a, b)
+	tap := MultiTap(nested, c)
+	mt, ok := tap.(multiTap)
+	if !ok {
+		t.Fatalf("MultiTap(nested, c) = %T, want multiTap", tap)
+	}
+	if len(mt) != 3 {
+		t.Fatalf("flattened to %d taps, want 3", len(mt))
+	}
+	tap.OnMessage("inv", time.Now())
+	for name, r := range map[string]*recordTap{"a": a, "b": b, "c": c} {
+		if len(r.messages) != 1 {
+			t.Errorf("tap %s saw %d messages, want 1", name, len(r.messages))
+		}
+	}
+}

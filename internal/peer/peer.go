@@ -6,7 +6,6 @@ package peer
 
 import (
 	"errors"
-	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -19,6 +18,12 @@ import (
 
 // ErrPeerDisconnected is returned by QueueMessage after Disconnect.
 var ErrPeerDisconnected = errors.New("peer disconnected")
+
+// ErrSendQueueFull is returned by QueueMessage when the outbound queue is
+// full (slow reader back-pressure). It is a sentinel rather than a
+// formatted error: under flood the drop path runs per message, and
+// callers that care which peer it was already hold the peer.
+var ErrSendQueueFull = errors.New("send queue full")
 
 // DefaultIdleTimeout disconnects a peer that sends nothing for this long.
 const DefaultIdleTimeout = 5 * time.Minute
@@ -59,6 +64,11 @@ type Config struct {
 
 	// OnDisconnect is invoked exactly once when the connection dies.
 	OnDisconnect func(p *Peer)
+
+	// OnSend, if set, is invoked from the write loop after each message
+	// reaches the wire, with its command and encoded size. The telemetry
+	// layer hooks this for per-command tx counters.
+	OnSend func(cmd string, bytes int)
 }
 
 // Peer wraps one connection.
@@ -170,8 +180,8 @@ func (p *Peer) HandshakeComplete() bool {
 }
 
 // QueueMessage enqueues a message for delivery. It returns
-// ErrPeerDisconnected after disconnect and an error when the queue is full
-// (slow reader back-pressure).
+// ErrPeerDisconnected after disconnect and ErrSendQueueFull when the queue
+// is full (slow reader back-pressure).
 func (p *Peer) QueueMessage(msg wire.Message) error {
 	select {
 	case <-p.quit:
@@ -184,7 +194,7 @@ func (p *Peer) QueueMessage(msg wire.Message) error {
 	case <-p.quit:
 		return ErrPeerDisconnected
 	default:
-		return fmt.Errorf("peer %s: send queue full", p.id)
+		return ErrSendQueueFull
 	}
 }
 
@@ -196,6 +206,10 @@ func (p *Peer) BytesSent() uint64 { return p.bytesSent.Load() }
 
 // MessagesReceived returns the count of decoded messages.
 func (p *Peer) MessagesReceived() uint64 { return p.messagesReceived.Load() }
+
+// QueueDepth returns how many messages are waiting in the send queue — the
+// back-pressure signal the telemetry layer aggregates across peers.
+func (p *Peer) QueueDepth() int { return len(p.sendQueue) }
 
 // Disconnect tears the connection down. Safe to call multiple times.
 func (p *Peer) Disconnect() {
@@ -270,6 +284,9 @@ func (p *Peer) writeLoop() {
 			p.bytesSent.Add(uint64(n))
 			if err != nil {
 				return
+			}
+			if p.cfg.OnSend != nil {
+				p.cfg.OnSend(msg.Command(), n)
 			}
 		}
 	}

@@ -109,6 +109,8 @@ func (n *Network) SendPacket(h *PacketHost, from string, data []byte) bool {
 		n.rxBytes[h.addr] += uint64(len(data))
 		n.rxPackets[h.addr]++
 		n.mu.Unlock()
+	} else {
+		n.drops.Add(1)
 	}
 	return ok
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by network operations.
@@ -37,6 +38,8 @@ type Network struct {
 	rxBytes   map[Addr]uint64
 	rxPackets map[Addr]uint64
 	closed    bool
+
+	drops atomic.Uint64
 }
 
 // NewNetwork returns an empty fabric.
@@ -233,6 +236,11 @@ func (n *Network) PacketsDelivered(addr string) uint64 {
 	defer n.mu.Unlock()
 	return n.rxPackets[Addr(addr)]
 }
+
+// PacketsDropped returns how many datagrams the fabric discarded because the
+// destination host's queue was full — the flooded-NIC loss an ICMP storm
+// produces.
+func (n *Network) PacketsDropped() uint64 { return n.drops.Load() }
 
 // ResetCounters zeroes the bandwidth accounting.
 func (n *Network) ResetCounters() {

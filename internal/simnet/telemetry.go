@@ -1,0 +1,45 @@
+package simnet
+
+import "banscore/internal/telemetry"
+
+// Instrument registers the fabric's traffic accounting with reg. Everything
+// is pull-style: the fabric keeps its existing counters and the registry
+// reads them at scrape time, so simulation throughput is unaffected.
+func (n *Network) Instrument(reg *telemetry.Registry) {
+	reg.Describe("simnet_bytes_delivered_total", "Bytes delivered across the fabric, all destinations.")
+	reg.CounterFunc("simnet_bytes_delivered_total", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		var total uint64
+		for _, b := range n.rxBytes {
+			total += b
+		}
+		return float64(total)
+	})
+	reg.Describe("simnet_packets_delivered_total", "Datagrams and stream writes delivered across the fabric.")
+	reg.CounterFunc("simnet_packets_delivered_total", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		var total uint64
+		for _, p := range n.rxPackets {
+			total += p
+		}
+		return float64(total)
+	})
+	reg.Describe("simnet_packets_dropped_total", "Datagrams discarded at full host queues (flooded-NIC loss).")
+	reg.CounterFunc("simnet_packets_dropped_total", func() float64 {
+		return float64(n.PacketsDropped())
+	})
+	reg.Describe("simnet_conns_active", "Open connection endpoints on the fabric.")
+	reg.GaugeFunc("simnet_conns_active", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.conns))
+	})
+	reg.Describe("simnet_listeners_active", "Bound listeners on the fabric.")
+	reg.GaugeFunc("simnet_listeners_active", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.listeners))
+	})
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders v the way Prometheus clients do: shortest exact
+// representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes a label value per the text exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// writeLabels renders {k="v",...} including the extra label when set.
+func writeLabels(b *strings.Builder, labels []Label, extraKey, extraValue string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus renders the registry in the Prometheus v0.0.4 text
+// exposition format, series sorted by name then labels. Histograms emit
+// cumulative le-buckets plus _sum and _count.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, s := range r.Gather() {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if help := r.Help(s.Name); help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Kind)
+		}
+		if s.Histogram == nil {
+			b.WriteString(s.Name)
+			writeLabels(&b, s.Labels, "", "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.Value))
+			b.WriteByte('\n')
+			continue
+		}
+		var cum uint64
+		for i, count := range s.Histogram.Buckets {
+			cum += count
+			b.WriteString(s.Name)
+			b.WriteString("_bucket")
+			writeLabels(&b, s.Labels, "le", formatFloat(bucketBounds[i]))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteByte('\n')
+		}
+		// Keep the exposition monotone if observations raced the
+		// snapshot: +Inf is never below the last finite bucket.
+		inf := s.Histogram.Count
+		if cum > inf {
+			inf = cum
+		}
+		b.WriteString(s.Name)
+		b.WriteString("_bucket")
+		writeLabels(&b, s.Labels, "le", "+Inf")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(inf, 10))
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%s_sum %s\n", s.Name, formatFloat(s.Histogram.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", s.Name, inf)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonBucket is one histogram bucket in the JSON exposition.
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"` // cumulative, like the text format
+}
+
+// jsonSample is one series in the JSON exposition.
+type jsonSample struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Help   string            `json:"help,omitempty"`
+
+	Value *float64 `json:"value,omitempty"`
+
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Count   *uint64      `json:"count,omitempty"`
+}
+
+// jsonExposition is the top-level JSON document.
+type jsonExposition struct {
+	Metrics []jsonSample `json:"metrics"`
+}
+
+// WriteJSON renders the registry as a JSON document with the same content
+// and ordering as the text format.
+func WriteJSON(w io.Writer, r *Registry) error {
+	doc := jsonExposition{Metrics: []jsonSample{}}
+	for _, s := range r.Gather() {
+		js := jsonSample{Name: s.Name, Kind: s.Kind.String(), Help: r.Help(s.Name)}
+		if len(s.Labels) > 0 {
+			js.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		if s.Histogram == nil {
+			v := s.Value
+			js.Value = &v
+		} else {
+			var cum uint64
+			for i, count := range s.Histogram.Buckets {
+				cum += count
+				js.Buckets = append(js.Buckets, jsonBucket{LE: formatFloat(bucketBounds[i]), Count: cum})
+			}
+			inf := s.Histogram.Count
+			if cum > inf {
+				inf = cum
+			}
+			js.Buckets = append(js.Buckets, jsonBucket{LE: "+Inf", Count: inf})
+			sum := s.Histogram.Sum
+			js.Sum = &sum
+			js.Count = &inf
+		}
+		doc.Metrics = append(doc.Metrics, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

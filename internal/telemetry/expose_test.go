@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a deterministic registry exercising every series
+// shape: labeled counters, a gauge, pull-style funcs, and a histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Describe("node_messages_received_total", "Messages decoded and dispatched, by command.")
+	rx := r.CounterVec("node_messages_received_total", "command")
+	rx.With("ping").Add(1200)
+	rx.With("addr").Add(6)
+	rx.With("version").Add(3)
+
+	r.Describe("core_rule_hits_total", "Table I rule hits, by rule.")
+	r.Counter("core_rule_hits_total", L("rule", "AddrOversize")).Add(5)
+	r.Counter("core_rule_hits_total", L("rule", "VersionDuplicate")).Add(100)
+
+	r.Describe("core_bans_total", "Peers pushed over the ban threshold.")
+	r.Counter("core_bans_total").Add(1)
+
+	r.Describe("detect_feature_c", "Outbound reconnection rate per minute of the last window.")
+	r.Gauge("detect_feature_c").Set(5.3)
+
+	r.Describe("node_peers", "Connected peers by direction.")
+	r.GaugeFunc("node_peers", func() float64 { return 117 }, L("direction", "inbound"))
+	r.GaugeFunc("node_peers", func() float64 { return 8 }, L("direction", "outbound"))
+
+	r.Describe("node_message_handle_seconds", "Dispatch latency per message.")
+	h := r.Histogram("node_message_handle_seconds")
+	h.Observe(0.000002) // ~2µs
+	h.Observe(0.000002)
+	h.Observe(0.5)
+	h.Observe(40000) // beyond the last finite bound -> +Inf only
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", buf.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("exposition is not valid JSON")
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+}
+
+func TestPrometheusHistogramInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE node_message_handle_seconds histogram",
+		`node_message_handle_seconds_bucket{le="+Inf"} 4`,
+		"node_message_handle_seconds_count 4",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", L("k", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{k="a\"b\\c\nd"} 1`
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Fatalf("escaping: got\n%s\nwant line %s", buf.String(), want)
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType tags a journal entry.
+type EventType string
+
+// The event vocabulary every instrumented layer shares. The set mirrors
+// what the paper's figures are built from: connection churn, score
+// increments with their Table I rule, bans, the outbound reconnections the
+// detection feature c watches, and detection verdicts.
+const (
+	EventPeerConnect    EventType = "peer_connect"
+	EventPeerDisconnect EventType = "peer_disconnect"
+	EventConnRefused    EventType = "conn_refused"
+	EventScore          EventType = "score"
+	EventBan            EventType = "ban"
+	EventReconnect      EventType = "outbound_reconnect"
+	EventDetectWindow   EventType = "detect_window"
+	EventDetectAlarm    EventType = "detect_alarm"
+)
+
+// Event is one journal entry. Fields other than Type are optional and
+// omitted from JSON when empty.
+type Event struct {
+	// Seq is the 1-based global sequence number, stamped by Record.
+	Seq uint64 `json:"seq"`
+
+	// At is the event time. Record stamps time.Now if left zero.
+	At time.Time `json:"at"`
+
+	Type EventType `json:"type"`
+
+	// Peer is the [IP:Port] connection identifier involved, if any.
+	Peer string `json:"peer,omitempty"`
+
+	// Rule is the Table I rule name for score events.
+	Rule string `json:"rule,omitempty"`
+
+	// Value carries the event's magnitude: score delta for score events,
+	// total score for bans, feature value for detection events.
+	Value float64 `json:"value,omitempty"`
+
+	// Detail is free-form context.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is a fixed-capacity ring buffer of events. When full, the oldest
+// events are overwritten; Total always reports how many were ever recorded,
+// so readers can tell how much history was dropped. A nil *Journal is a
+// valid no-op sink, which lets call sites record unconditionally.
+type Journal struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // ring position of the next write
+	total uint64 // events ever recorded
+}
+
+// DefaultJournalCapacity bounds a journal built with capacity <= 0.
+const DefaultJournalCapacity = 4096
+
+// NewJournal returns a journal holding up to capacity events (<= 0 selects
+// DefaultJournalCapacity).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends ev, stamping its sequence number and — if unset — its
+// time. Safe for concurrent use; no-op on a nil journal.
+func (j *Journal) Record(ev Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.total++
+	ev.Seq = j.total
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	if len(j.buf) < cap(j.buf) {
+		j.buf = append(j.buf, ev)
+	} else {
+		j.buf[j.next] = ev
+	}
+	j.next++
+	if j.next == cap(j.buf) {
+		j.next = 0
+	}
+	j.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. Nil journals return
+// nil.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.buf))
+	if len(j.buf) < cap(j.buf) {
+		// Not yet wrapped: buf is already oldest-first.
+		return append(out, j.buf...)
+	}
+	out = append(out, j.buf[j.next:]...)
+	return append(out, j.buf[:j.next]...)
+}
+
+// Total returns how many events were ever recorded (including overwritten
+// ones).
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Len returns how many events are currently retained.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.buf)
+}
+
+// Capacity returns the ring size.
+func (j *Journal) Capacity() int {
+	if j == nil {
+		return 0
+	}
+	return cap(j.buf)
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Server exposes a Registry and Journal over HTTP:
+//
+//	/metrics  — Prometheus v0.0.4 text, or JSON with ?format=json
+//	/healthz  — liveness plus series/event totals
+//	/events   — the journal as JSON (?n=N tails, ?type=T filters)
+//
+// It is the exposition endpoint cmd/btcnode's -telemetry flag serves.
+type Server struct {
+	reg     *Registry
+	journal *Journal
+	mux     *http.ServeMux
+	start   time.Time
+
+	mu   sync.Mutex
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// NewServer builds a server over reg and an optional journal.
+func NewServer(reg *Registry, journal *Journal) *Server {
+	s := &Server{
+		reg:     reg,
+		journal: journal,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	return s
+}
+
+// Handler returns the route mux — handy for tests and for embedding into an
+// existing HTTP server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port) and serves until Close.
+// It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.done = make(chan struct{})
+	srv, done := s.srv, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err // listener closed underneath us during shutdown
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address, or nil before Start.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops serving. Safe to call without a prior Start.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv, done := s.srv, s.done
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Close()
+	<-done
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, s.reg)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, s.reg)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"series":         s.reg.SeriesCount(),
+		"events_total":   s.journal.Total(),
+	})
+}
+
+// eventsResponse is the /events JSON document.
+type eventsResponse struct {
+	// Total counts events ever recorded; Dropped is how many the ring
+	// has already overwritten (before any ?n/?type narrowing).
+	Total   uint64  `json:"total"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events := s.journal.Events()
+	resp := eventsResponse{
+		Total:   s.journal.Total(),
+		Dropped: s.journal.Total() - uint64(len(events)),
+		Events:  events,
+	}
+	if typ := r.URL.Query().Get("type"); typ != "" {
+		kept := resp.Events[:0]
+		for _, ev := range resp.Events {
+			if string(ev.Type) == typ {
+				kept = append(kept, ev)
+			}
+		}
+		resp.Events = kept
+	}
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(resp.Events) {
+			resp.Events = resp.Events[len(resp.Events)-n:]
+		}
+	}
+	if resp.Events == nil {
+		resp.Events = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

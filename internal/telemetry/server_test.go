@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *Registry, *Journal) {
+	t.Helper()
+	reg := NewRegistry()
+	j := NewJournal(8)
+	return NewServer(reg, j), reg, j
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestServerMetricsText(t *testing.T) {
+	s, reg, _ := newTestServer(t)
+	reg.Counter("hits_total", L("command", "ping")).Add(3)
+	code, body := get(t, s.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, `hits_total{command="ping"} 3`) {
+		t.Fatalf("missing series in:\n%s", body)
+	}
+}
+
+func TestServerMetricsJSON(t *testing.T) {
+	s, reg, _ := newTestServer(t)
+	reg.Gauge("g").Set(1.5)
+	code, body := get(t, s.Handler(), "/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name  string   `json:"name"`
+			Kind  string   `json:"kind"`
+			Value *float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Metrics) != 1 || doc.Metrics[0].Name != "g" || *doc.Metrics[0].Value != 1.5 {
+		t.Fatalf("unexpected document: %s", body)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	s, reg, j := newTestServer(t)
+	reg.Counter("c_total").Inc()
+	j.Record(Event{Type: EventBan})
+	code, body := get(t, s.Handler(), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["series"].(float64) != 1 || h["events_total"].(float64) != 1 {
+		t.Fatalf("unexpected healthz: %s", body)
+	}
+}
+
+func TestServerEvents(t *testing.T) {
+	s, _, j := newTestServer(t)
+	at := time.Unix(1700000000, 0)
+	j.Record(Event{Type: EventScore, Peer: "10.0.0.2:5000", Rule: "AddrOversize", Value: 20, At: at})
+	j.Record(Event{Type: EventBan, Peer: "10.0.0.2:5000", Value: 100, At: at})
+	j.Record(Event{Type: EventScore, Peer: "10.0.0.3:5000", Rule: "InvOversize", Value: 20, At: at})
+
+	code, body := get(t, s.Handler(), "/events")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var resp struct {
+		Total   uint64  `json:"total"`
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 3 || resp.Dropped != 0 || len(resp.Events) != 3 {
+		t.Fatalf("unexpected: %s", body)
+	}
+
+	_, body = get(t, s.Handler(), "/events?type=ban")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Type != EventBan {
+		t.Fatalf("type filter failed: %s", body)
+	}
+
+	_, body = get(t, s.Handler(), "/events?n=1")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Seq != 3 {
+		t.Fatalf("tail failed: %s", body)
+	}
+}
+
+func TestServerStartAndScrape(t *testing.T) {
+	s, reg, _ := newTestServer(t)
+	reg.Counter("live_total").Add(7)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "live_total 7") {
+		t.Fatalf("scrape missing series:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Package telemetry is the node-wide observability layer: dependency-free
+// metric primitives (atomic Counter, Gauge, and a log-bucketed Histogram), a
+// labeled-metric Registry with a cheap GetOrCreate hot path, a fixed-capacity
+// ring-buffer Journal of typed events, and an HTTP exposition Server serving
+// Prometheus v0.0.4 text and JSON snapshots.
+//
+// The package exists because the paper's argument is quantitative — per-rule
+// hit counts (Table I), message impact/cost (Table II), time-to-ban under
+// Defamation (Fig. 8), the detection features c/n/Λ (Fig. 10) — and those
+// numbers should be observable on a *running* node, not only recomputed
+// offline by the experiment harness. Every runtime layer (node, peer, core
+// tracker, detect, simnet) publishes into a Registry/Journal pair, and
+// cmd/btcnode serves them via -telemetry.
+//
+// Instrumentation is built for the message hot path: a counter increment is
+// one atomic add, a labeled lookup through a Vec is one lock-free map read,
+// and a histogram observation is two atomic adds plus a CAS. The package
+// imports only the standard library.
+package telemetry
+
+import "sort"
+
+// Label is one key="value" pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// sortLabels orders labels by key (then value) so that series identity is
+// insensitive to argument order.
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Kind classifies a metric series.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}

@@ -1,0 +1,146 @@
+package banscore_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"banscore"
+	"banscore/internal/telemetry"
+)
+
+// gathered returns the value of the series with name whose label set
+// contains key=value (empty key matches the first series with that name).
+func gathered(reg *telemetry.Registry, name, key, value string) (float64, bool) {
+	for _, s := range reg.Gather() {
+		if s.Name != name {
+			continue
+		}
+		if key == "" {
+			return s.Value, true
+		}
+		for _, l := range s.Labels {
+			if l.Key == key && l.Value == value {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestTelemetryEndToEnd drives the full observability path: a victim node
+// with a registry and journal attached, an attacker that earns a ban
+// through Table I's ADDR-oversize rule, and a scrape of the resulting
+// counters over the HTTP exposition endpoint.
+func TestTelemetryEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(0)
+
+	sim := banscore.NewSimulation()
+	defer sim.Close()
+	sim.Fabric().Instrument(reg)
+
+	victim, err := sim.StartNode("10.0.0.1:8333", banscore.WithTelemetry(reg, journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Stop()
+
+	atk := sim.NewAttacker("10.0.0.66", victim.Addr())
+	if _, err := atk.FloodPings(100); err != nil {
+		t.Fatal(err)
+	}
+	s, err := atk.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Five oversize ADDRs at +20 each cross the 100-point ban threshold.
+	for i := 0; i < 5; i++ {
+		if err := s.Send(atk.Forge().OversizeAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "ban recorded", func() bool { return victim.BannedCount() == 1 })
+	waitFor(t, "pings counted", func() bool {
+		v, ok := gathered(reg, "node_messages_received_total", "command", "ping")
+		return ok && v >= 100
+	})
+
+	// The registry saw the rule fire and the ban land.
+	if v, ok := gathered(reg, "core_rule_hits_total", "rule", "AddrOversize"); !ok || v != 5 {
+		t.Errorf("core_rule_hits_total{rule=AddrOversize} = %v (found=%v), want 5", v, ok)
+	}
+	if v, ok := gathered(reg, "core_bans_total", "", ""); !ok || v != 1 {
+		t.Errorf("core_bans_total = %v (found=%v), want 1", v, ok)
+	}
+
+	// The journal holds the typed timeline: scores, then the ban.
+	var scores, bans int
+	for _, ev := range journal.Events() {
+		switch ev.Type {
+		case telemetry.EventScore:
+			scores++
+		case telemetry.EventBan:
+			bans++
+			if ev.Value != 100 {
+				t.Errorf("ban event value = %v, want 100", ev.Value)
+			}
+		}
+	}
+	if scores != 5 || bans != 1 {
+		t.Errorf("journal has %d score and %d ban events, want 5 and 1", scores, bans)
+	}
+
+	// The same numbers come back over a real HTTP scrape.
+	srv := telemetry.NewServer(reg, journal)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	metrics := httpGetBody(t, base+"/metrics")
+	for _, want := range []string{
+		`core_rule_hits_total{rule="AddrOversize"} 5`,
+		"core_bans_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var tail struct {
+		Total  uint64            `json:"total"`
+		Events []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(httpGetBody(t, base+"/events?type=ban")), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 1 || tail.Events[0].Type != telemetry.EventBan {
+		t.Errorf("/events?type=ban returned %+v", tail.Events)
+	}
+	if tail.Total != journal.Total() {
+		t.Errorf("/events total = %d, journal says %d", tail.Total, journal.Total())
+	}
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(body)
+}
