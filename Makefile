@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-telemetry
+.PHONY: check vet build test race bench bench-telemetry chaos chaos-short
 
 check: vet build race bench-telemetry
 
@@ -27,3 +27,13 @@ bench-telemetry:
 # Full benchmark sweep (tables, figures, ablations). Slow; not part of check.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Chaos scenarios: a mining node + honest peers + an attacker under 30%
+# loss, injected resets, and a timed partition, always under the race
+# detector. `chaos` runs the full storm; `chaos-short` is the CI variant
+# with a shortened partition.
+chaos:
+	$(GO) test -race -count=1 -timeout 300s ./internal/chaos/
+
+chaos-short:
+	$(GO) test -race -short -count=1 -timeout 300s ./internal/chaos/

@@ -7,9 +7,14 @@
 //
 //	btcnode -listen :8333 [-connect host:port,...] [-mode standard|infinity|disabled|goodscore]
 //	        [-core-version 0.20.0|0.21.0|0.22.0] [-stats 10s] [-telemetry 127.0.0.1:9333]
+//	        [-dial-timeout 10s] [-handshake-timeout 15s] [-write-timeout 30s]
+//	        [-reconnect-backoff 100ms] [-reconnect-max-backoff 5s]
 //
 // With -telemetry set, an HTTP endpoint serves /metrics (Prometheus text, or
-// ?format=json), /healthz, and /events (the typed event journal).
+// ?format=json), /healthz, and /events (the typed event journal). /healthz
+// reflects the node's own health probe: it degrades (HTTP 503) on an
+// outbound-slot deficit or a saturated ban table, and recovers on its own as
+// the slot keepers refill connections.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"banscore/internal/core"
 	"banscore/internal/detect"
 	"banscore/internal/node"
+	"banscore/internal/peer"
 	"banscore/internal/telemetry"
 )
 
@@ -42,6 +48,11 @@ func run() error {
 	coreVersion := flag.String("core-version", "0.20.0", "Table I rule set: 0.20.0, 0.21.0, 0.22.0")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	telemetryAddr := flag.String("telemetry", "", "HTTP address for /metrics, /healthz, /events (empty disables; \":0\" picks a port)")
+	dialTimeout := flag.Duration("dial-timeout", node.DefaultDialTimeout, "outbound dial deadline (negative disables)")
+	handshakeTimeout := flag.Duration("handshake-timeout", node.DefaultHandshakeTimeout, "VERSION/VERACK deadline before a slot is reclaimed (negative disables)")
+	writeTimeout := flag.Duration("write-timeout", peer.DefaultWriteTimeout, "per-message write deadline (negative disables)")
+	reconnectBackoff := flag.Duration("reconnect-backoff", node.DefaultReconnectBackoff, "initial slot-keeper retry backoff")
+	reconnectMaxBackoff := flag.Duration("reconnect-max-backoff", node.DefaultReconnectMaxBackoff, "slot-keeper backoff cap")
 	flag.Parse()
 
 	trackerMode, err := parseMode(*mode)
@@ -55,9 +66,14 @@ func run() error {
 
 	monitor := detect.NewMonitor(detect.DefaultWindow)
 	cfg := node.Config{
-		TrackerConfig: core.Config{Mode: trackerMode, Version: version},
-		Dialer:        func(remote string) (net.Conn, error) { return net.Dial("tcp", remote) },
-		Tap:           monitor,
+		TrackerConfig:       core.Config{Mode: trackerMode, Version: version},
+		Dialer:              func(remote string) (net.Conn, error) { return net.Dial("tcp", remote) },
+		Tap:                 monitor,
+		DialTimeout:         *dialTimeout,
+		HandshakeTimeout:    *handshakeTimeout,
+		WriteTimeout:        *writeTimeout,
+		ReconnectBackoff:    *reconnectBackoff,
+		ReconnectMaxBackoff: *reconnectMaxBackoff,
 	}
 
 	var telemetrySrv *telemetry.Server
@@ -77,6 +93,9 @@ func run() error {
 	}
 
 	n := node.New(cfg)
+	if telemetrySrv != nil {
+		telemetrySrv.SetHealth(n.Health)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

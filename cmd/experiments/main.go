@@ -4,6 +4,12 @@
 // Usage:
 //
 //	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures]
+//	            [-loss 0.1] [-latency 5ms] [-jitter 2ms] [-fault-seed 1]
+//
+// The fault flags degrade the simulation fabric every experiment runs on —
+// probabilistic payload loss, one-way latency, and jitter, all deterministic
+// under -fault-seed — so any table or figure can be regenerated under the
+// network conditions a real adversary (or a bad route) would impose.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"os"
 
 	"banscore/internal/experiments"
+	"banscore/internal/simnet"
 )
 
 func main() {
@@ -24,6 +31,10 @@ func main() {
 func run() error {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures)")
+	loss := flag.Float64("loss", 0, "fabric payload drop probability in [0,1]")
+	latency := flag.Duration("latency", 0, "fabric one-way latency")
+	jitter := flag.Duration("jitter", 0, "fabric per-payload jitter bound")
+	faultSeed := flag.Int64("fault-seed", 0, "fault plan RNG seed (0 selects a fixed default)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -34,6 +45,20 @@ func run() error {
 		scale = experiments.PaperScale()
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	if *loss < 0 || *loss > 1 {
+		return fmt.Errorf("-loss %v outside [0,1]", *loss)
+	}
+	if *loss > 0 || *latency > 0 || *jitter > 0 {
+		scale.Faults = &simnet.FaultPlan{
+			DropRate: *loss,
+			Latency:  *latency,
+			Jitter:   *jitter,
+			Seed:     *faultSeed,
+		}
+		fmt.Printf("fabric faults: loss=%.0f%% latency=%s jitter=%s seed=%d\n\n",
+			*loss*100, *latency, *jitter, *faultSeed)
 	}
 
 	if *only == "" {

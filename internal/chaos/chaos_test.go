@@ -1,0 +1,271 @@
+package chaos
+
+import (
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"banscore/internal/attack"
+	"banscore/internal/blockchain"
+	"banscore/internal/core"
+	"banscore/internal/detect"
+	"banscore/internal/simnet"
+	"banscore/internal/wire"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+const attackerAddr = "10.0.9.9:4747"
+
+var attackerNonce atomic.Uint64
+
+// attackOnce runs one attacker connection: handshake, then a burst of
+// oversize ADDR messages (+20 ban score each). Any wire error just ends the
+// attempt — the caller loops until the ban lands.
+func attackOnce(conn net.Conn, forge *attack.Forge) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	me := wire.NewNetAddressIPPort(net.IPv4(10, 0, 9, 9), 4747, wire.SFNodeNetwork)
+	you := wire.NewNetAddressIPPort(net.IPv4(10, 0, 0, 1), 8333, wire.SFNodeNetwork)
+	v := wire.NewMsgVersion(me, you, 0xbad000+attackerNonce.Add(1), 0)
+	if _, err := wire.WriteMessage(conn, v, wire.ProtocolVersion, wire.SimNet); err != nil {
+		return
+	}
+	for {
+		msg, _, err := wire.ReadMessage(conn, wire.ProtocolVersion, wire.SimNet)
+		if err != nil {
+			return
+		}
+		if _, ok := msg.(*wire.MsgVerAck); ok {
+			break
+		}
+	}
+	if _, err := wire.WriteMessage(conn, &wire.MsgVerAck{}, wire.ProtocolVersion, wire.SimNet); err != nil {
+		return
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := wire.WriteMessage(conn, forge.OversizeAddr(), wire.ProtocolVersion, wire.SimNet); err != nil {
+			return
+		}
+	}
+	// Drain until the victim hangs up on us (or the deadline passes).
+	buf := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// runAttacker dials and misbehaves from a fixed identifier until the victim
+// bans it or quit closes.
+func runAttacker(cl *Cluster, quit chan struct{}, done chan struct{}) {
+	defer close(done)
+	forge := attack.NewForge(blockchain.SimNetParams())
+	id := core.PeerIDFromAddr(attackerAddr)
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+		}
+		if cl.Victim.Tracker().IsBanned(id) {
+			return
+		}
+		conn, err := cl.Fabric.Dial(attackerAddr, VictimAddr)
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		attackOnce(conn, forge)
+	}
+}
+
+// TestStormScenario is the resilience layer's end-to-end proof: a mining
+// victim with all 8 outbound slots filled rides out 30% packet loss,
+// injected connection resets, an attacker flood, and a timed partition —
+// then recovers completely: slots refill, health returns, ban state is
+// consistent, the detector still trains, and no goroutines leak.
+func TestStormScenario(t *testing.T) {
+	partitionFor := 5 * time.Second
+	calmFor := time.Second
+	if testing.Short() {
+		partitionFor = time.Second
+		calmFor = 500 * time.Millisecond
+	}
+
+	baseline := runtime.NumGoroutine()
+	cl, err := NewCluster(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// --- Calm phase: fill every outbound slot, confirm health, and feed
+	// the monitor clean traffic windows.
+	if err := cl.ConnectAll(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "8 outbound slots filled", func() bool {
+		_, out := cl.Victim.PeerCount()
+		return out == 8
+	})
+	if code, doc, _ := cl.Healthz(); code != http.StatusOK {
+		t.Fatalf("healthz pre-storm: %d %v", code, doc)
+	}
+	time.Sleep(calmFor)
+
+	// --- Storm phase. The whole fabric drops 30% of writes with a little
+	// latency and jitter; the link to the first honest peer is loss-free
+	// (specificity overrides the default) but hard-resets every connection
+	// after 600 bytes — handshakes complete, then the heartbeat traffic
+	// walks each connection over the budget, so that link churns through
+	// reset after reset. The attacker runs over a milder 10% loss (a
+	// deliberately well-provisioned attacker link) so its ban lands within
+	// the storm window.
+	cl.Fabric.SetDefaultFaults(&simnet.FaultPlan{
+		DropRate: 0.3, Latency: time.Millisecond, Jitter: 2 * time.Millisecond, Seed: 0xc0ffee,
+	})
+	cl.Fabric.SetLinkFaultsBoth("10.0.1.1", "10.0.0.1", &simnet.FaultPlan{
+		ResetAfterBytes: 600, Seed: 0xc0ffee,
+	})
+	cl.Fabric.SetLinkFaultsBoth("10.0.9.9", "10.0.0.1", &simnet.FaultPlan{
+		DropRate: 0.1, Seed: 0xc0ffee,
+	})
+
+	// Fault plans bind at dial time, so kick every outbound connection:
+	// the keepers must now rebuild all 8 slots through the degraded
+	// fabric — 30% loss corrupting handshakes, the reset link killing
+	// young connections — while the attacker floods.
+	for _, addr := range cl.HonestAddrs {
+		cl.Victim.DisconnectPeer(core.PeerIDFromAddr(addr))
+	}
+
+	attackQuit, attackDone := make(chan struct{}), make(chan struct{})
+	go runAttacker(cl, attackQuit, attackDone)
+	waitFor(t, 30*time.Second, "attacker banned mid-storm", func() bool {
+		return cl.Victim.Tracker().IsBanned(core.PeerIDFromAddr(attackerAddr))
+	})
+	waitFor(t, 30*time.Second, "injected faults biting (delays and resets)", func() bool {
+		fs := cl.Fabric.FaultStats()
+		return fs.PayloadsDelayed > 0 && fs.ConnsReset > 0
+	})
+	waitFor(t, 60*time.Second, "keepers making progress through the storm", func() bool {
+		return cl.Victim.Stats().ReconnectAttempts > 8
+	})
+
+	// Timed partition: the victim loses four honest peers entirely. The
+	// silenced links idle out, the keepers' dials fail fast, and health
+	// degrades with an outbound deficit.
+	cl.Fabric.Partition("storm-cut",
+		[]string{"10.0.0.1"},
+		[]string{"10.0.1.5", "10.0.1.6", "10.0.1.7", "10.0.1.8"})
+	partitionEnd := time.Now().Add(partitionFor)
+	waitFor(t, 20*time.Second, "healthz degraded during partition", func() bool {
+		code, doc, _ := cl.Healthz()
+		return code == http.StatusServiceUnavailable && doc["status"] == "degraded"
+	})
+	if wait := time.Until(partitionEnd); wait > 0 {
+		time.Sleep(wait)
+	}
+
+	// --- Heal phase: lift the partition and every fault, stop the
+	// attacker, and require complete recovery.
+	cl.Fabric.Heal("storm-cut")
+	cl.Fabric.SetDefaultFaults(nil)
+	cl.Fabric.SetLinkFaultsBoth("10.0.1.1", "10.0.0.1", nil)
+	cl.Fabric.SetLinkFaultsBoth("10.0.9.9", "10.0.0.1", nil)
+	close(attackQuit)
+	<-attackDone
+
+	waitFor(t, 30*time.Second, "all 8 outbound slots refilled after heal", func() bool {
+		_, out := cl.Victim.PeerCount()
+		return out == 8 && cl.Victim.Stats().PendingOutbound == 0
+	})
+	waitFor(t, 10*time.Second, "healthz healthy after heal", func() bool {
+		code, _, _ := cl.Healthz()
+		return code == http.StatusOK
+	})
+
+	// Ban-score consistency through the storm: exactly the attacker is
+	// banned, no honest peer picked up a ban, and the refused-connection
+	// counter shows the ban actually enforced at accept time.
+	if !cl.Victim.Tracker().IsBanned(core.PeerIDFromAddr(attackerAddr)) {
+		t.Error("attacker ban did not survive the storm")
+	}
+	for _, addr := range cl.HonestAddrs {
+		if cl.Victim.Tracker().IsBanned(core.PeerIDFromAddr(addr)) {
+			t.Errorf("honest peer %s banned", addr)
+		}
+	}
+	if got := cl.Victim.Tracker().BanList().Count(); got != 1 {
+		t.Errorf("ban list holds %d identifiers, want 1 (the attacker)", got)
+	}
+
+	// The fabric really did inject chaos.
+	fs := cl.Fabric.FaultStats()
+	if fs.PayloadsDropped == 0 || fs.DialsFailed == 0 {
+		t.Errorf("storm too quiet: %+v", fs)
+	}
+	if !testing.Short() && fs.ConnsReset == 0 {
+		t.Errorf("no injected resets landed: %+v", fs)
+	}
+
+	// The node kept working through the weather: the miner mined, and the
+	// monitor's windows still train an engine.
+	if cl.Miner.Mined() == 0 {
+		t.Error("miner mined nothing through the storm")
+	}
+	windows := cl.Monitor.Flush()
+	engine, _, err := detect.Train(windows, detect.Config{Margin: 1.5})
+	if err != nil || engine == nil {
+		t.Fatalf("detector failed to train on %d storm windows: %v", len(windows), err)
+	}
+
+	// Nothing leaked: after teardown the goroutine count returns to the
+	// pre-cluster baseline (small slack for runtime background threads).
+	cl.Close()
+	if n, ok := WaitGoroutines(baseline+3, 10*time.Second); !ok {
+		t.Errorf("goroutines leaked: baseline %d, now %d", baseline, n)
+	}
+}
+
+// TestClusterLifecycle is the cheap smoke test: build, connect, health,
+// teardown, no leaks — the harness itself must be clean before it can judge
+// the node.
+func TestClusterLifecycle(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cl, err := NewCluster(Config{HonestPeers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ConnectAll(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "3 outbound peers", func() bool {
+		_, out := cl.Victim.PeerCount()
+		return out == 3
+	})
+	code, doc, err := cl.Healthz()
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("healthz: %d %v %v", code, doc, err)
+	}
+	cl.Close()
+	if n, ok := WaitGoroutines(baseline+3, 5*time.Second); !ok {
+		t.Errorf("goroutines leaked: baseline %d, now %d", baseline, n)
+	}
+}

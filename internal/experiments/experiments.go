@@ -58,6 +58,12 @@ type Scale struct {
 
 	// SerialIdentifiers per Fig. 8 delay setting.
 	SerialIdentifiers int
+
+	// Faults, when non-nil, is installed as the fabric-wide default fault
+	// plan of every testbed the experiments build, so any table or figure
+	// can be regenerated over a lossy, laggy, or resetting network. Nil
+	// keeps the perfect fabric the paper's testbed assumed.
+	Faults *simnet.FaultPlan
 }
 
 // QuickScale finishes the full suite in well under a minute.
@@ -108,11 +114,18 @@ type TestbedConfig struct {
 	// be nil.
 	Telemetry *telemetry.Registry
 	Journal   *telemetry.Journal
+
+	// Faults, when non-nil, becomes the fabric's default fault plan before
+	// any connection is made (see Scale.Faults).
+	Faults *simnet.FaultPlan
 }
 
 // NewTestbed builds and starts the victim node on a fresh fabric.
 func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	fabric := simnet.NewNetwork()
+	if cfg.Faults != nil {
+		fabric.SetDefaultFaults(cfg.Faults)
+	}
 	tb := &Testbed{Fabric: fabric, Target: "10.0.0.1:8333"}
 	victim := node.New(node.Config{
 		ChainParams:   cfg.ChainParams,
@@ -134,6 +147,13 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	victim.Serve(l)
 	tb.Victim = victim
 	return tb, nil
+}
+
+// SetFabricFaults replaces the fabric's default fault plan mid-run (nil
+// clears it). Connections established earlier keep the plan they were dialed
+// under; only subsequent dials observe the change.
+func (tb *Testbed) SetFabricFaults(plan *simnet.FaultPlan) {
+	tb.Fabric.SetDefaultFaults(plan)
 }
 
 // AttackerDialer returns the spoofing-capable dialer of the fabric.

@@ -44,6 +44,7 @@ type table2Spec struct {
 func Table2(scale Scale) (Table2Result, error) {
 	tb, err := NewTestbed(TestbedConfig{
 		TrackerConfig: core.Config{Mode: core.ModeThresholdInfinity},
+		Faults:        scale.Faults,
 	})
 	if err != nil {
 		return Table2Result{}, err

@@ -1,0 +1,45 @@
+package node
+
+// DefaultBanTableSoftLimit is the banned-identifier count past which the
+// node reports itself degraded. The ban table grows one entry per banned
+// [IP:Port] and a Defamation-style attacker can inflate it deliberately;
+// saturation is an operational signal, not a hard cap.
+const DefaultBanTableSoftLimit = 10000
+
+// Health reports whether the node considers itself healthy, plus the
+// fields behind the verdict. It degrades when any outbound slot is lost
+// and still being refilled (the keeper deficit) or when the ban table has
+// saturated past the soft limit. The telemetry server's /healthz endpoint
+// consumes this via Server.SetHealth.
+func (n *Node) Health() (bool, map[string]any) {
+	deficit := int(n.pendingOutbound.Load())
+	banned := n.tracker.BanList().Count()
+	inbound, outbound := n.PeerCount()
+
+	limit := n.cfg.BanTableSoftLimit
+	if limit <= 0 {
+		limit = DefaultBanTableSoftLimit
+	}
+
+	healthy := true
+	reasons := make([]string, 0, 2)
+	if deficit > 0 {
+		healthy = false
+		reasons = append(reasons, "outbound-deficit")
+	}
+	if banned > limit {
+		healthy = false
+		reasons = append(reasons, "ban-table-saturated")
+	}
+
+	fields := map[string]any{
+		"peers_inbound":    inbound,
+		"peers_outbound":   outbound,
+		"outbound_deficit": deficit,
+		"banned":           banned,
+	}
+	if !healthy {
+		fields["degraded"] = reasons
+	}
+	return healthy, fields
+}

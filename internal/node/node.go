@@ -9,6 +9,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -31,6 +32,44 @@ import (
 const (
 	DefaultMaxInbound  = 117
 	DefaultMaxOutbound = 8
+)
+
+// Resilience defaults. Each can be overridden in Config; negative values
+// disable the corresponding deadline.
+const (
+	// DefaultDialTimeout bounds one outbound dial attempt.
+	DefaultDialTimeout = 10 * time.Second
+
+	// DefaultHandshakeTimeout bounds the VERSION/VERACK exchange. A peer
+	// still pre-VERACK when it expires is disconnected, reclaiming the
+	// slot an attacker could otherwise pin indefinitely by connecting and
+	// going silent.
+	DefaultHandshakeTimeout = 15 * time.Second
+
+	// DefaultReconnectBackoff / DefaultReconnectMaxBackoff bound the slot
+	// keeper's retry schedule (exponential with jitter).
+	DefaultReconnectBackoff    = 100 * time.Millisecond
+	DefaultReconnectMaxBackoff = 5 * time.Second
+)
+
+// Sentinel errors from Connect. The outbound slot keeper distinguishes
+// "the slot is already filled" (stop retrying) from transient dial
+// failures (keep retrying).
+var (
+	// ErrOutboundSlotsFull: every outbound slot is occupied.
+	ErrOutboundSlotsFull = errors.New("outbound slots full")
+
+	// ErrAlreadyConnected: a connection to that identifier exists.
+	ErrAlreadyConnected = errors.New("already connected")
+
+	// ErrPeerBanned: the target identifier is currently banned.
+	ErrPeerBanned = errors.New("peer is banned")
+
+	// ErrDialTimeout: the dialer did not produce a connection in time.
+	ErrDialTimeout = errors.New("dial timed out")
+
+	// ErrNodeStopped: the node is shutting down.
+	ErrNodeStopped = errors.New("node stopped")
 )
 
 // Dialer opens an outbound connection from a local address to a remote one.
@@ -78,6 +117,30 @@ type Config struct {
 	// IdleTimeout for peer connections; zero selects the peer default.
 	IdleTimeout time.Duration
 
+	// WriteTimeout bounds each message write to a peer; zero selects the
+	// peer default, negative disables it.
+	WriteTimeout time.Duration
+
+	// DialTimeout bounds one outbound dial attempt; zero selects
+	// DefaultDialTimeout, negative disables it.
+	DialTimeout time.Duration
+
+	// HandshakeTimeout bounds the VERSION/VERACK exchange on every new
+	// connection, inbound and outbound; zero selects
+	// DefaultHandshakeTimeout, negative disables it.
+	HandshakeTimeout time.Duration
+
+	// ReconnectBackoff is the slot keeper's initial retry delay; zero
+	// selects DefaultReconnectBackoff. It doubles per failed attempt up
+	// to ReconnectMaxBackoff (zero selects DefaultReconnectMaxBackoff),
+	// with up to 50% random jitter added.
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
+
+	// BanTableSoftLimit is the banned-identifier count past which Health
+	// reports the node degraded; zero selects DefaultBanTableSoftLimit.
+	BanTableSoftLimit int
+
 	// DisableReconnect turns off automatic outbound reconnection
 	// (useful in benchmarks isolating other behavior).
 	DisableReconnect bool
@@ -111,6 +174,10 @@ type Stats struct {
 	BlocksAccepted     uint64
 	TxAccepted         uint64
 	Reconnections      uint64
+	ReconnectAttempts  uint64
+	HandshakeTimeouts  uint64
+	WriteTimeouts      uint64
+	PendingOutbound    int
 }
 
 // Node is a running full node.
@@ -124,6 +191,7 @@ type Node struct {
 
 	mu           sync.Mutex
 	peers        map[core.PeerID]*peer.Peer
+	dialing      map[core.PeerID]struct{} // outbound dials in flight, by target ID
 	inbound      int
 	outbound     int
 	listeners    []net.Listener
@@ -140,6 +208,14 @@ type Node struct {
 	blocksAccepted    atomic.Uint64
 	txAccepted        atomic.Uint64
 	reconnections     atomic.Uint64
+	reconnectAttempts atomic.Uint64
+	handshakeTimeouts atomic.Uint64
+	writeTimeouts     atomic.Uint64
+
+	// pendingOutbound counts outbound slots lost and currently being
+	// refilled by a keeper — the node's outbound deficit, surfaced by
+	// Health and the node_outbound_deficit gauge.
+	pendingOutbound atomic.Int32
 
 	quit     chan struct{}
 	quitOnce sync.Once
@@ -166,6 +242,18 @@ func New(cfg Config) *Node {
 	if cfg.TrackerConfig.Clock == nil {
 		cfg.TrackerConfig.Clock = cfg.Clock
 	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.ReconnectBackoff == 0 {
+		cfg.ReconnectBackoff = DefaultReconnectBackoff
+	}
+	if cfg.ReconnectMaxBackoff == 0 {
+		cfg.ReconnectMaxBackoff = DefaultReconnectMaxBackoff
+	}
 
 	n := &Node{
 		cfg:          cfg,
@@ -173,6 +261,7 @@ func New(cfg Config) *Node {
 		mempool:      mempool.New(0),
 		addrmgr:      NewAddrManager(0x5eed),
 		peers:        make(map[core.PeerID]*peer.Peer),
+		dialing:      make(map[core.PeerID]struct{}),
 		blockStore:   make(map[chainhash.Hash]*wire.MsgBlock),
 		headerCount:  make(map[core.PeerID]int),
 		filters:      make(map[core.PeerID]*bloom.Filter),
@@ -237,6 +326,10 @@ func (n *Node) Stats() Stats {
 		BlocksAccepted:     n.blocksAccepted.Load(),
 		TxAccepted:         n.txAccepted.Load(),
 		Reconnections:      n.reconnections.Load(),
+		ReconnectAttempts:  n.reconnectAttempts.Load(),
+		HandshakeTimeouts:  n.handshakeTimeouts.Load(),
+		WriteTimeouts:      n.writeTimeouts.Load(),
+		PendingOutbound:    int(n.pendingOutbound.Load()),
 	}
 }
 
@@ -372,48 +465,114 @@ func (n *Node) RankPeers() []PeerReputation {
 }
 
 // Connect opens an outbound connection to addr and performs our half of the
-// version handshake.
+// version handshake. Sentinel errors classify the failure: ErrPeerBanned,
+// ErrAlreadyConnected, and ErrOutboundSlotsFull mean the target or slot
+// state rules the attempt out; anything else is a transient dial failure
+// worth retrying.
 func (n *Node) Connect(addr string) error {
 	if n.cfg.Dialer == nil {
 		return errors.New("node has no dialer configured")
 	}
 	remote := core.PeerIDFromAddr(addr)
 	if n.tracker.IsBanned(remote) {
-		return fmt.Errorf("refusing to connect to banned identifier %s", remote)
+		return fmt.Errorf("%w: %s", ErrPeerBanned, remote)
 	}
 
 	n.mu.Lock()
+	if _, connected := n.peers[remote]; connected {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrAlreadyConnected, remote)
+	}
+	// Claiming the target in the dialing set serializes outbound attempts
+	// per identifier: without it, two slot keepers picking the same
+	// candidate would race their registrations in startPeer, and the
+	// loser's slot increment would never be rolled back.
+	if _, inflight := n.dialing[remote]; inflight {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: dial in flight to %s", ErrAlreadyConnected, remote)
+	}
 	if n.outbound >= n.cfg.MaxOutbound {
 		n.mu.Unlock()
-		return fmt.Errorf("outbound slots full [%d]", n.cfg.MaxOutbound)
+		return fmt.Errorf("%w [%d]", ErrOutboundSlotsFull, n.cfg.MaxOutbound)
 	}
 	n.outbound++
+	n.dialing[remote] = struct{}{}
 	n.mu.Unlock()
 
-	conn, err := n.cfg.Dialer(addr)
+	conn, err := n.dial(addr)
 	if err != nil {
 		n.mu.Lock()
 		n.outbound--
+		delete(n.dialing, remote)
 		n.mu.Unlock()
 		return fmt.Errorf("dial %s: %w", addr, err)
 	}
 	n.addrmgr.Add(addr)
 	p := n.startPeer(conn, false)
+	n.mu.Lock()
+	delete(n.dialing, remote)
+	n.mu.Unlock()
 	n.sendVersion(p)
 	return nil
+}
+
+// dial invokes the configured Dialer under DialTimeout. The Dialer contract
+// has no cancellation, so on expiry the attempt is abandoned to a reaper
+// that closes the connection if it ever materializes.
+func (n *Node) dial(addr string) (net.Conn, error) {
+	if n.cfg.DialTimeout <= 0 {
+		return n.cfg.Dialer(addr)
+	}
+	type dialResult struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan dialResult, 1)
+	go func() {
+		conn, err := n.cfg.Dialer(addr)
+		ch <- dialResult{conn, err}
+	}()
+	timer := time.NewTimer(n.cfg.DialTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-timer.C:
+	case <-n.quit:
+		timer.Stop()
+	}
+	go func() {
+		if r := <-ch; r.err == nil && r.conn != nil {
+			r.conn.Close()
+		}
+	}()
+	select {
+	case <-n.quit:
+		return nil, ErrNodeStopped
+	default:
+		return nil, ErrDialTimeout
+	}
 }
 
 // startPeer wires a connection into the dispatch pipeline.
 func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
 	pcfg := peer.Config{
-		Net:         n.cfg.ChainParams.Net,
-		IdleTimeout: n.cfg.IdleTimeout,
-		OnMessage:   n.handleMessage,
+		Net:          n.cfg.ChainParams.Net,
+		IdleTimeout:  n.cfg.IdleTimeout,
+		WriteTimeout: n.cfg.WriteTimeout,
+		OnMessage:    n.handleMessage,
 		OnMalformed: func(p *peer.Peer, err error) {
 			// Malformed framing: dropped without scoring (the wire
 			// layer rejected it before misbehavior processing).
 		},
 		OnDisconnect: n.peerDisconnected,
+		OnWriteTimeout: func(p *peer.Peer) {
+			n.writeTimeouts.Add(1)
+			if m := n.metrics; m != nil {
+				m.writeTimeouts.Inc()
+				m.event(telemetry.EventPeerDisconnect, string(p.ID()), "", 0, "write-timeout")
+			}
+		},
 	}
 	if m := n.metrics; m != nil {
 		pcfg.OnSend = func(cmd string, bytes int) {
@@ -421,9 +580,27 @@ func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
 		}
 	}
 	p := peer.New(conn, inbound, pcfg)
-	n.mu.Lock()
-	n.peers[p.ID()] = p
-	n.mu.Unlock()
+
+	// A new connection from an identifier we already track supersedes the
+	// old one (the fabric reuses source addresses freely). Retire the old
+	// peer fully first — its disconnect path runs synchronously here, so
+	// slot counts and tracker state settle before the new registration.
+	// Registration and Start happen under the lock as one step: any peer
+	// another goroutine can find in the map is already started, so its
+	// WaitForShutdown never races our Start.
+	for {
+		n.mu.Lock()
+		old, exists := n.peers[p.ID()]
+		if !exists {
+			n.peers[p.ID()] = p
+			p.Start()
+			n.mu.Unlock()
+			break
+		}
+		n.mu.Unlock()
+		old.Disconnect()
+		old.WaitForShutdown()
+	}
 	if m := n.metrics; m != nil {
 		direction := "outbound"
 		if inbound {
@@ -431,8 +608,47 @@ func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
 		}
 		m.event(telemetry.EventPeerConnect, string(p.ID()), "", 0, direction)
 	}
-	p.Start()
+	n.armHandshakeWatchdog(p)
+
+	// A connection racing node shutdown would otherwise outlive Stop's
+	// peer snapshot; tear it down immediately.
+	select {
+	case <-n.quit:
+		p.Disconnect()
+		p.WaitForShutdown()
+	default:
+	}
 	return p
+}
+
+// armHandshakeWatchdog disconnects p if its VERSION/VERACK exchange has not
+// completed within HandshakeTimeout, reclaiming a slot an unresponsive (or
+// deliberately silent) remote would otherwise pin.
+func (n *Node) armHandshakeWatchdog(p *peer.Peer) {
+	timeout := n.cfg.HandshakeTimeout
+	if timeout <= 0 {
+		return
+	}
+	time.AfterFunc(timeout, func() {
+		if p.HandshakeComplete() {
+			return
+		}
+		// Only count peers we are actually still holding a slot for: a
+		// peer that already disconnected for another reason is not a
+		// handshake timeout.
+		n.mu.Lock()
+		cur, live := n.peers[p.ID()]
+		n.mu.Unlock()
+		if !live || cur != p {
+			return
+		}
+		n.handshakeTimeouts.Add(1)
+		if m := n.metrics; m != nil {
+			m.handshakeTimeouts.Inc()
+			m.event(telemetry.EventPeerDisconnect, string(p.ID()), "", 0, "handshake-timeout")
+		}
+		p.Disconnect()
+	})
 }
 
 // sendVersion queues our VERSION message to the peer.
@@ -451,7 +667,10 @@ func (n *Node) sendVersion(p *peer.Peer) {
 // replacement connection whose rate the detection engine watches.
 func (n *Node) peerDisconnected(p *peer.Peer) {
 	n.mu.Lock()
-	if _, known := n.peers[p.ID()]; !known {
+	// Pointer equality matters: a reconnection from the same [IP:Port] may
+	// already occupy the map slot, and decrementing counts for a peer we
+	// no longer track would corrupt slot accounting.
+	if cur, known := n.peers[p.ID()]; !known || cur != p {
 		n.mu.Unlock()
 		return
 	}
@@ -480,48 +699,109 @@ func (n *Node) peerDisconnected(p *peer.Peer) {
 	default:
 	}
 	if !p.Inbound() && !n.cfg.DisableReconnect && n.cfg.Dialer != nil {
+		n.pendingOutbound.Add(1)
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			n.reconnectOutbound(p.Addr())
+			defer n.pendingOutbound.Add(-1)
+			n.keepOutboundSlot(p.Addr())
 		}()
 	}
 }
 
-// reconnectOutbound rebuilds one outbound connection, preferring a fresh
-// address from the peer table and falling back to the lost address.
-func (n *Node) reconnectOutbound(lostAddr string) {
-	select {
-	case <-n.quit:
-		return
-	default:
-	}
+// pickReconnectCandidate chooses the address for the next refill attempt:
+// a fresh, unbanned, unconnected entry from the peer table, falling back to
+// the lost address. Empty means nothing is currently dialable (everything
+// is banned or connected) — the keeper waits and asks again, since bans
+// expire.
+func (n *Node) pickReconnectCandidate(lostAddr string) string {
 	candidate := n.addrmgr.Pick(func(addr string) bool {
 		if n.tracker.IsBanned(core.PeerIDFromAddr(addr)) {
 			return true
 		}
+		id := core.PeerIDFromAddr(addr)
 		n.mu.Lock()
-		_, connected := n.peers[core.PeerIDFromAddr(addr)]
+		_, connected := n.peers[id]
+		if !connected {
+			_, connected = n.dialing[id]
+		}
 		n.mu.Unlock()
 		return connected
 	})
-	if candidate == "" {
+	if candidate == "" && !n.tracker.IsBanned(core.PeerIDFromAddr(lostAddr)) {
 		candidate = lostAddr
-		if n.tracker.IsBanned(core.PeerIDFromAddr(candidate)) {
+	}
+	return candidate
+}
+
+// keepOutboundSlot is the supervised replacement for the old fire-and-forget
+// reconnect goroutine, which abandoned the slot on the first dial error. It
+// retries with capped exponential backoff plus jitter until the slot is
+// refilled — by this keeper or a concurrent one — or the node stops. Every
+// attempt is reported to telemetry and the reconnection-rate feature the
+// detection engine watches.
+func (n *Node) keepOutboundSlot(lostAddr string) {
+	backoff := n.cfg.ReconnectBackoff
+	rng := rand.New(rand.NewSource(int64(addrSeed(lostAddr))))
+	for {
+		select {
+		case <-n.quit:
+			return
+		default:
+		}
+
+		var err error
+		candidate := n.pickReconnectCandidate(lostAddr)
+		if candidate == "" {
+			err = ErrPeerBanned // nothing dialable right now; bans expire, so wait
+		} else {
+			err = n.Connect(candidate)
+		}
+		n.reconnectAttempts.Add(1)
+		if m := n.metrics; m != nil {
+			m.reconnectAttempt(err)
+		}
+
+		switch {
+		case err == nil:
+			n.reconnections.Add(1)
+			if m := n.metrics; m != nil {
+				m.reconnects.Inc()
+				m.event(telemetry.EventReconnect, string(core.PeerIDFromAddr(candidate)), "", 0, "")
+			}
+			if n.cfg.Tap != nil {
+				n.cfg.Tap.OnOutboundReconnect(n.cfg.Clock())
+			}
+			return
+		case errors.Is(err, ErrOutboundSlotsFull), errors.Is(err, ErrAlreadyConnected):
+			// The slot this keeper was guarding has been refilled some
+			// other way; its job is done.
+			return
+		case errors.Is(err, ErrNodeStopped):
 			return
 		}
+
+		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)/2+1))
+		if backoff *= 2; backoff > n.cfg.ReconnectMaxBackoff {
+			backoff = n.cfg.ReconnectMaxBackoff
+		}
+		select {
+		case <-n.quit:
+			return
+		case <-time.After(sleep):
+		}
 	}
-	if err := n.Connect(candidate); err != nil {
-		return
+}
+
+// addrSeed derives a stable per-address jitter seed (FNV-1a) so keeper
+// backoff schedules are reproducible in tests.
+func addrSeed(addr string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
 	}
-	n.reconnections.Add(1)
-	if m := n.metrics; m != nil {
-		m.reconnects.Inc()
-		m.event(telemetry.EventReconnect, string(core.PeerIDFromAddr(candidate)), "", 0, "")
-	}
-	if n.cfg.Tap != nil {
-		n.cfg.Tap.OnOutboundReconnect(n.cfg.Clock())
-	}
+	return h
 }
 
 // DisconnectPeer drops the connection to the given identifier.

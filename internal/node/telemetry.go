@@ -1,6 +1,7 @@
 package node
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -38,6 +39,10 @@ type nodeMetrics struct {
 	refusedSlots  *telemetry.Counter // node_conns_refused_total{reason="slots"}
 	reconnects    *telemetry.Counter // node_reconnects_total
 
+	reconnectTries    *telemetry.CounterVec // node_reconnect_attempts_total{result}
+	handshakeTimeouts *telemetry.Counter    // node_handshake_timeouts_total
+	writeTimeouts     *telemetry.Counter    // peer_write_timeouts_total
+
 	// Byte totals of already-disconnected peers; the pull-style counters
 	// add these to the live per-peer sums so disconnects never lose
 	// traffic history.
@@ -72,6 +77,18 @@ func newNodeMetrics(n *Node, reg *telemetry.Registry, journal *telemetry.Journal
 	m.refusedSlots = reg.Counter("node_conns_refused_total", telemetry.L("reason", "slots"))
 	reg.Describe("node_reconnects_total", "Outbound connections rebuilt after a peer was lost.")
 	m.reconnects = reg.Counter("node_reconnects_total")
+
+	// Resilience layer: slot-keeper attempts and connection deadlines.
+	reg.Describe("node_reconnect_attempts_total", "Outbound slot-keeper dial attempts, by result.")
+	m.reconnectTries = reg.CounterVec("node_reconnect_attempts_total", "result")
+	reg.Describe("node_handshake_timeouts_total", "Peers dropped still pre-VERACK at the handshake deadline.")
+	m.handshakeTimeouts = reg.Counter("node_handshake_timeouts_total")
+	reg.Describe("peer_write_timeouts_total", "Peers dropped because a message write exceeded its deadline.")
+	m.writeTimeouts = reg.Counter("peer_write_timeouts_total")
+	reg.Describe("node_outbound_deficit", "Outbound slots lost and currently being refilled by keepers.")
+	reg.GaugeFunc("node_outbound_deficit", func() float64 {
+		return float64(n.pendingOutbound.Load())
+	})
 
 	// Connection-slot occupancy, read from node state at scrape time.
 	reg.Describe("node_peers", "Connected peers, by direction.")
@@ -182,6 +199,21 @@ func (m *nodeMetrics) onRuleApplied(id core.PeerID, rule core.RuleID, delta, tot
 func (m *nodeMetrics) onBan(id core.PeerID, score int) {
 	m.bans.Inc()
 	m.event(telemetry.EventBan, string(id), "", float64(score), "")
+}
+
+// reconnectAttempt counts one slot-keeper dial attempt by outcome class.
+func (m *nodeMetrics) reconnectAttempt(err error) {
+	result := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOutboundSlotsFull), errors.Is(err, ErrAlreadyConnected):
+		result = "slot-refilled"
+	case errors.Is(err, ErrPeerBanned):
+		result = "banned"
+	default:
+		result = "dial-error"
+	}
+	m.reconnectTries.With(result).Inc()
 }
 
 // peerRetired folds a disconnected peer's byte totals into the retained

@@ -28,6 +28,12 @@ var ErrSendQueueFull = errors.New("send queue full")
 // DefaultIdleTimeout disconnects a peer that sends nothing for this long.
 const DefaultIdleTimeout = 5 * time.Minute
 
+// DefaultWriteTimeout bounds each message write. A remote that stops
+// reading stalls our writeLoop behind TCP back-pressure; without a
+// deadline the goroutine — and the outbound slot it represents — hangs
+// forever.
+const DefaultWriteTimeout = 30 * time.Second
+
 // sendQueueSize bounds the outbound message queue. It is deliberately large:
 // a flooding *victim's* reply queue must not be the bottleneck under test.
 const sendQueueSize = 1024
@@ -48,6 +54,14 @@ type Config struct {
 	// IdleTimeout before an idle connection is dropped. Zero selects
 	// DefaultIdleTimeout.
 	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each message write to the wire. Zero selects
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+
+	// OnWriteTimeout is invoked (before OnDisconnect) when a message
+	// write exceeded WriteTimeout and the peer is being dropped for it.
+	OnWriteTimeout func(p *Peer)
 
 	// OnMessage is invoked from the read loop for each decoded message.
 	OnMessage MessageHandler
@@ -107,6 +121,9 @@ func New(conn net.Conn, inbound bool, cfg Config) *Peer {
 	}
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
 	}
 	return &Peer{
 		cfg:       cfg,
@@ -280,9 +297,17 @@ func (p *Peer) writeLoop() {
 		case <-p.quit:
 			return
 		case msg := <-p.sendQueue:
+			if p.cfg.WriteTimeout > 0 {
+				if err := p.conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout)); err != nil {
+					return
+				}
+			}
 			n, err := wire.WriteMessage(p.conn, msg, p.cfg.ProtocolVersion, p.cfg.Net)
 			p.bytesSent.Add(uint64(n))
 			if err != nil {
+				if isTimeout(err) && p.cfg.OnWriteTimeout != nil {
+					p.cfg.OnWriteTimeout(p)
+				}
 				return
 			}
 			if p.cfg.OnSend != nil {
@@ -290,6 +315,13 @@ func (p *Peer) writeLoop() {
 			}
 		}
 	}
+}
+
+// isTimeout reports whether err is an i/o deadline expiry (net.Error with
+// Timeout(), which both real sockets and simnet pipes satisfy).
+func isTimeout(err error) bool {
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
 }
 
 func isUnknownCommand(err error) bool {

@@ -369,3 +369,107 @@ func TestPeerConcurrentQueueing(t *testing.T) {
 		}
 	}
 }
+
+// stalledConn is a net.Conn whose remote never reads: writes block until the
+// write deadline expires (or the conn is closed). It models a peer that
+// accepted the TCP connection and then stopped draining its receive buffer.
+type stalledConn struct {
+	mu       sync.Mutex
+	deadline time.Time
+	quit     chan struct{}
+	once     sync.Once
+}
+
+type stallTimeoutErr struct{}
+
+func (stallTimeoutErr) Error() string   { return "write deadline exceeded" }
+func (stallTimeoutErr) Timeout() bool   { return true }
+func (stallTimeoutErr) Temporary() bool { return true }
+
+func newStalledConn() *stalledConn { return &stalledConn{quit: make(chan struct{})} }
+
+func (c *stalledConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	d := c.deadline
+	c.mu.Unlock()
+	if d.IsZero() {
+		<-c.quit
+		return 0, net.ErrClosed
+	}
+	select {
+	case <-time.After(time.Until(d)):
+		return 0, stallTimeoutErr{}
+	case <-c.quit:
+		return 0, net.ErrClosed
+	}
+}
+
+func (c *stalledConn) Read(p []byte) (int, error) {
+	<-c.quit
+	return 0, net.ErrClosed
+}
+
+func (c *stalledConn) Close() error {
+	c.once.Do(func() { close(c.quit) })
+	return nil
+}
+
+func (c *stalledConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *stalledConn) SetReadDeadline(time.Time) error     { return nil }
+func (c *stalledConn) SetDeadline(t time.Time) error       { return c.SetWriteDeadline(t) }
+func (c *stalledConn) LocalAddr() net.Addr                 { return simnet.Addr("10.0.0.1:8333") }
+func (c *stalledConn) RemoteAddr() net.Addr                { return simnet.Addr("10.0.0.9:1") }
+
+// TestWriteLoopTimesOutOnStalledReader is the regression test for the
+// writeLoop hang: a remote that stops reading used to wedge the write
+// goroutine (and with it the slot) forever. With a per-message write
+// deadline the peer must report the timeout and disconnect.
+func TestWriteLoopTimesOutOnStalledReader(t *testing.T) {
+	timedOut := make(chan struct{}, 1)
+	disconnected := make(chan struct{}, 1)
+	p := New(newStalledConn(), false, Config{
+		Net:            wire.SimNet,
+		WriteTimeout:   50 * time.Millisecond,
+		OnWriteTimeout: func(*Peer) { timedOut <- struct{}{} },
+		OnDisconnect:   func(*Peer) { disconnected <- struct{}{} },
+	})
+	p.Start()
+	if err := p.QueueMessage(wire.NewMsgPing(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-timedOut:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write never timed out against a stalled reader")
+	}
+	select {
+	case <-disconnected:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not disconnect after write timeout")
+	}
+	p.WaitForShutdown()
+}
+
+// TestWriteTimeoutDisabled checks that a negative WriteTimeout leaves the
+// legacy unbounded-write behavior available for callers that want it.
+func TestWriteTimeoutDisabled(t *testing.T) {
+	p := New(newStalledConn(), false, Config{Net: wire.SimNet, WriteTimeout: -1})
+	p.Start()
+	if err := p.QueueMessage(wire.NewMsgPing(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // long enough for a spurious deadline to fire
+	select {
+	case <-p.quit:
+		t.Fatal("peer disconnected despite disabled write timeout")
+	default:
+	}
+	p.Disconnect()
+	p.WaitForShutdown()
+}

@@ -1,0 +1,298 @@
+package simnet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// faultedPair dials a client/server pair over a fabric with the given
+// default plan installed.
+func faultedPair(t *testing.T, n *Network, plan *FaultPlan) (client, server *Conn) {
+	t.Helper()
+	if plan != nil {
+		n.SetDefaultFaults(plan)
+	}
+	l, err := n.Listen("10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c.(*Conn)
+	}()
+	c, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, <-accepted
+}
+
+func TestLatencyDelaysDeliveryAndReadDeadlineFires(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	client, server := faultedPair(t, n, &FaultPlan{Latency: 150 * time.Millisecond})
+
+	start := time.Now()
+	if _, err := client.Write([]byte("delayed")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read deadline inside the latency window expires without data —
+	// satellite coverage: read deadline during an injected delay.
+	server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 16)
+	if _, err := server.Read(buf); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("read during latency window = %v, want deadline exceeded", err)
+	}
+
+	// Without a deadline the payload arrives, and not before the latency.
+	server.SetReadDeadline(time.Time{})
+	got, err := server.Read(buf)
+	if err != nil || string(buf[:got]) != "delayed" {
+		t.Fatalf("read = %q, %v", buf[:got], err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("payload arrived after %v, want >= 150ms", elapsed)
+	}
+}
+
+func TestLatencyPreservesOrder(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	client, server := faultedPair(t, n, &FaultPlan{Latency: 10 * time.Millisecond, Jitter: 30 * time.Millisecond})
+
+	msgs := []string{"aa", "bb", "cc", "dd", "ee"}
+	for _, m := range msgs {
+		if _, err := client.Write([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []byte
+	buf := make([]byte, 16)
+	for len(got) < 10 {
+		k, err := server.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:k]...)
+	}
+	if string(got) != "aabbccddee" {
+		t.Fatalf("jittered stream reordered: %q", got)
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	client, server := faultedPair(t, n, &FaultPlan{ResetAfterBytes: 10})
+
+	if _, err := client.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Crossing the byte budget resets the connection...
+	if _, err := client.Write(make([]byte, 8)); !errors.Is(err, ErrConnReset) {
+		t.Fatalf("write over reset budget = %v, want ErrConnReset", err)
+	}
+	// ...writes into the reset connection keep failing (satellite
+	// coverage: write into reset connection)...
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Fatal("write into reset connection succeeded")
+	}
+	// ...and the peer sees a hard reset, not a graceful EOF: buffered
+	// data was discarded like a real RST.
+	if _, err := server.Read(make([]byte, 8)); !errors.Is(err, ErrConnReset) {
+		t.Fatalf("peer read after reset = %v, want ErrConnReset", err)
+	}
+	if n.FaultStats().ConnsReset != 1 {
+		t.Fatalf("ConnsReset = %d, want 1", n.FaultStats().ConnsReset)
+	}
+}
+
+func TestDropRateIsDeterministic(t *testing.T) {
+	deliveredBytes := func() uint64 {
+		n := NewNetwork()
+		defer n.Close()
+		client, _ := faultedPair(t, n, &FaultPlan{DropRate: 0.5, Seed: 42})
+		for i := 0; i < 100; i++ {
+			if _, err := client.Write(make([]byte, 10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n.BytesDelivered("10.0.0.1:8333")
+	}
+	a, b := deliveredBytes(), deliveredBytes()
+	if a != b {
+		t.Fatalf("same seed delivered %d then %d bytes", a, b)
+	}
+	if a == 0 || a == 1000 {
+		t.Fatalf("50%% drop delivered %d of 1000 bytes", a)
+	}
+}
+
+func TestPartitionBlackholesAndHeals(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	client, server := faultedPair(t, n, nil)
+
+	n.Partition("cut", []string{"10.0.0.2"}, []string{"10.0.0.1"})
+
+	// Established connection: writes are accepted and silently dropped.
+	if _, err := client.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := server.Read(make([]byte, 8)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("read across partition = %v, want deadline exceeded", err)
+	}
+
+	// New dials across the cut fail fast — satellite coverage: dial into
+	// a partitioned address.
+	if _, err := n.Dial("10.0.0.2:9", "10.0.0.1:8333"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dial across partition = %v, want ErrUnreachable", err)
+	}
+
+	n.Heal("cut")
+	if _, err := n.Dial("10.0.0.2:9", "10.0.0.1:8333"); err != nil {
+		t.Fatalf("dial after heal = %v", err)
+	}
+	if _, err := client.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 8)
+	k, err := server.Read(buf)
+	if err != nil || string(buf[:k]) != "back" {
+		t.Fatalf("read after heal = %q, %v", buf[:k], err)
+	}
+}
+
+func TestDialFaults(t *testing.T) {
+	t.Run("fail next dials", func(t *testing.T) {
+		n := NewNetwork()
+		defer n.Close()
+		if _, err := n.Listen("10.0.0.1:8333"); err != nil {
+			t.Fatal(err)
+		}
+		n.FailNextDials("10.0.0.1:8333", 2)
+		for i := 0; i < 2; i++ {
+			if _, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333"); !errors.Is(err, ErrInjectedDialFailure) {
+				t.Fatalf("dial %d = %v, want injected failure", i, err)
+			}
+		}
+		if _, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333"); err != nil {
+			t.Fatalf("dial after budget spent = %v", err)
+		}
+	})
+	t.Run("dial fail rate certain", func(t *testing.T) {
+		n := NewNetwork()
+		defer n.Close()
+		if _, err := n.Listen("10.0.0.1:8333"); err != nil {
+			t.Fatal(err)
+		}
+		n.SetLinkFaults("10.0.0.2", "10.0.0.1:8333", &FaultPlan{DialFailRate: 1})
+		if _, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333"); !errors.Is(err, ErrInjectedDialFailure) {
+			t.Fatalf("dial = %v, want injected failure", err)
+		}
+		// Other sources are untouched by the one-way link plan.
+		if _, err := n.Dial("10.0.0.3:1", "10.0.0.1:8333"); err != nil {
+			t.Fatalf("unfaulted dial = %v", err)
+		}
+	})
+	t.Run("blackhole times out", func(t *testing.T) {
+		n := NewNetwork()
+		defer n.Close()
+		if _, err := n.Listen("10.0.0.1:8333"); err != nil {
+			t.Fatal(err)
+		}
+		n.SetLinkFaults("*", "10.0.0.1:8333", &FaultPlan{DialBlackhole: true, BlackholeDelay: 20 * time.Millisecond})
+		start := time.Now()
+		_, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+		var nerr interface{ Timeout() bool }
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Fatalf("blackholed dial = %v, want timeout", err)
+		}
+		if time.Since(start) < 20*time.Millisecond {
+			t.Fatal("blackholed dial returned before its delay")
+		}
+	})
+}
+
+func TestWriteDeadlineAtBufferCap(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	client, _ := faultedPair(t, n, nil)
+
+	// Fill the peer's buffer to the cap; the next write blocks, and the
+	// write deadline must release it.
+	if _, err := client.Write(make([]byte, pipeBufferCap)); err != nil {
+		t.Fatal(err)
+	}
+	client.SetWriteDeadline(time.Now().Add(40 * time.Millisecond))
+	start := time.Now()
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("write at cap = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("write deadline far overshot")
+	}
+}
+
+func TestWriteIntoClosedConnAfterFaultedClose(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	client, _ := faultedPair(t, n, &FaultPlan{Latency: 5 * time.Millisecond})
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := client.Write([]byte("y")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("write after close = %v, want ErrClosedPipe", err)
+	}
+}
+
+// BenchmarkConnWrite verifies the fault layer is zero-cost when absent: the
+// no-faults case must stay within noise of the pre-fault-layer write path.
+func BenchmarkConnWrite(b *testing.B) {
+	bench := func(b *testing.B, plan *FaultPlan) {
+		n := NewNetwork()
+		defer n.Close()
+		if plan != nil {
+			n.SetDefaultFaults(plan)
+		}
+		l, err := n.Listen("10.0.0.1:8333")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 64*1024)
+			for {
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		client, err := n.Dial("10.0.0.2:1", "10.0.0.1:8333")
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, 256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("no-faults", func(b *testing.B) { bench(b, nil) })
+	b.Run("drop-faults", func(b *testing.B) { bench(b, &FaultPlan{DropRate: 0.1}) })
+}

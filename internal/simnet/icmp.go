@@ -103,6 +103,10 @@ func (h *PacketHost) Close() {
 // the fabric's bandwidth accounting. Source validation is absent here too:
 // ICMP floods routinely spoof sources.
 func (n *Network) SendPacket(h *PacketHost, from string, data []byte) bool {
+	if n.partActive.Load() != 0 && n.isPartitioned(Addr(from), h.addr) {
+		n.faultDrops.Add(1)
+		return false
+	}
 	ok := h.Deliver(Packet{From: Addr(from), To: h.addr, Data: data})
 	if ok {
 		n.mu.Lock()

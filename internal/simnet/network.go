@@ -40,6 +40,21 @@ type Network struct {
 	closed    bool
 
 	drops atomic.Uint64
+
+	// Fault layer (see faults.go). faultsActive and partActive are cheap
+	// guards so the fault-free fast paths pay one atomic load at most.
+	defaultFaults *FaultPlan
+	linkFaults    map[linkKey]*FaultPlan
+	failNextDials map[string]int
+	partitions    map[string]*partition
+	faultsActive  atomic.Int32
+	partActive    atomic.Int32
+	faultSeq      atomic.Uint64
+
+	faultDrops       atomic.Uint64
+	faultDelayed     atomic.Uint64
+	faultResets      atomic.Uint64
+	faultDialsFailed atomic.Uint64
 }
 
 // NewNetwork returns an empty fabric.
@@ -123,6 +138,13 @@ func (n *Network) Dial(from, to string) (*Conn, error) {
 		n.mu.Unlock()
 		return nil, ErrNetClosed
 	}
+	c2sPlan, s2cPlan, faultErr, locked := n.checkDialFaults(Addr(from), Addr(to))
+	if faultErr != nil {
+		if locked {
+			n.mu.Unlock()
+		}
+		return nil, faultErr
+	}
 	l, ok := n.listeners[Addr(to)]
 	if !ok {
 		n.mu.Unlock()
@@ -144,6 +166,12 @@ func (n *Network) Dial(from, to string) (*Conn, error) {
 		remote:  Addr(from),
 		recv:    clientToServer,
 		send:    serverToClient,
+	}
+	if c2sPlan.active() {
+		client.faults = newFaultState(*c2sPlan, client.local, client.remote, n.faultSeq.Add(1))
+	}
+	if s2cPlan.active() {
+		server.faults = newFaultState(*s2cPlan, server.local, server.remote, n.faultSeq.Add(1))
 	}
 	n.conns[client] = struct{}{}
 	n.conns[server] = struct{}{}

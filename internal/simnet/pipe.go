@@ -4,8 +4,10 @@
 // network — source-address spoofing (pre-connection Defamation), promiscuous
 // sniffing, and sequence-guarded mid-stream injection (post-connection
 // Defamation) — plus an ICMP-like network-layer fast path used by the
-// flooding comparison (Table III / Fig. 7). The node itself is transport
-// agnostic: it accepts any net.Listener, so it runs identically on real TCP.
+// flooding comparison (Table III / Fig. 7) and a deterministic fault layer
+// (latency, loss, resets, partitions — see FaultPlan) for chaos testing.
+// The node itself is transport agnostic: it accepts any net.Listener, so it
+// runs identically on real TCP.
 package simnet
 
 import (
@@ -26,6 +28,11 @@ func (*timeoutError) Error() string   { return "simnet: i/o deadline exceeded" }
 func (*timeoutError) Timeout() bool   { return true }
 func (*timeoutError) Temporary() bool { return true }
 
+// ErrConnReset is surfaced by reads and writes on a connection torn down by
+// an injected reset (FaultPlan.ResetAfterBytes) — the simulation of a TCP
+// RST. Unlike a graceful close, buffered data is discarded.
+var ErrConnReset = errors.New("simnet: connection reset by peer")
+
 // pipeBufferCap models the kernel socket buffer: a writer whose peer does
 // not drain blocks once this many bytes are queued, exactly the flow
 // control that paces a real flooding attacker to its victim's consumption
@@ -35,11 +42,13 @@ const pipeBufferCap = 4 * 1024 * 1024
 
 // pipeHalf is one direction of a stream: a bounded in-memory byte queue.
 type pipeHalf struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []byte
-	closed bool
-	rdl    time.Time
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	closed   bool
+	closeErr error // non-nil for hard closes (reset); nil means EOF
+	rdl      time.Time
+	wdl      time.Time
 	// seq counts bytes ever enqueued: the simulation's TCP sequence
 	// number. Injection must match it (see Conn.inject).
 	seq uint64
@@ -51,19 +60,38 @@ func newPipeHalf() *pipeHalf {
 	return h
 }
 
+// writeErr is what a write into a closed half returns.
+func (h *pipeHalf) writeErr() error {
+	if h.closeErr != nil {
+		return h.closeErr
+	}
+	return io.ErrClosedPipe
+}
+
 // write enqueues p, blocking while the buffer is at capacity. It fails
-// after close.
+// after close or when the write deadline expires while blocked.
 func (h *pipeHalf) write(p []byte) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for len(h.buf) >= pipeBufferCap {
 		if h.closed {
-			return 0, io.ErrClosedPipe
+			return 0, h.writeErr()
+		}
+		wdl := h.wdl
+		if !wdl.IsZero() {
+			now := time.Now()
+			if !now.Before(wdl) {
+				return 0, ErrDeadlineExceeded
+			}
+			timer := time.AfterFunc(wdl.Sub(now), h.cond.Broadcast)
+			h.cond.Wait()
+			timer.Stop()
+			continue
 		}
 		h.cond.Wait()
 	}
 	if h.closed {
-		return 0, io.ErrClosedPipe
+		return 0, h.writeErr()
 	}
 	h.buf = append(h.buf, p...)
 	h.seq += uint64(len(p))
@@ -88,6 +116,9 @@ func (h *pipeHalf) read(p []byte) (int, error) {
 			return n, nil
 		}
 		if h.closed {
+			if h.closeErr != nil {
+				return 0, h.closeErr
+			}
 			return 0, io.EOF
 		}
 		rdl := h.rdl
@@ -106,10 +137,22 @@ func (h *pipeHalf) read(p []byte) (int, error) {
 	}
 }
 
-func (h *pipeHalf) close() {
+func (h *pipeHalf) close() { h.closeWithErr(nil, false) }
+
+// closeWithErr closes the half. A non-nil err is surfaced to readers and
+// writers instead of EOF/ErrClosedPipe; discard drops any buffered data the
+// way a TCP RST does.
+func (h *pipeHalf) closeWithErr(err error, discard bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
 	h.closed = true
+	h.closeErr = err
+	if discard {
+		h.buf = nil
+	}
 	h.cond.Broadcast()
 }
 
@@ -117,6 +160,13 @@ func (h *pipeHalf) setReadDeadline(t time.Time) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.rdl = t
+	h.cond.Broadcast()
+}
+
+func (h *pipeHalf) setWriteDeadline(t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.wdl = t
 	h.cond.Broadcast()
 }
 
@@ -148,6 +198,11 @@ type Conn struct {
 	recv *pipeHalf
 	send *pipeHalf
 
+	// faults, when non-nil, degrades the local→remote direction (set at
+	// dial time from the fabric's fault table). The fault-free path pays
+	// exactly one nil check.
+	faults *faultState
+
 	closeOnce sync.Once
 }
 
@@ -157,8 +212,19 @@ var _ net.Conn = (*Conn)(nil)
 func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
 
 // Write implements net.Conn. Bytes written are mirrored to any sniffers
-// observing the link and counted toward the receiver's bandwidth.
+// observing the link and counted toward the receiver's bandwidth. When the
+// link carries a FaultPlan or crosses an active partition, the write is
+// subject to delay, loss, or reset before (or instead of) delivery.
 func (c *Conn) Write(p []byte) (int, error) {
+	if c.network.partActive.Load() != 0 && c.network.isPartitioned(c.local, c.remote) {
+		// Blackholed by a partition: the sender's kernel accepts the
+		// bytes; the route drops them.
+		c.network.faultDrops.Add(1)
+		return len(p), nil
+	}
+	if c.faults != nil {
+		return c.writeFaulty(p)
+	}
 	n, err := c.send.write(p)
 	if err != nil {
 		return n, err
@@ -170,11 +236,27 @@ func (c *Conn) Write(p []byte) (int, error) {
 // Close implements net.Conn, closing both directions.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
+		if c.faults != nil {
+			c.faults.closeState()
+		}
 		c.recv.close()
 		c.send.close()
 		c.network.dropConn(c)
 	})
 	return nil
+}
+
+// reset tears the connection down hard: both directions fail with
+// ErrConnReset and buffered data is discarded, like a TCP RST.
+func (c *Conn) reset() {
+	c.closeOnce.Do(func() {
+		if c.faults != nil {
+			c.faults.closeState()
+		}
+		c.recv.closeWithErr(ErrConnReset, true)
+		c.send.closeWithErr(ErrConnReset, true)
+		c.network.dropConn(c)
+	})
 }
 
 // LocalAddr implements net.Conn.
@@ -183,8 +265,12 @@ func (c *Conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr implements net.Conn.
 func (c *Conn) RemoteAddr() net.Addr { return c.remote }
 
-// SetDeadline implements net.Conn (read side only; writes never block).
-func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+// SetDeadline implements net.Conn, covering both directions.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.recv.setReadDeadline(t)
+	c.send.setWriteDeadline(t)
+	return nil
+}
 
 // SetReadDeadline implements net.Conn.
 func (c *Conn) SetReadDeadline(t time.Time) error {
@@ -192,9 +278,13 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 	return nil
 }
 
-// SetWriteDeadline implements net.Conn. Write deadlines are not enforced;
-// a blocked writer is released by Close on either endpoint.
-func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn. A writer blocked on a full peer
+// buffer past the deadline fails with ErrDeadlineExceeded — the signal the
+// peer layer's per-message write timeout turns into a disconnect.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.send.setWriteDeadline(t)
+	return nil
+}
 
 // SendSeq returns the number of bytes this endpoint has sent — the
 // simulation's TCP sequence state an injector must know.

@@ -42,4 +42,26 @@ func (n *Network) Instrument(reg *telemetry.Registry) {
 		defer n.mu.Unlock()
 		return float64(len(n.listeners))
 	})
+
+	// Fault layer (see faults.go): everything the chaos fabric injected.
+	reg.Describe("simnet_fault_payloads_dropped_total", "Writes discarded by DropRate or partition blackholes.")
+	reg.CounterFunc("simnet_fault_payloads_dropped_total", func() float64 {
+		return float64(n.faultDrops.Load())
+	})
+	reg.Describe("simnet_fault_payloads_delayed_total", "Writes delivered through a latency queue.")
+	reg.CounterFunc("simnet_fault_payloads_delayed_total", func() float64 {
+		return float64(n.faultDelayed.Load())
+	})
+	reg.Describe("simnet_fault_conns_reset_total", "Connections killed by injected resets.")
+	reg.CounterFunc("simnet_fault_conns_reset_total", func() float64 {
+		return float64(n.faultResets.Load())
+	})
+	reg.Describe("simnet_fault_dials_failed_total", "Dials killed by injected failures, blackholes, or partitions.")
+	reg.CounterFunc("simnet_fault_dials_failed_total", func() float64 {
+		return float64(n.faultDialsFailed.Load())
+	})
+	reg.Describe("simnet_partitions_active", "Named partitions currently installed on the fabric.")
+	reg.GaugeFunc("simnet_partitions_active", func() float64 {
+		return float64(n.partActive.Load())
+	})
 }

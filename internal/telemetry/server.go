@@ -23,10 +23,11 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
-	mu   sync.Mutex
-	srv  *http.Server
-	ln   net.Listener
-	done chan struct{}
+	mu     sync.Mutex
+	srv    *http.Server
+	ln     net.Listener
+	done   chan struct{}
+	health func() (bool, map[string]any)
 }
 
 // NewServer builds a server over reg and an optional journal.
@@ -103,14 +104,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = WritePrometheus(w, s.reg)
 }
 
+// SetHealth installs a health probe consulted on every /healthz request. The
+// probe returns liveness plus extra fields merged into the response document;
+// an unhealthy verdict turns the endpoint into a 503 with status "degraded",
+// the shape load balancers and orchestrators key on. A nil fn restores the
+// always-ok default.
+func (s *Server) SetHealth(fn func() (healthy bool, fields map[string]any)) {
+	s.mu.Lock()
+	s.health = fn
+	s.mu.Unlock()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	s.mu.Lock()
+	probe := s.health
+	s.mu.Unlock()
+
+	doc := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"series":         s.reg.SeriesCount(),
 		"events_total":   s.journal.Total(),
-	})
+	}
+	code := http.StatusOK
+	if probe != nil {
+		healthy, fields := probe()
+		for k, v := range fields {
+			doc[k] = v
+		}
+		if !healthy {
+			doc["status"] = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(doc)
 }
 
 // eventsResponse is the /events JSON document.

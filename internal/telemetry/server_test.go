@@ -141,3 +141,43 @@ func TestServerStartAndScrape(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestServerHealthzProbe(t *testing.T) {
+	s, _, _ := newTestServer(t)
+
+	healthy := true
+	s.SetHealth(func() (bool, map[string]any) {
+		return healthy, map[string]any{"outbound_deficit": 3}
+	})
+
+	code, body := get(t, s.Handler(), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy probe: status %d", code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["outbound_deficit"].(float64) != 3 {
+		t.Fatalf("unexpected healthz: %s", body)
+	}
+
+	// Degraded verdicts become a 503 with status "degraded".
+	healthy = false
+	code, body = get(t, s.Handler(), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded probe: status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "degraded" {
+		t.Fatalf("unexpected degraded healthz: %s", body)
+	}
+
+	// Clearing the probe restores the static always-ok document.
+	s.SetHealth(nil)
+	if code, _ = get(t, s.Handler(), "/healthz"); code != http.StatusOK {
+		t.Fatalf("cleared probe: status %d", code)
+	}
+}
