@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-telemetry chaos chaos-short
+.PHONY: check vet build test race bench bench-telemetry bench-trace chaos chaos-short
 
-check: vet build race bench-telemetry
+check: vet build race bench-telemetry bench-trace
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,9 @@ race:
 
 bench-telemetry:
 	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 1x ./...
+
+bench-trace:
+	$(GO) test -run xxx -bench BenchmarkTraceDispatch -benchtime 1x ./...
 
 # Full benchmark sweep (tables, figures, ablations). Slow; not part of check.
 bench:

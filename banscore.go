@@ -33,6 +33,7 @@ import (
 	"banscore/internal/node"
 	"banscore/internal/simnet"
 	"banscore/internal/telemetry"
+	"banscore/internal/trace"
 	"banscore/internal/wire"
 )
 
@@ -132,6 +133,21 @@ func WithTelemetry(reg *telemetry.Registry, j *telemetry.Journal) NodeOption {
 		cfg.Telemetry = reg
 		cfg.Journal = j
 	}
+}
+
+// WithTracer attaches the message-lifecycle tracer to the node: sampled
+// spans through wire decode, dispatch, ban scoring, and send. Install the
+// same tracer on the Simulation's fabric (Fabric().SetTracer) to include
+// conn_write spans, and remember to call Enable — tracers start disabled.
+func WithTracer(t *trace.Tracer) NodeOption {
+	return func(cfg *node.Config) { cfg.Tracer = t }
+}
+
+// WithForensics attaches a ban-forensics ledger to the node's tracker: every
+// ban-score application is appended as an immutable record answering "why is
+// this peer banned" even after scores reset or the peer is forgotten.
+func WithForensics(l *core.Ledger) NodeOption {
+	return func(cfg *node.Config) { cfg.Forensics = l }
 }
 
 // WithMaxInbound overrides the 117-inbound-slot default.

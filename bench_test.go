@@ -24,6 +24,7 @@ import (
 	"banscore/internal/miner"
 	"banscore/internal/mlbase"
 	"banscore/internal/telemetry"
+	"banscore/internal/trace"
 	"banscore/internal/traffic"
 	"banscore/internal/wire"
 )
@@ -105,6 +106,58 @@ func BenchmarkTelemetryNodeDispatch(b *testing.B) {
 			Telemetry: telemetry.NewRegistry(),
 			Journal:   telemetry.NewJournal(0),
 		})
+	})
+}
+
+// BenchmarkTraceDispatch measures what the message-lifecycle tracer costs
+// on the node's hot dispatch path: the same direct-injection PING pipeline
+// with no tracer threaded, with a tracer configured but disabled (the
+// production resting state — one atomic load per message), and with tracing
+// live at the default 1-in-64 and the maximal 1-in-1 sampling rates. The
+// disabled variant must be indistinguishable from none; sample64 bounds the
+// always-on overhead a node pays for a queryable flight recorder.
+func BenchmarkTraceDispatch(b *testing.B) {
+	run := func(b *testing.B, tracer *trace.Tracer) {
+		tb, err := experiments.NewTestbed(experiments.TestbedConfig{
+			TrackerConfig: core.Config{Mode: core.ModeThresholdInfinity},
+			Tracer:        tracer,
+			Forensics:     core.NewLedger(0, 0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(tb.Close)
+		const attacker = "10.0.0.2:50001"
+		s, err := tb.NewAttackSession(attacker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		p, err := tb.VictimPeer(attacker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Victim.ProcessMessageDirect(p, wire.NewMsgPing(uint64(i)), 0)
+		}
+	}
+	b.Run("none", func(b *testing.B) {
+		run(b, nil)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		run(b, trace.New(trace.Config{}))
+	})
+	b.Run("sample64", func(b *testing.B) {
+		tracer := trace.New(trace.Config{SampleN: 64})
+		tracer.Enable()
+		run(b, tracer)
+	})
+	b.Run("sample1", func(b *testing.B) {
+		tracer := trace.New(trace.Config{SampleN: 1})
+		tracer.Enable()
+		run(b, tracer)
 	})
 }
 

@@ -7,6 +7,7 @@
 //
 //	btcnode -listen :8333 [-connect host:port,...] [-mode standard|infinity|disabled|goodscore]
 //	        [-core-version 0.20.0|0.21.0|0.22.0] [-stats 10s] [-telemetry 127.0.0.1:9333]
+//	        [-trace] [-trace-sample 64] [-pprof]
 //	        [-dial-timeout 10s] [-handshake-timeout 15s] [-write-timeout 30s]
 //	        [-reconnect-backoff 100ms] [-reconnect-max-backoff 5s]
 //
@@ -15,6 +16,15 @@
 // reflects the node's own health probe: it degrades (HTTP 503) on an
 // outbound-slot deficit or a saturated ban table, and recovers on its own as
 // the slot keepers refill connections.
+//
+// With -trace (requires -telemetry), the message-lifecycle tracer samples
+// 1-in-N messages (-trace-sample) through decode, dispatch, ban scoring, and
+// send; sampled spans are queryable at /debug/trace and exported as Chrome
+// trace-event JSON (chrome://tracing, Perfetto) at /debug/trace/export, and
+// every ban-score application is recorded in the forensic ledger served at
+// /debug/bans and /debug/bans/<peer>. With -pprof (requires -telemetry), the
+// endpoint additionally serves net/http/pprof at /debug/pprof/ and exports Go
+// runtime gauges (goroutines, heap, GC) in /metrics.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"banscore/internal/node"
 	"banscore/internal/peer"
 	"banscore/internal/telemetry"
+	"banscore/internal/trace"
 )
 
 func main() {
@@ -48,6 +59,9 @@ func run() error {
 	coreVersion := flag.String("core-version", "0.20.0", "Table I rule set: 0.20.0, 0.21.0, 0.22.0")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	telemetryAddr := flag.String("telemetry", "", "HTTP address for /metrics, /healthz, /events (empty disables; \":0\" picks a port)")
+	traceOn := flag.Bool("trace", false, "enable message-lifecycle tracing + ban forensics at /debug/trace, /debug/bans (requires -telemetry)")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleN, "trace 1 in N messages (rounded up to a power of two; 1 traces everything)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof at /debug/pprof/ and Go runtime gauges in /metrics (requires -telemetry)")
 	dialTimeout := flag.Duration("dial-timeout", node.DefaultDialTimeout, "outbound dial deadline (negative disables)")
 	handshakeTimeout := flag.Duration("handshake-timeout", node.DefaultHandshakeTimeout, "VERSION/VERACK deadline before a slot is reclaimed (negative disables)")
 	writeTimeout := flag.Duration("write-timeout", peer.DefaultWriteTimeout, "per-message write deadline (negative disables)")
@@ -76,25 +90,58 @@ func run() error {
 		ReconnectMaxBackoff: *reconnectMaxBackoff,
 	}
 
+	if (*traceOn || *pprofOn) && *telemetryAddr == "" {
+		return fmt.Errorf("-trace and -pprof require -telemetry")
+	}
+
 	var telemetrySrv *telemetry.Server
+	var tracer *trace.Tracer
+	var ledger *core.Ledger
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()
 		journal := telemetry.NewJournal(0)
 		monitor.Instrument(reg, journal)
+		journal.Instrument(reg)
 		cfg.Telemetry = reg
 		cfg.Journal = journal
 		telemetrySrv = telemetry.NewServer(reg, journal)
+		if *traceOn {
+			tracer = trace.New(trace.Config{SampleN: *traceSample})
+			tracer.Instrument(reg)
+			monitor.SetTracer(tracer)
+			cfg.Tracer = tracer
+			ledger = core.NewLedger(0, 0)
+			cfg.Forensics = ledger
+			telemetrySrv.Handle("/debug/trace", tracer.QueryHandler())
+			telemetrySrv.Handle("/debug/trace/export", tracer.ExportHandler())
+		}
+		if *pprofOn {
+			telemetry.RegisterRuntimeMetrics(reg)
+			telemetrySrv.EnablePprof()
+		}
 		addr, err := telemetrySrv.Start(*telemetryAddr)
 		if err != nil {
 			return fmt.Errorf("telemetry: %w", err)
 		}
 		fmt.Printf("telemetry at http://%s/metrics (also /healthz, /events)\n", addr)
+		if *traceOn {
+			fmt.Printf("tracing 1-in-%d at http://%s/debug/trace (export: /debug/trace/export, forensics: /debug/bans)\n", tracer.SampleN(), addr)
+		}
+		if *pprofOn {
+			fmt.Printf("pprof at http://%s/debug/pprof/\n", addr)
+		}
 		defer telemetrySrv.Close()
 	}
 
 	n := node.New(cfg)
 	if telemetrySrv != nil {
 		telemetrySrv.SetHealth(n.Health)
+	}
+	if tracer != nil {
+		banHandler := ledger.Handler(n.Tracker().IsBanned)
+		telemetrySrv.Handle("/debug/bans", banHandler)
+		telemetrySrv.Handle("/debug/bans/", banHandler)
+		tracer.Enable()
 	}
 
 	l, err := net.Listen("tcp", *listen)

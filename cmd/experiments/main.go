@@ -5,20 +5,31 @@
 //
 //	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures]
 //	            [-loss 0.1] [-latency 5ms] [-jitter 2ms] [-fault-seed 1]
+//	            [-trace-out trace.json] [-trace-sample 64] [-bans-out bans.json]
 //
 // The fault flags degrade the simulation fabric every experiment runs on —
 // probabilistic payload loss, one-way latency, and jitter, all deterministic
 // under -fault-seed — so any table or figure can be regenerated under the
 // network conditions a real adversary (or a bad route) would impose.
+//
+// -trace-out threads the message-lifecycle tracer through every testbed the
+// run builds and writes the sampled spans as a Chrome trace-event JSON file
+// (open in chrome://tracing or Perfetto) when the run finishes — e.g. the
+// wire-to-ban timeline behind a Table II row or a Fig. 8 serial-identifier
+// sweep. -bans-out writes the forensic ban ledger (every rule application,
+// per attacker identity, in order) as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"banscore/internal/core"
 	"banscore/internal/experiments"
 	"banscore/internal/simnet"
+	"banscore/internal/trace"
 )
 
 func main() {
@@ -35,6 +46,9 @@ func run() error {
 	latency := flag.Duration("latency", 0, "fabric one-way latency")
 	jitter := flag.Duration("jitter", 0, "fabric per-payload jitter bound")
 	faultSeed := flag.Int64("fault-seed", 0, "fault plan RNG seed (0 selects a fixed default)")
+	traceOut := flag.String("trace-out", "", "write sampled lifecycle spans as Chrome trace-event JSON to this file")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleN, "trace 1 in N messages (rounded up to a power of two; 1 traces everything)")
+	bansOut := flag.String("bans-out", "", "write the forensic ban ledger as JSON to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -61,13 +75,42 @@ func run() error {
 			*loss*100, *latency, *jitter, *faultSeed)
 	}
 
-	if *only == "" {
+	var tracer *trace.Tracer
+	var ledger *core.Ledger
+	if *traceOut != "" || *bansOut != "" {
+		tracer = trace.New(trace.Config{SampleN: *traceSample})
+		tracer.Enable()
+		ledger = core.NewLedger(0, 0)
+		scale.Tracer = tracer
+		scale.Forensics = ledger
+	}
+
+	runErr := dispatch(scale, *only)
+
+	if *traceOut != "" {
+		if err := writeTraceArtifact(*traceOut, tracer); err != nil {
+			return err
+		}
+		total, dropped, sampled := tracer.Stats()
+		fmt.Printf("\nwrote %s (spans=%d dropped=%d sampled-messages=%d)\n", *traceOut, total, dropped, sampled)
+	}
+	if *bansOut != "" {
+		if err := writeBansArtifact(*bansOut, ledger); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (peers=%d records=%d)\n", *bansOut, len(ledger.Peers()), ledger.Total())
+	}
+	return runErr
+}
+
+func dispatch(scale experiments.Scale, only string) error {
+	if only == "" {
 		out, err := experiments.Suite(scale)
 		fmt.Print(out)
 		return err
 	}
 
-	switch *only {
+	switch only {
 	case "table1":
 		fmt.Print(experiments.Table1().Render())
 	case "table2":
@@ -119,7 +162,37 @@ func run() error {
 		}
 		fmt.Print(res.Render())
 	default:
-		return fmt.Errorf("unknown experiment %q", *only)
+		return fmt.Errorf("unknown experiment %q", only)
+	}
+	return nil
+}
+
+// writeTraceArtifact dumps the tracer's span ring as a Chrome trace-event
+// JSON file.
+func writeTraceArtifact(path string, t *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, t.Spans()); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return f.Close()
+}
+
+// writeBansArtifact dumps the forensic ledger, peer by peer, as JSON.
+func writeBansArtifact(path string, l *core.Ledger) error {
+	doc := make(map[string][]core.BanRecord)
+	for _, id := range l.Peers() {
+		doc[string(id)] = l.Records(id)
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return fmt.Errorf("bans-out: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bans-out: %w", err)
 	}
 	return nil
 }

@@ -1,10 +1,15 @@
 // Telemetry: run a simnet victim with the observability stack attached,
 // put it under a light BM-DoS flood plus a wave of misbehaving Sybils, and
 // watch the per-rule misbehavior counters and ban total climb through the
-// HTTP exposition endpoint — the live view of Table I.
+// HTTP exposition endpoint — the live view of Table I. The run also threads
+// the message-lifecycle tracer and the ban-forensics ledger through the
+// node, then pulls the attacker's complete rule-by-rule ban history from
+// /debug/bans/<peer> and a Chrome trace-event timeline (chrome://tracing,
+// Perfetto) from /debug/trace/export.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -13,7 +18,9 @@ import (
 	"time"
 
 	"banscore"
+	"banscore/internal/core"
 	"banscore/internal/telemetry"
+	"banscore/internal/trace"
 )
 
 func main() {
@@ -30,13 +37,29 @@ func run() error {
 	defer sim.Close()
 	sim.Fabric().Instrument(reg)
 
-	victim, err := sim.StartNode("10.0.0.1:8333", banscore.WithTelemetry(reg, journal))
+	// Trace every message (SampleN 1) — this is a demo, not a hot path —
+	// and keep the forensic record of every ban-score application.
+	tracer := trace.New(trace.Config{SampleN: 1})
+	tracer.Instrument(reg)
+	tracer.Enable()
+	sim.Fabric().SetTracer(tracer)
+	ledger := core.NewLedger(0, 0)
+
+	victim, err := sim.StartNode("10.0.0.1:8333",
+		banscore.WithTelemetry(reg, journal),
+		banscore.WithTracer(tracer),
+		banscore.WithForensics(ledger))
 	if err != nil {
 		return err
 	}
 	defer victim.Stop()
 
 	srv := telemetry.NewServer(reg, journal)
+	srv.Handle("/debug/trace", tracer.QueryHandler())
+	srv.Handle("/debug/trace/export", tracer.ExportHandler())
+	banHandler := ledger.Handler(victim.IsBanned)
+	srv.Handle("/debug/bans", banHandler)
+	srv.Handle("/debug/bans/", banHandler)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -56,11 +79,13 @@ func run() error {
 	// Three waves of misbehaving Sybils: each connection sends oversize
 	// ADDR messages (+20 per Table I) until the 100-point threshold bans
 	// it, and the scrape between waves shows the counters climbing.
+	var lastSybil string
 	for wave := 1; wave <= 3; wave++ {
 		s, err := attacker.OpenSession()
 		if err != nil {
 			return err
 		}
+		lastSybil = s.LocalAddr()
 		for i := 0; i < 5; i++ {
 			if err := s.Send(attacker.Forge().OversizeAddr()); err != nil {
 				return err
@@ -84,6 +109,44 @@ func run() error {
 		return err
 	}
 	fmt.Println(strings.TrimSpace(events))
+
+	// The forensic ledger answers "why is this peer banned": the exact
+	// rule/delta/score chain, surviving the score reset the ban caused.
+	fmt.Println("\nban forensics (/debug/bans/<peer>):")
+	bansBody, err := httpGet(base + "/debug/bans/" + lastSybil)
+	if err != nil {
+		return err
+	}
+	var bans struct {
+		Peer    string `json:"peer"`
+		Records []struct {
+			Rule    string `json:"rule"`
+			Delta   int    `json:"delta"`
+			Score   int    `json:"score"`
+			Banned  bool   `json:"banned"`
+			Command string `json:"command"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(bansBody), &bans); err != nil {
+		return err
+	}
+	for _, r := range bans.Records {
+		fmt.Printf("  %s: rule=%s delta=%+d score=%d banned=%v\n", bans.Peer, r.Rule, r.Delta, r.Score, r.Banned)
+	}
+
+	// And the tracer's ring exports the sampled wire-to-ban timeline as
+	// Chrome trace-event JSON — load it in chrome://tracing or Perfetto.
+	export, err := httpGet(base + "/debug/trace/export")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(export), &doc); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace export: %d Chrome trace events from /debug/trace/export\n", len(doc.TraceEvents))
 	return nil
 }
 

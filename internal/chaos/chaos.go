@@ -16,11 +16,13 @@ import (
 	"sync"
 	"time"
 
+	"banscore/internal/core"
 	"banscore/internal/detect"
 	"banscore/internal/miner"
 	"banscore/internal/node"
 	"banscore/internal/simnet"
 	"banscore/internal/telemetry"
+	"banscore/internal/trace"
 	"banscore/internal/wire"
 )
 
@@ -50,6 +52,11 @@ type Config struct {
 	WriteTimeout        time.Duration
 	ReconnectBackoff    time.Duration
 	ReconnectMaxBackoff time.Duration
+
+	// TraceSampleN is the lifecycle tracer's 1-in-N sampling rate; zero
+	// selects trace.DefaultSampleN. Chaos forensics tests set 1 so every
+	// message through the storm leaves spans.
+	TraceSampleN int
 }
 
 func (c *Config) applyDefaults() {
@@ -88,14 +95,16 @@ const VictimAddr = "10.0.0.1:8333"
 // Cluster is one victim (mining, telemetry-instrumented, monitored) plus a
 // set of honest peers, all on a shared fault-capable fabric.
 type Cluster struct {
-	Fabric   *simnet.Network
-	Victim   *node.Node
-	Registry *telemetry.Registry
-	Journal  *telemetry.Journal
-	Server   *telemetry.Server
-	Monitor  *detect.Monitor
-	Miner    *miner.Miner
-	Honest   []*node.Node
+	Fabric    *simnet.Network
+	Victim    *node.Node
+	Registry  *telemetry.Registry
+	Journal   *telemetry.Journal
+	Server    *telemetry.Server
+	Monitor   *detect.Monitor
+	Miner     *miner.Miner
+	Honest    []*node.Node
+	Tracer    *trace.Tracer
+	Forensics *core.Ledger
 
 	// HonestAddrs lists the honest listeners ("10.0.1.N:8333").
 	HonestAddrs []string
@@ -115,16 +124,24 @@ type Cluster struct {
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg.applyDefaults()
 	c := &Cluster{
-		Fabric:   simnet.NewNetwork(),
-		Registry: telemetry.NewRegistry(),
-		Journal:  telemetry.NewJournal(4096),
-		Monitor:  detect.NewMonitor(cfg.Window),
-		cfg:      cfg,
-		dialPort: 40000,
-		quit:     make(chan struct{}),
+		Fabric:    simnet.NewNetwork(),
+		Registry:  telemetry.NewRegistry(),
+		Journal:   telemetry.NewJournal(4096),
+		Monitor:   detect.NewMonitor(cfg.Window),
+		Tracer:    trace.New(trace.Config{SampleN: cfg.TraceSampleN}),
+		Forensics: core.NewLedger(0, 0),
+		cfg:       cfg,
+		dialPort:  40000,
+		quit:      make(chan struct{}),
 	}
 	c.Fabric.Instrument(c.Registry)
+	c.Fabric.SetTracer(c.Tracer)
+	c.Monitor.SetTracer(c.Tracer)
+	c.Tracer.Instrument(c.Registry)
+	c.Journal.Instrument(c.Registry)
 	c.Server = telemetry.NewServer(c.Registry, c.Journal)
+	c.Server.Handle("/debug/trace", c.Tracer.QueryHandler())
+	c.Server.Handle("/debug/trace/export", c.Tracer.ExportHandler())
 
 	c.Victim = node.New(node.Config{
 		Dialer: func(remote string) (net.Conn, error) {
@@ -137,6 +154,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Tap:                 c.Monitor,
 		Telemetry:           c.Registry,
 		Journal:             c.Journal,
+		Tracer:              c.Tracer,
+		Forensics:           c.Forensics,
 		IdleTimeout:         cfg.IdleTimeout,
 		HandshakeTimeout:    cfg.HandshakeTimeout,
 		DialTimeout:         cfg.DialTimeout,
@@ -145,6 +164,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		ReconnectMaxBackoff: cfg.ReconnectMaxBackoff,
 	})
 	c.Server.SetHealth(c.Victim.Health)
+	banHandler := c.Forensics.Handler(c.Victim.Tracker().IsBanned)
+	c.Server.Handle("/debug/bans", banHandler)
+	c.Server.Handle("/debug/bans/", banHandler)
+	c.Tracer.Enable()
 
 	vl, err := c.Fabric.Listen(VictimAddr)
 	if err != nil {

@@ -87,6 +87,11 @@ type Config struct {
 	// live per-rule hit counters (Table I, observable on a running node)
 	// without the tracker importing anything.
 	OnApplied func(id PeerID, rule RuleID, delta, total int)
+
+	// Forensics, if set, receives an immutable BanRecord for every rule
+	// hit that scored — the causal chain /debug/bans/<peer> serves. Nil
+	// disables the ledger.
+	Forensics *Ledger
 }
 
 func (c *Config) fillDefaults() {
@@ -152,10 +157,26 @@ func (t *Tracker) Config() Config { return t.cfg }
 // BanList exposes the banning filter.
 func (t *Tracker) BanList() *BanList { return t.banlist }
 
+// MisbehaviorContext carries the causal context of one Misbehaving call for
+// the forensics ledger: the wire command that triggered the rule and the
+// lifecycle trace the message was sampled into (0 when untraced). The zero
+// value is valid — the record is then rule/score only.
+type MisbehaviorContext struct {
+	Command string
+	TraceID uint64
+}
+
 // Misbehaving applies the Table I rule against the peer, mirroring
 // PeerManager::Misbehaving. inbound tells the tracker the peer's role so
 // role-restricted rules (Table I "Object of Ban") apply correctly.
 func (t *Tracker) Misbehaving(id PeerID, inbound bool, rule RuleID) Result {
+	return t.MisbehavingCtx(id, inbound, rule, MisbehaviorContext{})
+}
+
+// MisbehavingCtx is Misbehaving with forensic context: when the tracker has
+// a Ledger, every scoring call appends a BanRecord carrying mctx so the ban
+// chain names the triggering command and trace.
+func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx MisbehaviorContext) Result {
 	if t.cfg.Mode == ModeDisabled || t.cfg.Mode == ModeGoodScore {
 		// Checking/tracking omitted entirely (§VIII "Disabling the
 		// checking"), or replaced by good-score reputation.
@@ -184,11 +205,23 @@ func (t *Tracker) Misbehaving(id PeerID, inbound bool, rule RuleID) Result {
 	total := t.scores[id]
 	t.mu.Unlock()
 
+	banned := t.cfg.Mode == ModeStandard && total >= t.cfg.BanThreshold
+	t.cfg.Forensics.Append(BanRecord{
+		At:      t.cfg.Clock(),
+		Peer:    id,
+		RuleID:  rule,
+		Rule:    r.Name,
+		Delta:   score,
+		Score:   total,
+		Banned:  banned,
+		Command: mctx.Command,
+		TraceID: mctx.TraceID,
+	})
 	if t.cfg.OnApplied != nil {
 		t.cfg.OnApplied(id, rule, score, total)
 	}
 	res := Result{Applied: true, Score: total}
-	if t.cfg.Mode == ModeStandard && total >= t.cfg.BanThreshold {
+	if banned {
 		res.Banned = true
 		if t.cfg.OnBan != nil {
 			t.cfg.OnBan(id, total)

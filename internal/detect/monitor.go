@@ -12,10 +12,12 @@
 package detect
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"banscore/internal/trace"
 	"banscore/internal/traffic"
 )
 
@@ -76,6 +78,7 @@ type Monitor struct {
 	current    *WindowStats
 	completed  []WindowStats
 	onComplete func(WindowStats)
+	tracer     *trace.Tracer
 }
 
 // NewMonitor returns a Monitor with the given window length (zero selects
@@ -100,6 +103,15 @@ func (m *Monitor) OnWindowComplete(fn func(WindowStats)) {
 	m.onComplete = fn
 }
 
+// SetTracer installs the lifecycle tracer: every window the Monitor closes
+// while tracing is enabled is recorded as a detect_window span (unsampled —
+// windows are rare and each one is a detection verdict input).
+func (m *Monitor) SetTracer(t *trace.Tracer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tracer = t
+}
+
 // roll opens/advances windows so that `at` falls into the current one.
 // Caller holds mu.
 func (m *Monitor) roll(at time.Time) {
@@ -116,11 +128,24 @@ func (m *Monitor) roll(at time.Time) {
 		if m.onComplete != nil {
 			m.onComplete(*m.current)
 		}
+		m.traceWindow(*m.current)
 		m.current = &WindowStats{
 			Start:    m.current.Start.Add(m.window),
 			Duration: m.window,
 			Counts:   make(map[string]float64),
 		}
+	}
+}
+
+// traceWindow records a closed window on the lifecycle tracer. Caller holds
+// mu; the tracer has its own lock and never calls back into the Monitor.
+func (m *Monitor) traceWindow(w WindowStats) {
+	if ctx := m.tracer.Always(); ctx != nil {
+		ctx.Add(trace.Span{
+			Stage: trace.StageDetectWindow,
+			Note:  fmt.Sprintf("messages=%d reconnects=%d", w.Messages, w.Reconnects),
+			Start: w.Start, Duration: w.Duration,
+		})
 	}
 }
 

@@ -35,7 +35,7 @@ func Countermeasures(scale Scale) (CountermeasuresResult, error) {
 	for _, mode := range []core.Mode{
 		core.ModeStandard, core.ModeThresholdInfinity, core.ModeDisabled, core.ModeGoodScore,
 	} {
-		tb, err := NewTestbed(TestbedConfig{TrackerConfig: core.Config{Mode: mode}, Faults: scale.Faults})
+		tb, err := NewTestbed(TestbedConfig{TrackerConfig: core.Config{Mode: mode}, Faults: scale.Faults, Tracer: scale.Tracer, Forensics: scale.Forensics})
 		if err != nil {
 			return res, err
 		}

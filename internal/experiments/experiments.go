@@ -22,6 +22,7 @@ import (
 	"banscore/internal/peer"
 	"banscore/internal/simnet"
 	"banscore/internal/telemetry"
+	"banscore/internal/trace"
 	"banscore/internal/wire"
 )
 
@@ -64,6 +65,17 @@ type Scale struct {
 	// can be regenerated over a lossy, laggy, or resetting network. Nil
 	// keeps the perfect fabric the paper's testbed assumed.
 	Faults *simnet.FaultPlan
+
+	// Tracer, when non-nil, threads the message-lifecycle tracer through
+	// every testbed (fabric writes, peer decode, dispatch, ban events) so
+	// an experiment run can emit a Chrome trace artifact alongside its
+	// table or figure. Nil keeps experiments trace-free.
+	Tracer *trace.Tracer
+
+	// Forensics, when non-nil, collects the ban audit trail of every
+	// testbed's tracker — the record of exactly which rule sequence banned
+	// each attacker identity during the run.
+	Forensics *core.Ledger
 }
 
 // QuickScale finishes the full suite in well under a minute.
@@ -118,6 +130,11 @@ type TestbedConfig struct {
 	// Faults, when non-nil, becomes the fabric's default fault plan before
 	// any connection is made (see Scale.Faults).
 	Faults *simnet.FaultPlan
+
+	// Tracer/Forensics are passed through to the fabric and the victim
+	// node (see Scale.Tracer, Scale.Forensics); both may be nil.
+	Tracer    *trace.Tracer
+	Forensics *core.Ledger
 }
 
 // NewTestbed builds and starts the victim node on a fresh fabric.
@@ -125,6 +142,9 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	fabric := simnet.NewNetwork()
 	if cfg.Faults != nil {
 		fabric.SetDefaultFaults(cfg.Faults)
+	}
+	if cfg.Tracer != nil {
+		fabric.SetTracer(cfg.Tracer)
 	}
 	tb := &Testbed{Fabric: fabric, Target: "10.0.0.1:8333"}
 	victim := node.New(node.Config{
@@ -134,6 +154,8 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		MaxInbound:    cfg.MaxInbound,
 		Telemetry:     cfg.Telemetry,
 		Journal:       cfg.Journal,
+		Tracer:        cfg.Tracer,
+		Forensics:     cfg.Forensics,
 		Dialer: func(remote string) (net.Conn, error) {
 			port := 40000 + tb.ports.Add(1)
 			return fabric.Dial(fmt.Sprintf("10.0.0.1:%d", port), remote)

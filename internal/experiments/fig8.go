@@ -32,7 +32,7 @@ type Figure8Result struct {
 func Figure8(scale Scale) (Figure8Result, error) {
 	res := Figure8Result{Scale: scale}
 	for _, delay := range []time.Duration{0, time.Millisecond} {
-		tb, err := NewTestbed(TestbedConfig{Faults: scale.Faults})
+		tb, err := NewTestbed(TestbedConfig{Faults: scale.Faults, Tracer: scale.Tracer, Forensics: scale.Forensics})
 		if err != nil {
 			return res, err
 		}

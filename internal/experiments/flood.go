@@ -92,7 +92,7 @@ func Figure6(scale Scale) (Figure6Result, error) {
 // runFloodMiningConfig measures the victim's mining rate while the given
 // flood runs.
 func runFloodMiningConfig(scale Scale, attackKind string, sybils int) (Figure6Row, error) {
-	tb, err := NewTestbed(TestbedConfig{ChainParams: blockchain.HardNetParams(), Faults: scale.Faults})
+	tb, err := NewTestbed(TestbedConfig{ChainParams: blockchain.HardNetParams(), Faults: scale.Faults, Tracer: scale.Tracer, Forensics: scale.Forensics})
 	if err != nil {
 		return Figure6Row{}, err
 	}
@@ -329,7 +329,7 @@ func memMB() float64 {
 const calibrationWindow = 200 * time.Millisecond
 
 func runBitcoinPingFlood(scale Scale, rate float64) (Table3Row, error) {
-	tb, err := NewTestbed(TestbedConfig{ChainParams: blockchain.HardNetParams(), Faults: scale.Faults})
+	tb, err := NewTestbed(TestbedConfig{ChainParams: blockchain.HardNetParams(), Faults: scale.Faults, Tracer: scale.Tracer, Forensics: scale.Forensics})
 	if err != nil {
 		return Table3Row{}, err
 	}
@@ -390,7 +390,7 @@ func runBitcoinPingFlood(scale Scale, rate float64) (Table3Row, error) {
 }
 
 func runICMPFlood(scale Scale, rate float64) (Table3Row, error) {
-	tb, err := NewTestbed(TestbedConfig{ChainParams: blockchain.HardNetParams(), Faults: scale.Faults})
+	tb, err := NewTestbed(TestbedConfig{ChainParams: blockchain.HardNetParams(), Faults: scale.Faults, Tracer: scale.Tracer, Forensics: scale.Forensics})
 	if err != nil {
 		return Table3Row{}, err
 	}

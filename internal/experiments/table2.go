@@ -45,6 +45,8 @@ func Table2(scale Scale) (Table2Result, error) {
 	tb, err := NewTestbed(TestbedConfig{
 		TrackerConfig: core.Config{Mode: core.ModeThresholdInfinity},
 		Faults:        scale.Faults,
+		Tracer:        scale.Tracer,
+		Forensics:     scale.Forensics,
 	})
 	if err != nil {
 		return Table2Result{}, err

@@ -11,6 +11,7 @@ import (
 	"banscore/internal/core"
 	"banscore/internal/mempool"
 	"banscore/internal/peer"
+	"banscore/internal/trace"
 	"banscore/internal/wire"
 )
 
@@ -25,6 +26,11 @@ const handleSampleMask = 63
 // family — so the instrumented path pays the same single atomic increment
 // as the bare one, plus a cached-pointer load and a string compare.
 func (n *Node) handleMessage(p *peer.Peer, msg wire.Message, rawLen int) {
+	// Lifecycle tracing costs one nil check when unconfigured and at most
+	// two atomic loads per message when configured but cold.
+	if tr := n.cfg.Tracer; tr != nil && tr.Armed() && n.handleTraced(tr, p, msg, rawLen) {
+		return
+	}
 	m := n.metrics
 	if m == nil {
 		n.messagesProcessed.Add(1)
@@ -50,6 +56,46 @@ func (n *Node) handleMessage(p *peer.Peer, msg wire.Message, rawLen int) {
 	m.handle.Observe(time.Since(start).Seconds())
 }
 
+// handleTraced runs the dispatch under a handle span when this message is
+// sampled. The trace context comes from the peer's read loop (which sampled
+// at decode time) or — for directly injected messages that never crossed a
+// read loop, e.g. Table II and the dispatch benchmarks — from the tracer
+// here. It returns false when the message is not sampled, sending the
+// caller down the normal path.
+func (n *Node) handleTraced(tr *trace.Tracer, p *peer.Peer, msg wire.Message, rawLen int) bool {
+	ctx := p.TraceCtx()
+	owned := false
+	if ctx == nil {
+		if ctx = tr.Sample(); ctx == nil {
+			return false
+		}
+		// Publish the context for the misbehave path below dispatch.
+		owned = true
+		p.SetTraceCtx(ctx)
+	}
+	cmd := msg.Command()
+	if m := n.metrics; m != nil {
+		if f := m.rxFast.Load(); f != nil && f.cmd == cmd {
+			f.c.Inc()
+		} else {
+			m.countRxMiss(cmd)
+		}
+	} else {
+		n.messagesProcessed.Add(1)
+	}
+	start := time.Now()
+	n.dispatch(p, msg, rawLen)
+	d := time.Since(start)
+	if m := n.metrics; m != nil {
+		m.handle.Observe(d.Seconds())
+	}
+	ctx.Record(trace.StageHandle, string(p.ID()), cmd, start, d)
+	if owned {
+		p.SetTraceCtx(nil)
+	}
+	return true
+}
+
 // dispatch is the node's message processing: the application-layer work
 // reached only AFTER framing and checksum verification, exactly the ordering
 // the paper's bogus-message vector exploits. Every Table I rule fires from
@@ -66,7 +112,7 @@ func (n *Node) dispatch(p *peer.Peer, msg wire.Message, rawLen int) {
 		return
 	case *wire.MsgVerAck:
 		if !p.VersionReceived() {
-			n.misbehave(p, core.MessageBeforeVersion)
+			n.misbehave(p, msg.Command(), core.MessageBeforeVersion)
 			return
 		}
 		p.MarkVerAckReceived()
@@ -74,13 +120,13 @@ func (n *Node) dispatch(p *peer.Peer, msg wire.Message, rawLen int) {
 	default:
 		if !p.VersionReceived() {
 			// "Message before VERSION" scores 1 (inbound only).
-			n.misbehave(p, core.MessageBeforeVersion)
+			n.misbehave(p, msg.Command(), core.MessageBeforeVersion)
 			return
 		}
 		if !p.VerAckReceived() {
 			// "Message (other than VERSION) before VERACK" scores 1
 			// in 0.20.0. The message is not processed.
-			n.misbehave(p, core.MessageBeforeVerack)
+			n.misbehave(p, msg.Command(), core.MessageBeforeVerack)
 			return
 		}
 	}
@@ -112,7 +158,7 @@ func (n *Node) dispatch(p *peer.Peer, msg wire.Message, rawLen int) {
 	case *wire.MsgTx:
 		n.handleTx(p, m)
 	case *wire.MsgBlock:
-		n.handleBlock(p, m)
+		n.handleBlock(p, m, m.Command())
 	case *wire.MsgMemPool:
 		n.handleMemPool(p)
 	case *wire.MsgFilterLoad:
@@ -136,9 +182,26 @@ func (n *Node) dispatch(p *peer.Peer, msg wire.Message, rawLen int) {
 
 // misbehave applies a Table I rule and enforces a triggered ban by
 // disconnecting the peer (it is now in the ban filter and cannot return
-// with the same identifier for the ban duration).
-func (n *Node) misbehave(p *peer.Peer, rule core.RuleID) core.Result {
-	res := n.tracker.Misbehaving(p.ID(), p.Inbound(), rule)
+// with the same identifier for the ban duration). cmd is the wire command
+// of the triggering message; it flows into the forensics ledger so a ban
+// chain names what each hit was carried by, and — when the message was
+// sampled — into a misbehave span on its lifecycle trace.
+func (n *Node) misbehave(p *peer.Peer, cmd string, rule core.RuleID) core.Result {
+	ctx := p.TraceCtx()
+	var start time.Time
+	if ctx != nil {
+		start = time.Now()
+	}
+	res := n.tracker.MisbehavingCtx(p.ID(), p.Inbound(), rule, core.MisbehaviorContext{
+		Command: cmd,
+		TraceID: ctx.TraceID(),
+	})
+	if ctx != nil {
+		ctx.Add(trace.Span{
+			Stage: trace.StageMisbehave, Peer: string(p.ID()), Cmd: cmd,
+			Rule: rule.String(), Start: start, Duration: time.Since(start),
+		})
+	}
 	if res.Banned {
 		p.Disconnect()
 	}
@@ -148,7 +211,7 @@ func (n *Node) misbehave(p *peer.Peer, rule core.RuleID) core.Result {
 func (n *Node) handleVersion(p *peer.Peer, m *wire.MsgVersion) {
 	if !p.MarkVersionReceived(m) {
 		// Table I: "Duplicate VERSION" scores 1 against inbound peers.
-		n.misbehave(p, core.VersionDuplicate)
+		n.misbehave(p, m.Command(), core.VersionDuplicate)
 		return
 	}
 	if p.Inbound() && !p.VersionSent() {
@@ -160,7 +223,7 @@ func (n *Node) handleVersion(p *peer.Peer, m *wire.MsgVersion) {
 func (n *Node) handleAddr(p *peer.Peer, m *wire.MsgAddr) {
 	if len(m.AddrList) > wire.MaxAddrPerMsg {
 		// Table I: "More than 1000 addresses" scores 20.
-		n.misbehave(p, core.AddrOversize)
+		n.misbehave(p, m.Command(), core.AddrOversize)
 		return
 	}
 	for _, na := range m.AddrList {
@@ -193,7 +256,7 @@ func (n *Node) handleGetAddr(p *peer.Peer) {
 func (n *Node) handleInv(p *peer.Peer, m *wire.MsgInv) {
 	if len(m.InvList) > wire.MaxInvPerMsg {
 		// Table I: "More than 50000 inventory entries" scores 20.
-		n.misbehave(p, core.InvOversize)
+		n.misbehave(p, m.Command(), core.InvOversize)
 		return
 	}
 	// Request any advertised objects we do not have.
@@ -222,7 +285,7 @@ func (n *Node) handleInv(p *peer.Peer, m *wire.MsgInv) {
 func (n *Node) handleGetData(p *peer.Peer, m *wire.MsgGetData) {
 	if len(m.InvList) > wire.MaxInvPerMsg {
 		// Table I: "More than 50000 inventory entries" scores 20.
-		n.misbehave(p, core.GetDataOversize)
+		n.misbehave(p, m.Command(), core.GetDataOversize)
 		return
 	}
 	missing := wire.NewMsgNotFound()
@@ -300,12 +363,12 @@ const nonConnectingHeadersThreshold = 10
 func (n *Node) handleHeaders(p *peer.Peer, m *wire.MsgHeaders) {
 	if len(m.Headers) > wire.MaxBlockHeadersPerMsg {
 		// Table I: "More than 2000 headers" scores 20.
-		n.misbehave(p, core.HeadersOversize)
+		n.misbehave(p, m.Command(), core.HeadersOversize)
 		return
 	}
 	if !blockchain.CheckHeadersContinuity(m.Headers) {
 		// Table I: "Non-continuous headers sequence" scores 20.
-		n.misbehave(p, core.HeadersNonContinuous)
+		n.misbehave(p, m.Command(), core.HeadersNonContinuous)
 		return
 	}
 	if len(m.Headers) == 0 {
@@ -321,7 +384,7 @@ func (n *Node) handleHeaders(p *peer.Peer, m *wire.MsgHeaders) {
 		n.mu.Unlock()
 		if count >= nonConnectingHeadersThreshold {
 			// Table I: "10 non-connecting headers" scores 20.
-			n.misbehave(p, core.HeadersNonConnecting)
+			n.misbehave(p, m.Command(), core.HeadersNonConnecting)
 		}
 		return
 	}
@@ -335,7 +398,7 @@ func (n *Node) handleTx(p *peer.Peer, m *wire.MsgTx) {
 	if err != nil {
 		if code, ok := mempool.TxRuleErrorCode(err); ok && code == mempool.ErrSegWitConsensus {
 			// Table I: "Invalid by consensus rules of SegWit" scores 100.
-			n.misbehave(p, core.TxInvalidSegWit)
+			n.misbehave(p, m.Command(), core.TxInvalidSegWit)
 		}
 		return
 	}
@@ -344,7 +407,10 @@ func (n *Node) handleTx(p *peer.Peer, m *wire.MsgTx) {
 	n.relayInv(wire.InvTypeTx, &hash, p.ID())
 }
 
-func (n *Node) handleBlock(p *peer.Peer, m *wire.MsgBlock) {
+// handleBlock processes a full block. cmd names the wire command that
+// carried it — BLOCK itself, or the CMPCTBLOCK/BLOCKTXN reconstruction
+// paths — so forensic records attribute the hit to the real trigger.
+func (n *Node) handleBlock(p *peer.Peer, m *wire.MsgBlock, cmd string) {
 	_, err := n.chain.ProcessBlock(m)
 	if err == nil {
 		hash := m.BlockHash()
@@ -372,25 +438,25 @@ func (n *Node) handleBlock(p *peer.Peer, m *wire.MsgBlock) {
 	switch code {
 	case blockchain.ErrBadMerkleRoot, blockchain.ErrDuplicateTx:
 		// Table I: "Block data was mutated" scores 100.
-		n.misbehave(p, core.BlockMutated)
+		n.misbehave(p, cmd, core.BlockMutated)
 	case blockchain.ErrCachedInvalid:
 		// Table I: "Block was cached as invalid" scores 100, but only
 		// against outbound peers (enforced by the tracker).
-		n.misbehave(p, core.BlockCachedInvalid)
+		n.misbehave(p, cmd, core.BlockCachedInvalid)
 	case blockchain.ErrPrevBlockInvalid:
 		// Table I: "Previous block is invalid" scores 100.
-		n.misbehave(p, core.BlockPrevInvalid)
+		n.misbehave(p, cmd, core.BlockPrevInvalid)
 	case blockchain.ErrPrevBlockMissing:
 		// Table I: "Previous block is missing" scores 10 — the rule the
 		// paper calls out as arbitrarily harsh for an innocent condition.
-		n.misbehave(p, core.BlockPrevMissing)
+		n.misbehave(p, cmd, core.BlockPrevMissing)
 	case blockchain.ErrDuplicateBlock:
 		// Re-delivery of a known-valid block is not scored.
 	default:
 		// Remaining invalid-block classes (bad PoW, structural
 		// failures) take the generic invalid-block punishment, which
 		// Table I folds into the mutated/invalid class at 100.
-		n.misbehave(p, core.BlockMutated)
+		n.misbehave(p, cmd, core.BlockMutated)
 	}
 }
 
@@ -409,7 +475,7 @@ func (n *Node) handleMemPool(p *peer.Peer) {
 func (n *Node) handleFilterLoad(p *peer.Peer, m *wire.MsgFilterLoad) {
 	if len(m.Filter) > wire.MaxFilterLoadFilterSize || m.HashFuncs > wire.MaxFilterLoadHashFuncs {
 		// Table I: "Bloom filter size > 36000 bytes" scores 100.
-		n.misbehave(p, core.FilterLoadOversize)
+		n.misbehave(p, m.Command(), core.FilterLoadOversize)
 		return
 	}
 	n.mu.Lock()
@@ -420,7 +486,7 @@ func (n *Node) handleFilterLoad(p *peer.Peer, m *wire.MsgFilterLoad) {
 func (n *Node) handleFilterAdd(p *peer.Peer, m *wire.MsgFilterAdd) {
 	if len(m.Data) > wire.MaxFilterAddDataSize {
 		// Table I: "Data item > 520 bytes" scores 100.
-		n.misbehave(p, core.FilterAddOversize)
+		n.misbehave(p, m.Command(), core.FilterAddOversize)
 		return
 	}
 	// Table I (0.20.0 only): FILTERADD from a peer negotiated at protocol
@@ -428,7 +494,7 @@ func (n *Node) handleFilterAdd(p *peer.Peer, m *wire.MsgFilterAdd) {
 	remote := p.RemoteVersion()
 	if n.cfg.Services&wire.SFNodeBloom == 0 &&
 		remote != nil && uint32(remote.ProtocolVersion) >= wire.NoBloomVersion {
-		n.misbehave(p, core.FilterAddNoBloomVersion)
+		n.misbehave(p, m.Command(), core.FilterAddNoBloomVersion)
 		return
 	}
 	n.mu.Lock()
@@ -444,11 +510,11 @@ func (n *Node) handleCmpctBlock(p *peer.Peer, m *wire.MsgCmpctBlock) {
 	hash := m.Header.BlockHash()
 	if err := blockchain.CheckProofOfWork(&hash, m.Header.Bits, n.cfg.ChainParams.PowLimit); err != nil {
 		// Table I: "Invalid compact block data" scores 100.
-		n.misbehave(p, core.CmpctBlockInvalid)
+		n.misbehave(p, m.Command(), core.CmpctBlockInvalid)
 		return
 	}
 	if len(m.ShortIDs) == 0 && len(m.PrefilledTxs) == 0 {
-		n.misbehave(p, core.CmpctBlockInvalid)
+		n.misbehave(p, m.Command(), core.CmpctBlockInvalid)
 		return
 	}
 	if len(m.ShortIDs) == 0 {
@@ -457,7 +523,7 @@ func (n *Node) handleCmpctBlock(p *peer.Peer, m *wire.MsgCmpctBlock) {
 		for _, ptx := range m.PrefilledTxs {
 			block.AddTransaction(ptx.Tx)
 		}
-		n.handleBlock(p, block)
+		n.handleBlock(p, block, m.Command())
 		return
 	}
 	// Remember the header and request the missing transactions.
@@ -497,7 +563,7 @@ func (n *Node) handleBlockTxn(p *peer.Peer, m *wire.MsgBlockTxn) {
 	for _, tx := range m.Txs {
 		block.AddTransaction(tx)
 	}
-	n.handleBlock(p, block)
+	n.handleBlock(p, block, m.Command())
 }
 
 func (n *Node) handleGetBlockTxn(p *peer.Peer, m *wire.MsgGetBlockTxn) {
@@ -509,7 +575,7 @@ func (n *Node) handleGetBlockTxn(p *peer.Peer, m *wire.MsgGetBlockTxn) {
 	for _, idx := range m.Indexes {
 		if int(idx) >= len(block.Transactions) {
 			// Table I: "Out-of-bounds transaction indices" scores 100.
-			n.misbehave(p, core.GetBlockTxnOutOfBounds)
+			n.misbehave(p, m.Command(), core.GetBlockTxnOutOfBounds)
 			return
 		}
 		txs = append(txs, block.Transactions[idx])

@@ -23,6 +23,7 @@ import (
 	"banscore/internal/mempool"
 	"banscore/internal/peer"
 	"banscore/internal/telemetry"
+	"banscore/internal/trace"
 	"banscore/internal/wire"
 )
 
@@ -162,6 +163,18 @@ type Config struct {
 	// connects, disconnects, refusals, score increments, bans,
 	// reconnects. May be nil even when Telemetry is set.
 	Journal *telemetry.Journal
+
+	// Tracer, if set, threads the message-lifecycle tracer through the
+	// node: peers sample wire decode/encode spans, the dispatcher records
+	// handle spans, and every Misbehaving call reached from a traced
+	// dispatch records a misbehave span carrying the Table I rule. Nil
+	// keeps the dispatch path at a single nil check.
+	Tracer *trace.Tracer
+
+	// Forensics, if set, is installed as the tracker's ban ledger (unless
+	// TrackerConfig.Forensics is already set): every scoring Misbehaving
+	// call appends the rule/delta/score record /debug/bans serves.
+	Forensics *core.Ledger
 }
 
 // Stats aggregates node counters.
@@ -271,6 +284,9 @@ func New(cfg Config) *Node {
 	}
 	n.blockStore[cfg.ChainParams.GenesisHash] = cfg.ChainParams.GenesisBlock
 
+	if cfg.Forensics != nil && n.cfg.TrackerConfig.Forensics == nil {
+		n.cfg.TrackerConfig.Forensics = cfg.Forensics
+	}
 	if cfg.Telemetry != nil {
 		n.metrics = newNodeMetrics(n, cfg.Telemetry, cfg.Journal)
 		// Interpose the telemetry hooks ahead of any caller-supplied
@@ -560,6 +576,7 @@ func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
 		Net:          n.cfg.ChainParams.Net,
 		IdleTimeout:  n.cfg.IdleTimeout,
 		WriteTimeout: n.cfg.WriteTimeout,
+		Tracer:       n.cfg.Tracer,
 		OnMessage:    n.handleMessage,
 		OnMalformed: func(p *peer.Peer, err error) {
 			// Malformed framing: dropped without scoring (the wire

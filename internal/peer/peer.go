@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"banscore/internal/core"
+	"banscore/internal/trace"
 	"banscore/internal/wire"
 )
 
@@ -83,6 +84,12 @@ type Config struct {
 	// reaches the wire, with its command and encoded size. The telemetry
 	// layer hooks this for per-command tx counters.
 	OnSend func(cmd string, bytes int)
+
+	// Tracer, if set, samples messages in both directions into lifecycle
+	// traces: wire_decode spans in the read loop, send_queue/wire_encode
+	// spans through the write loop. Nil (or a disabled tracer) costs the
+	// loops one atomic load per message.
+	Tracer *trace.Tracer
 }
 
 // Peer wraps one connection.
@@ -106,10 +113,25 @@ type Peer struct {
 	bytesSent        atomic.Uint64
 	messagesReceived atomic.Uint64
 
-	sendQueue chan wire.Message
+	// traceCtx is the lifecycle trace of the inbound message currently
+	// being dispatched, if it was sampled. An atomic pointer because
+	// direct-injection paths (benchmarks, Table II) dispatch from other
+	// goroutines than the read loop.
+	traceCtx atomic.Pointer[trace.Ctx]
+
+	sendQueue chan queued
 	quit      chan struct{}
 	quitOnce  sync.Once
 	wg        sync.WaitGroup
+}
+
+// queued is one send-queue entry: the message plus, when the enqueue was
+// sampled, its trace handle and enqueue time (for the send_queue wait span).
+// Passed by value — the common untraced case allocates nothing extra.
+type queued struct {
+	msg wire.Message
+	ctx *trace.Ctx
+	at  time.Time
 }
 
 // New wraps conn as a peer. inbound records which side initiated the
@@ -130,7 +152,7 @@ func New(conn net.Conn, inbound bool, cfg Config) *Peer {
 		conn:      conn,
 		inbound:   inbound,
 		id:        core.PeerIDFromAddr(conn.RemoteAddr().String()),
-		sendQueue: make(chan wire.Message, sendQueueSize),
+		sendQueue: make(chan queued, sendQueueSize),
 		quit:      make(chan struct{}),
 	}
 }
@@ -205,8 +227,12 @@ func (p *Peer) QueueMessage(msg wire.Message) error {
 		return ErrPeerDisconnected
 	default:
 	}
+	q := queued{msg: msg}
+	if ctx := p.cfg.Tracer.Sample(); ctx != nil {
+		q.ctx, q.at = ctx, time.Now()
+	}
 	select {
-	case p.sendQueue <- msg:
+	case p.sendQueue <- q:
 		return nil
 	case <-p.quit:
 		return ErrPeerDisconnected
@@ -214,6 +240,15 @@ func (p *Peer) QueueMessage(msg wire.Message) error {
 		return ErrSendQueueFull
 	}
 }
+
+// TraceCtx returns the lifecycle trace of the inbound message currently
+// being dispatched for this peer, or nil when it was not sampled.
+func (p *Peer) TraceCtx() *trace.Ctx { return p.traceCtx.Load() }
+
+// SetTraceCtx installs (or, with nil, clears) the dispatch-scope trace
+// context. The read loop sets it around OnMessage; direct-injection callers
+// (node.handleTraced) set it when they own the sample.
+func (p *Peer) SetTraceCtx(ctx *trace.Ctx) { p.traceCtx.Store(ctx) }
 
 // BytesReceived returns the total payload+header bytes read from the peer.
 func (p *Peer) BytesReceived() uint64 { return p.bytesReceived.Load() }
@@ -246,6 +281,7 @@ func (p *Peer) WaitForShutdown() { p.wg.Wait() }
 func (p *Peer) readLoop() {
 	defer p.wg.Done()
 	defer p.Disconnect()
+	tr := p.cfg.Tracer
 	for {
 		select {
 		case <-p.quit:
@@ -254,6 +290,13 @@ func (p *Peer) readLoop() {
 		}
 		if err := p.conn.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout)); err != nil {
 			return
+		}
+		// One atomic load when tracing is off. The decode span's clock
+		// starts before the blocking read, so it bounds wait + transfer
+		// + parse for the sampled message.
+		var decodeStart time.Time
+		if tr.Armed() {
+			decodeStart = time.Now()
 		}
 		msg, payload, err := wire.ReadMessage(p.conn, p.cfg.ProtocolVersion, p.cfg.Net)
 		if err != nil {
@@ -283,6 +326,17 @@ func (p *Peer) readLoop() {
 		p.bytesReceived.Add(uint64(wire.MessageHeaderSize + len(payload)))
 		p.messagesReceived.Add(1)
 		if p.cfg.OnMessage != nil {
+			if !decodeStart.IsZero() {
+				if ctx := tr.Sample(); ctx != nil {
+					ctx.Record(trace.StageWireDecode, string(p.id), msg.Command(), decodeStart, time.Since(decodeStart))
+					// Publish the trace for the dispatch below it:
+					// the node's handle/misbehave spans join it.
+					p.traceCtx.Store(ctx)
+					p.cfg.OnMessage(p, msg, len(payload))
+					p.traceCtx.Store(nil)
+					continue
+				}
+			}
 			p.cfg.OnMessage(p, msg, len(payload))
 		}
 	}
@@ -296,13 +350,18 @@ func (p *Peer) writeLoop() {
 		select {
 		case <-p.quit:
 			return
-		case msg := <-p.sendQueue:
+		case q := <-p.sendQueue:
 			if p.cfg.WriteTimeout > 0 {
 				if err := p.conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout)); err != nil {
 					return
 				}
 			}
-			n, err := wire.WriteMessage(p.conn, msg, p.cfg.ProtocolVersion, p.cfg.Net)
+			var encodeStart time.Time
+			if q.ctx != nil {
+				encodeStart = time.Now()
+				q.ctx.Record(trace.StageSendQueue, string(p.id), q.msg.Command(), q.at, encodeStart.Sub(q.at))
+			}
+			n, err := wire.WriteMessage(p.conn, q.msg, p.cfg.ProtocolVersion, p.cfg.Net)
 			p.bytesSent.Add(uint64(n))
 			if err != nil {
 				if isTimeout(err) && p.cfg.OnWriteTimeout != nil {
@@ -310,8 +369,11 @@ func (p *Peer) writeLoop() {
 				}
 				return
 			}
+			if q.ctx != nil {
+				q.ctx.Record(trace.StageWireEncode, string(p.id), q.msg.Command(), encodeStart, time.Since(encodeStart))
+			}
 			if p.cfg.OnSend != nil {
-				p.cfg.OnSend(msg.Command(), n)
+				p.cfg.OnSend(q.msg.Command(), n)
 			}
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"banscore/internal/trace"
 )
 
 // Errors returned by network operations.
@@ -55,6 +57,11 @@ type Network struct {
 	faultDelayed     atomic.Uint64
 	faultResets      atomic.Uint64
 	faultDialsFailed atomic.Uint64
+
+	// tracer, when set, samples connection writes into conn_write
+	// lifecycle spans. Atomic so the write hot path pays one pointer
+	// load when tracing is not installed.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // NewNetwork returns an empty fabric.
@@ -193,6 +200,10 @@ func (n *Network) Dial(from, to string) (*Conn, error) {
 		return nil, fmt.Errorf("%w: accept backlog full at %s", ErrConnRefused, to)
 	}
 }
+
+// SetTracer installs (or, with nil, removes) the lifecycle tracer sampling
+// fabric writes. Connections observe the change immediately.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
 
 // FindConn returns the active connection endpoint whose local/remote
 // addresses match (the victim-side endpoint of the from→to stream). An

@@ -12,10 +12,13 @@ package simnet
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
+
+	"banscore/internal/trace"
 )
 
 // ErrDeadlineExceeded is returned on read/write deadline expiry. It matches
@@ -214,8 +217,28 @@ func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
 // Write implements net.Conn. Bytes written are mirrored to any sniffers
 // observing the link and counted toward the receiver's bandwidth. When the
 // link carries a FaultPlan or crosses an active partition, the write is
-// subject to delay, loss, or reset before (or instead of) delivery.
+// subject to delay, loss, or reset before (or instead of) delivery. With a
+// lifecycle tracer installed on the fabric, 1-in-N writes are recorded as
+// conn_write spans (including any fault delay and receiver back-pressure).
 func (c *Conn) Write(p []byte) (int, error) {
+	if t := c.network.tracer.Load(); t != nil {
+		if ctx := t.Sample(); ctx != nil {
+			start := time.Now()
+			n, err := c.write(p)
+			ctx.Add(trace.Span{
+				Stage: trace.StageConnWrite,
+				Peer:  string(c.remote),
+				Note:  fmt.Sprintf("from=%s bytes=%d", c.local, n),
+				Start: start, Duration: time.Since(start),
+			})
+			return n, err
+		}
+	}
+	return c.write(p)
+}
+
+// write is the untraced body of Write.
+func (c *Conn) write(p []byte) (int, error) {
 	if c.network.partActive.Load() != 0 && c.network.isPartitioned(c.local, c.remote) {
 		// Blackholed by a partition: the sender's kernel accepts the
 		// bytes; the route drops them.

@@ -53,10 +53,11 @@ type Event struct {
 // so readers can tell how much history was dropped. A nil *Journal is a
 // valid no-op sink, which lets call sites record unconditionally.
 type Journal struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int    // ring position of the next write
-	total uint64 // events ever recorded
+	mu      sync.Mutex
+	buf     []Event
+	next    int    // ring position of the next write
+	total   uint64 // events ever recorded
+	dropped uint64 // events overwritten before being exported
 }
 
 // DefaultJournalCapacity bounds a journal built with capacity <= 0.
@@ -86,7 +87,11 @@ func (j *Journal) Record(ev Event) {
 	if len(j.buf) < cap(j.buf) {
 		j.buf = append(j.buf, ev)
 	} else {
+		// Overwriting the oldest retained event: a forensic gap. Count
+		// it so readers see the loss instead of a silently shorter
+		// history.
 		j.buf[j.next] = ev
+		j.dropped++
 	}
 	j.next++
 	if j.next == cap(j.buf) {
@@ -133,10 +138,37 @@ func (j *Journal) Len() int {
 	return len(j.buf)
 }
 
+// Dropped returns how many events the ring has overwritten — the journal's
+// forensic-gap counter.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
 // Capacity returns the ring size.
 func (j *Journal) Capacity() int {
 	if j == nil {
 		return 0
 	}
 	return cap(j.buf)
+}
+
+// Instrument registers the journal's own series on reg: totals, the
+// dropped-events counter, and retained length vs capacity gauges.
+func (j *Journal) Instrument(reg *Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	reg.Describe("journal_events_total", "Events ever recorded into the journal.")
+	reg.Describe("journal_events_dropped_total", "Events overwritten by the journal ring before export.")
+	reg.Describe("journal_events_retained", "Events currently retained in the journal ring.")
+	reg.Describe("journal_capacity", "Journal ring capacity.")
+	reg.CounterFunc("journal_events_total", func() float64 { return float64(j.Total()) })
+	reg.CounterFunc("journal_events_dropped_total", func() float64 { return float64(j.Dropped()) })
+	reg.GaugeFunc("journal_events_retained", func() float64 { return float64(j.Len()) })
+	reg.GaugeFunc("journal_capacity", func() float64 { return float64(j.Capacity()) })
 }

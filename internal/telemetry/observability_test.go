@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestJournalDroppedCounter(t *testing.T) {
+	j := NewJournal(3)
+	if j.Dropped() != 0 {
+		t.Fatal("fresh journal reports drops")
+	}
+	for i := 0; i < 5; i++ {
+		j.Record(Event{Type: EventScore})
+	}
+	if got := j.Dropped(); got != 2 {
+		t.Errorf("dropped %d, want 2", got)
+	}
+	if j.Total() != 5 || j.Len() != 3 {
+		t.Errorf("total=%d len=%d", j.Total(), j.Len())
+	}
+	// Retained events are the newest, oldest-first.
+	events := j.Events()
+	if events[0].Seq != 3 || events[len(events)-1].Seq != 5 {
+		t.Errorf("retained window %v..%v", events[0].Seq, events[len(events)-1].Seq)
+	}
+
+	var nilJ *Journal
+	if nilJ.Dropped() != 0 {
+		t.Error("nil journal reports drops")
+	}
+}
+
+func TestJournalInstrument(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(2)
+	j.Instrument(reg)
+	j.Record(Event{Type: EventBan})
+	j.Record(Event{Type: EventBan})
+	j.Record(Event{Type: EventBan})
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"journal_events_total 3",
+		"journal_events_dropped_total 1",
+		"journal_events_retained 2",
+		"journal_capacity 2",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestServerHandleMountsCustomRoutes(t *testing.T) {
+	srv := NewServer(NewRegistry(), nil)
+	srv.Handle("/debug/custom", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/custom", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("custom route: HTTP %d", rec.Code)
+	}
+}
+
+func TestServerEnablePprof(t *testing.T) {
+	srv := NewServer(NewRegistry(), nil)
+
+	// Before EnablePprof the routes are absent.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Fatal("/debug/pprof/ served before EnablePprof")
+	}
+
+	srv.EnablePprof()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: HTTP %d", path, rec.Code)
+		}
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/goroutine?debug=1", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("goroutine profile: HTTP %d", rec.Code)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		"go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes",
+		"go_gc_pause_seconds_total", "go_gc_runs_total",
+	} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+
+	// The gauges carry live values: a process always has goroutines and
+	// heap.
+	for _, s := range reg.Gather() {
+		switch s.Name {
+		case "go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes":
+			if s.Value <= 0 {
+				t.Errorf("%s = %v, want > 0", s.Name, s.Value)
+			}
+		}
+	}
+}
+
+func TestHealthzReportsJournalDrops(t *testing.T) {
+	j := NewJournal(1)
+	j.Record(Event{Type: EventScore})
+	j.Record(Event{Type: EventScore})
+	srv := NewServer(NewRegistry(), j)
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := doc["events_dropped"].(float64); !ok || got != 1 {
+		t.Errorf("healthz events_dropped = %v", doc["events_dropped"])
+	}
+
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+	var events struct {
+		Dropped float64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if events.Dropped != 1 {
+		t.Errorf("/events dropped = %v", events.Dropped)
+	}
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsReader caches runtime.ReadMemStats snapshots: the call stops the
+// world briefly, so several gauges gathered in one scrape must not each pay
+// for (or skew) their own snapshot.
+type memStatsReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+// memStatsMaxAge is how stale a cached MemStats snapshot may be before a
+// gauge read refreshes it. One scrape reads several gauges back to back;
+// they all see the same snapshot.
+const memStatsMaxAge = 100 * time.Millisecond
+
+func (r *memStatsReader) read() runtime.MemStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now := time.Now(); now.Sub(r.at) > memStatsMaxAge {
+		runtime.ReadMemStats(&r.stat)
+		r.at = now
+	}
+	return r.stat
+}
+
+// RegisterRuntimeMetrics registers Go runtime gauges on reg: goroutine
+// count, heap allocation/reservation, and GC pause/run totals — the
+// process-health view a profiling session starts from. All series are
+// pull-style; an idle node pays nothing.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	r := &memStatsReader{}
+	reg.Describe("go_goroutines", "Number of live goroutines.")
+	reg.Describe("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	reg.Describe("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	reg.Describe("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	reg.Describe("go_gc_runs_total", "Completed GC cycles.")
+	reg.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", func() float64 { return float64(r.read().HeapAlloc) })
+	reg.GaugeFunc("go_heap_sys_bytes", func() float64 { return float64(r.read().HeapSys) })
+	reg.CounterFunc("go_gc_pause_seconds_total", func() float64 {
+		return float64(r.read().PauseTotalNs) / 1e9
+	})
+	reg.CounterFunc("go_gc_runs_total", func() float64 { return float64(r.read().NumGC) })
+}

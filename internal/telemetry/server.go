@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -47,6 +48,23 @@ func NewServer(reg *Registry, journal *Journal) *Server {
 // Handler returns the route mux — handy for tests and for embedding into an
 // existing HTTP server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle mounts h at pattern on the server's mux. The observability layers
+// above telemetry (the lifecycle tracer's /debug/trace, the ban forensics
+// ledger's /debug/bans) use it to ride the same endpoint without telemetry
+// importing them.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default: profiling endpoints expose internals and
+// cost CPU, so cmd/btcnode gates this behind -pprof.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // Start listens on addr (":0" picks a free port) and serves until Close.
 // It returns the bound address.
@@ -125,6 +143,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"series":         s.reg.SeriesCount(),
 		"events_total":   s.journal.Total(),
+		"events_dropped": s.journal.Dropped(),
 	}
 	code := http.StatusOK
 	if probe != nil {
@@ -155,7 +174,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	events := s.journal.Events()
 	resp := eventsResponse{
 		Total:   s.journal.Total(),
-		Dropped: s.journal.Total() - uint64(len(events)),
+		Dropped: s.journal.Dropped(),
 		Events:  events,
 	}
 	if typ := r.URL.Query().Get("type"); typ != "" {

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata rows naming the per-peer lanes). Timestamps and
+// durations are microseconds; ts is relative to the earliest retained span
+// so the viewer opens at the data.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON object chrome://tracing and Perfetto load.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome renders spans as Chrome trace-event JSON. Each peer (and the
+// peerless stages, e.g. detection windows) gets its own lane ("thread"),
+// named by an "M" metadata event; spans become "X" complete events carrying
+// trace ID, command, and rule in args.
+func WriteChrome(w io.Writer, spans []Span) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	if len(spans) == 0 {
+		return json.NewEncoder(w).Encode(doc)
+	}
+
+	base := spans[0].Start
+	for _, sp := range spans[1:] {
+		if sp.Start.Before(base) {
+			base = sp.Start
+		}
+	}
+
+	// Stable lane assignment: sorted peer names, so repeated exports of
+	// the same ring agree.
+	laneNames := make(map[string]struct{})
+	for _, sp := range spans {
+		laneNames[laneName(sp)] = struct{}{}
+	}
+	sorted := make([]string, 0, len(laneNames))
+	for name := range laneNames {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	lanes := make(map[string]int, len(sorted))
+	for i, name := range sorted {
+		tid := i + 1
+		lanes[name] = tid
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, sp := range spans {
+		args := map[string]any{"trace_id": sp.TraceID}
+		if sp.Cmd != "" {
+			args["cmd"] = sp.Cmd
+		}
+		if sp.Rule != "" {
+			args["rule"] = sp.Rule
+		}
+		if sp.Note != "" {
+			args["note"] = sp.Note
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: string(sp.Stage),
+			Cat:  "lifecycle",
+			Ph:   "X",
+			Ts:   float64(sp.Start.Sub(base).Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  lanes[laneName(sp)],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+func laneName(sp Span) string {
+	if sp.Peer == "" {
+		return "node"
+	}
+	return "peer " + sp.Peer
+}
+
+// queryResponse is the /debug/trace JSON document.
+type queryResponse struct {
+	Enabled bool   `json:"enabled"`
+	SampleN int    `json:"sample_n"`
+	Total   uint64 `json:"spans_total"`
+	Dropped uint64 `json:"spans_dropped"`
+	Sampled uint64 `json:"sampled_messages"`
+	Spans   []Span `json:"spans"`
+}
+
+// QueryHandler serves the retained spans as JSON with filters:
+// ?peer=, ?stage=, ?cmd=, ?trace=<id> narrow, ?n=N tails.
+func (t *Tracer) QueryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		total, dropped, sampled := t.Stats()
+		resp := queryResponse{
+			Enabled: t.Armed(),
+			SampleN: t.SampleN(),
+			Total:   total,
+			Dropped: dropped,
+			Sampled: sampled,
+			Spans:   t.Spans(),
+		}
+		q := r.URL.Query()
+		if peer := q.Get("peer"); peer != "" {
+			resp.Spans = filterSpans(resp.Spans, func(sp Span) bool { return sp.Peer == peer })
+		}
+		if stage := q.Get("stage"); stage != "" {
+			resp.Spans = filterSpans(resp.Spans, func(sp Span) bool { return string(sp.Stage) == stage })
+		}
+		if cmd := q.Get("cmd"); cmd != "" {
+			resp.Spans = filterSpans(resp.Spans, func(sp Span) bool { return sp.Cmd == cmd })
+		}
+		if id := q.Get("trace"); id != "" {
+			if tid, err := strconv.ParseUint(id, 10, 64); err == nil {
+				resp.Spans = filterSpans(resp.Spans, func(sp Span) bool { return sp.TraceID == tid })
+			}
+		}
+		if nStr := q.Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(resp.Spans) {
+				resp.Spans = resp.Spans[len(resp.Spans)-n:]
+			}
+		}
+		if resp.Spans == nil {
+			resp.Spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// ExportHandler serves the retained spans as Chrome trace-event JSON, ready
+// for chrome://tracing or Perfetto.
+func (t *Tracer) ExportHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		_ = WriteChrome(w, t.Spans())
+	})
+}
+
+func filterSpans(spans []Span, keep func(Span) bool) []Span {
+	out := spans[:0]
+	for _, sp := range spans {
+		if keep(sp) {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 0 {
+		t.Errorf("empty export: %+v", doc)
+	}
+}
+
+func TestWriteChromeStructure(t *testing.T) {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	spans := []Span{
+		{TraceID: 7, Stage: StageHandle, Peer: "10.0.0.2:1", Cmd: "addr",
+			Start: base.Add(time.Millisecond), Duration: 2 * time.Millisecond},
+		{TraceID: 7, Stage: StageMisbehave, Peer: "10.0.0.2:1", Cmd: "addr", Rule: "AddrOversize",
+			Start: base.Add(3 * time.Millisecond), Duration: time.Millisecond},
+		{TraceID: 9, Stage: StageDetectWindow, Note: "messages=5 reconnects=0",
+			Start: base, Duration: 250 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	// Two lanes ("node" for the peerless window, one per peer), each named
+	// by an M metadata event, plus one X event per span.
+	var meta, complete []chromeEvent
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta = append(meta, ev)
+		case "X":
+			complete = append(complete, ev)
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if len(meta) != 2 || len(complete) != 3 {
+		t.Fatalf("got %d metadata + %d complete events, want 2+3", len(meta), len(complete))
+	}
+	laneNames := map[string]bool{}
+	for _, ev := range meta {
+		if ev.Name != "thread_name" || ev.Pid != 1 {
+			t.Errorf("bad metadata event %+v", ev)
+		}
+		laneNames[ev.Args["name"].(string)] = true
+	}
+	if !laneNames["node"] || !laneNames["peer 10.0.0.2:1"] {
+		t.Errorf("lane names %v", laneNames)
+	}
+
+	// ts is µs relative to the earliest span (the detect window at base).
+	byName := map[string]chromeEvent{}
+	for _, ev := range complete {
+		byName[ev.Name] = ev
+		if ev.Pid != 1 || ev.Cat != "lifecycle" || ev.Ts < 0 {
+			t.Errorf("bad complete event %+v", ev)
+		}
+	}
+	if ev := byName["handle"]; ev.Ts != 1000 || ev.Dur != 2000 || ev.Args["cmd"] != "addr" {
+		t.Errorf("handle event %+v", ev)
+	}
+	if ev := byName["misbehave"]; ev.Args["rule"] != "AddrOversize" || ev.Args["trace_id"] != float64(7) {
+		t.Errorf("misbehave event %+v", ev)
+	}
+	if ev := byName["detect_window"]; ev.Ts != 0 || ev.Dur != 250000 || ev.Args["note"] != "messages=5 reconnects=0" {
+		t.Errorf("detect_window event %+v", ev)
+	}
+}
+
+func TestExportHandler(t *testing.T) {
+	tr := New(Config{SampleN: 1})
+	tr.Enable()
+	tr.Always().Record(StageHandle, "p:1", "ping", time.Now(), time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	tr.ExportHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/export", nil))
+	if rec.Code != 200 {
+		t.Fatalf("export: HTTP %d", rec.Code)
+	}
+	if cd := rec.Header().Get("Content-Disposition"); !strings.Contains(cd, "trace.json") {
+		t.Errorf("Content-Disposition %q", cd)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 { // 1 lane metadata + 1 span
+		t.Errorf("export holds %d events, want 2", len(doc.TraceEvents))
+	}
+}
