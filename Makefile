@@ -1,16 +1,24 @@
-# Developer entry points. `make check` is the PR gate: vet, build, the
-# full test suite under the race detector, and the telemetry hot-path
-# benchmarks (one iteration — enough to catch a broken or regressing
-# instrumentation path without benchmarking noise in CI).
+# Developer entry points. `make check` is the PR gate: vet, banlint,
+# build, the full test suite under the race detector, and the telemetry
+# hot-path benchmarks (one iteration — enough to catch a broken or
+# regressing instrumentation path without benchmarking noise in CI).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-telemetry bench-trace chaos chaos-short
+.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace chaos chaos-short
 
-check: vet build race bench-telemetry bench-trace
+check: vet lint build race bench-telemetry bench-trace
 
 vet:
 	$(GO) vet ./...
+
+# banlint: the repository's own analyzer suite (internal/lint). Zero
+# findings is a merge requirement; waivers need //lint:allow with a reason.
+lint:
+	$(GO) run ./cmd/banlint ./...
+
+lint-json:
+	$(GO) run ./cmd/banlint -json ./...
 
 build:
 	$(GO) build ./...

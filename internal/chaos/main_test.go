@@ -1,0 +1,13 @@
+package chaos
+
+import (
+	"testing"
+
+	"banscore/internal/leakcheck"
+)
+
+// TestMain backs the chaos suite's core claim — nodes heal and shut down
+// cleanly under injected faults — with a binary-wide goroutine-leak
+// assertion: no scenario may strand a reconnect loop, fault-delivery
+// timer, or peer loop past its test.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -56,16 +56,16 @@ func Countermeasures(scale Scale) (CountermeasuresResult, error) {
 			row.MessagesSent++
 		}
 		// Give the victim time to drain and score what was sent.
-		deadline := time.Now().Add(2 * time.Second)
+		deadline := clk.Now().Add(2 * time.Second)
 		id := core.PeerIDFromAddr(innocent)
-		for time.Now().Before(deadline) {
+		for clk.Now().Before(deadline) {
 			if tb.Victim.Tracker().IsBanned(id) {
 				break
 			}
 			if mode != core.ModeStandard && tb.Victim.Stats().MessagesProcessed >= uint64(row.MessagesSent) {
 				break
 			}
-			time.Sleep(2 * time.Millisecond)
+			clk.Sleep(2 * time.Millisecond)
 		}
 
 		row.InnocentBanned = tb.Victim.Tracker().IsBanned(id)

@@ -209,13 +209,13 @@ func (tb *Testbed) Close() {
 // Direct-injection measurements must use this: on a single CPU the caller
 // can otherwise outrun the victim's read loop.
 func (tb *Testbed) VictimPeer(from string) (*peer.Peer, error) {
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(5 * time.Second)
+	for clk.Now().Before(deadline) {
 		if p, ok := tb.Victim.Peer(core.PeerIDFromAddr(from)); ok && p.HandshakeComplete() {
 			return p, nil
 		}
 		runtime.Gosched()
-		time.Sleep(time.Millisecond)
+		clk.Sleep(time.Millisecond)
 	}
 	return nil, fmt.Errorf("victim never completed handshake with %s", from)
 }

@@ -141,7 +141,7 @@ func runFloodMiningConfig(scale Scale, attackKind string, sybils int) (Figure6Ro
 			}(s)
 		}
 		// Let the flood reach steady state before sampling.
-		time.Sleep(scale.FloodWindow / 2)
+		clk.Sleep(scale.FloodWindow / 2)
 	}
 
 	mining := sampleMiningRate(m, scale)
@@ -270,25 +270,25 @@ func Table3(scale Scale) (Table3Result, error) {
 // box) are caught up with larger batches instead of silently under-sending.
 func pacedSender(rate float64, window time.Duration, send func() error) (busy time.Duration, sent uint64) {
 	const tick = time.Millisecond
-	start := time.Now()
+	start := clk.Now()
 	deadline := start.Add(window)
 	for {
-		now := time.Now()
+		now := clk.Now()
 		if !now.Before(deadline) {
 			return busy, sent
 		}
 		target := uint64(rate * now.Sub(start).Seconds())
-		batchStart := time.Now()
+		batchStart := clk.Now()
 		for sent < target {
 			if err := send(); err != nil {
 				return busy, sent
 			}
 			sent++
 		}
-		busy += time.Since(batchStart)
-		rest := tick - time.Since(batchStart)
+		busy += clk.Since(batchStart)
+		rest := tick - clk.Since(batchStart)
 		if rest > 0 {
-			time.Sleep(rest)
+			clk.Sleep(rest)
 		}
 	}
 }
@@ -307,7 +307,7 @@ func pairedFloodImpact(m *miner.Miner, window time.Duration, rate float64, send 
 			pacedSender(rate, window, send)
 			close(done)
 		}()
-		time.Sleep(window / 8) // let the flood reach steady state
+		clk.Sleep(window / 8) // let the flood reach steady state
 		on := m.RateOver(window / 2)
 		<-done
 		ons = append(ons, on)

@@ -102,19 +102,19 @@ func Table2(scale Scale) (Table2Result, error) {
 		}
 
 		// Attacker cost: per-query message construction.
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < iters; i++ {
 			_ = spec.craft()
 		}
-		attackerPerQuery := time.Since(start) / time.Duration(iters)
+		attackerPerQuery := clk.Since(start) / time.Duration(iters)
 
 		// Victim impact: application-layer processing per query.
-		start = time.Now()
+		start = clk.Now()
 		for i := 0; i < iters; i++ {
 			msg := spec.pool[i%len(spec.pool)]
 			tb.Victim.ProcessMessageDirect(victimPeer, msg, 0)
 		}
-		victimPerQuery := time.Since(start) / time.Duration(iters)
+		victimPerQuery := clk.Since(start) / time.Duration(iters)
 
 		row := Table2Row{
 			Message:        spec.name,

@@ -1,0 +1,46 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanState(t *testing.T) {
+	if err := Check(2 * time.Second); err != nil {
+		t.Errorf("Check on a quiet binary reported leaks: %v", err)
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	release := make(chan struct{})
+	go leakyWorker(release)
+	defer close(release)
+
+	// Give the goroutine a moment to park so the snapshot sees it.
+	time.Sleep(10 * time.Millisecond)
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Check missed a parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "leakyWorker") {
+		t.Errorf("leak report does not name the offending function:\n%v", err)
+	}
+}
+
+func TestCheckWaitsOutHonestStragglers(t *testing.T) {
+	release := make(chan struct{})
+	go leakyWorker(release)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(release)
+	}()
+	if err := Check(2 * time.Second); err != nil {
+		t.Errorf("Check did not absorb a straggler inside the grace window: %v", err)
+	}
+}
+
+// leakyWorker parks until released — the shape of an uncollected loop.
+func leakyWorker(release chan struct{}) {
+	<-release
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzerName tags diagnostics produced by the directive parser
+// itself (malformed //lint:allow comments).
+const DirectiveAnalyzerName = "lintdirective"
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lint:allow"
+
+// An allowDirective is one well-formed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	// line is the line the directive waives findings on: the directive's
+	// own line for a trailing comment, the following line for a
+	// stand-alone comment.
+	line int
+	file string
+}
+
+// ParseDirectives extracts every //lint:allow directive from files. Well-
+// formed directives come back as a suppression index; malformed ones come
+// back as diagnostics so an unreasoned waiver can never silently disable a
+// check.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) (*Suppressions, []Diagnostic) {
+	sup := &Suppressions{index: make(map[suppressionKey]bool)}
+	var diags []Diagnostic
+	for _, f := range files {
+		// Lines that hold any non-comment tokens: a directive on such a
+		// line targets that line; a directive alone on its line targets
+		// the next one.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return false
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return false
+			}
+			if _, isFile := n.(*ast.File); isFile {
+				return true
+			}
+			// Mark only the node's boundary lines, not its whole span:
+			// a multi-line composite (FuncDecl, BlockStmt) has interior
+			// lines that belong to its children, and a comment-only line
+			// inside it must still count as comment-only.
+			codeLines[fset.Position(n.Pos()).Line] = true
+			codeLines[fset.Position(n.End()).Line] = true
+			return true
+		})
+
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isDirective(c.Text) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name, ok := parseAllowBody(c.Text)
+				if !ok {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DirectiveAnalyzerName,
+						Message:  "malformed lint:allow directive: want //lint:allow <analyzer>(<reason>) with a non-empty reason",
+					})
+					continue
+				}
+				target := pos.Line
+				if !codeLines[pos.Line] {
+					target = pos.Line + 1
+				}
+				sup.index[suppressionKey{file: pos.Filename, line: target, analyzer: name}] = true
+			}
+		}
+	}
+	return sup, diags
+}
+
+// isDirective reports whether the comment is a //lint:allow directive
+// (well-formed or not). "//lint:allowfoo" is an unrelated comment, not a
+// malformed directive.
+func isDirective(text string) bool {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return false
+	}
+	rest := text[len(directivePrefix):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == '('
+}
+
+// parseAllowBody validates "//lint:allow name(reason)" and returns the
+// analyzer name. It fails on a bare directive, a missing or empty reason,
+// an unclosed parenthesis, or an empty analyzer name.
+func parseAllowBody(text string) (string, bool) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+	open := strings.IndexByte(body, '(')
+	if open <= 0 || !strings.HasSuffix(body, ")") {
+		return "", false
+	}
+	name := strings.TrimSpace(body[:open])
+	reason := strings.TrimSpace(body[open+1 : len(body)-1])
+	if name == "" || strings.ContainsAny(name, " \t") || reason == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// suppressionKey identifies one (file, line, analyzer) waiver.
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Suppressions indexes the well-formed //lint:allow directives of a
+// package.
+type Suppressions struct {
+	index map[suppressionKey]bool
+}
+
+// Suppressed reports whether the diagnostic is waived by a directive.
+// Directive-parser diagnostics are never suppressible.
+func (s *Suppressions) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if d.Analyzer == DirectiveAnalyzerName {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	return s.index[suppressionKey{file: pos.Filename, line: pos.Line, analyzer: d.Analyzer}]
+}
+
+// Filter returns diags with suppressed findings removed.
+func (s *Suppressions) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !s.Suppressed(fset, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

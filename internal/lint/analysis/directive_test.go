@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return fset, f
+}
+
+// lineOf finds the 1-based line of the first occurrence of needle.
+func lineOf(t *testing.T, src, needle string) int {
+	t.Helper()
+	idx := strings.Index(src, needle)
+	if idx < 0 {
+		t.Fatalf("needle %q not in fixture", needle)
+	}
+	return 1 + strings.Count(src[:idx], "\n")
+}
+
+func TestTrailingDirectiveTargetsOwnLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	work() //lint:allow wallclock(reasoned waiver)
+}
+`
+	fset, f := parseSrc(t, src)
+	sup, diags := ParseDirectives(fset, []*ast.File{f})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	line := lineOf(t, src, "work()")
+	if !sup.index[suppressionKey{file: "fixture.go", line: line, analyzer: "wallclock"}] {
+		t.Errorf("trailing directive should waive wallclock on its own line %d", line)
+	}
+}
+
+func TestStandaloneDirectiveTargetsNextLine(t *testing.T) {
+	// The directive sits on a comment-only line INSIDE a multi-line
+	// function — the case where marking whole node spans as code lines
+	// would wrongly make it a trailing directive.
+	src := `package p
+
+func f() {
+	prep()
+	//lint:allow gospawn(reasoned waiver)
+	work()
+}
+`
+	fset, f := parseSrc(t, src)
+	sup, diags := ParseDirectives(fset, []*ast.File{f})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	line := lineOf(t, src, "work()")
+	key := suppressionKey{file: "fixture.go", line: line, analyzer: "gospawn"}
+	if !sup.index[key] {
+		t.Errorf("stand-alone directive should waive gospawn on the next line %d", line)
+	}
+	own := suppressionKey{file: "fixture.go", line: line - 1, analyzer: "gospawn"}
+	if sup.index[own] {
+		t.Errorf("stand-alone directive must not waive its own comment line %d", line-1)
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	cases := []string{
+		"//lint:allow",
+		"//lint:allow wallclock",
+		"//lint:allow wallclock()",
+		"//lint:allow wallclock(  )",
+		"//lint:allow (no name)",
+		"//lint:allow two words(reason)",
+		"//lint:allow wallclock(unclosed",
+	}
+	for _, comment := range cases {
+		src := "package p\n\nfunc f() {\n\twork() " + comment + "\n}\n"
+		fset, f := parseSrc(t, src)
+		sup, diags := ParseDirectives(fset, []*ast.File{f})
+		if len(diags) != 1 {
+			t.Errorf("%q: want 1 malformed-directive diagnostic, got %d", comment, len(diags))
+			continue
+		}
+		if diags[0].Analyzer != DirectiveAnalyzerName {
+			t.Errorf("%q: diagnostic analyzer = %q, want %q", comment, diags[0].Analyzer, DirectiveAnalyzerName)
+		}
+		if len(sup.index) != 0 {
+			t.Errorf("%q: malformed directive must waive nothing, got %v", comment, sup.index)
+		}
+	}
+}
+
+func TestUnrelatedCommentsIgnored(t *testing.T) {
+	src := `package p
+
+// lint:allow spaced(out) is not a directive.
+//lint:allowother(x) runs the prefix into another word.
+func f() {}
+`
+	fset, f := parseSrc(t, src)
+	sup, diags := ParseDirectives(fset, []*ast.File{f})
+	if len(diags) != 0 || len(sup.index) != 0 {
+		t.Errorf("non-directive comments produced diags=%v index=%v", diags, sup.index)
+	}
+}
+
+func TestSuppressedMatchesAnalyzerAndLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	work() //lint:allow wallclock(reasoned waiver)
+}
+`
+	fset, f := parseSrc(t, src)
+	sup, diags := ParseDirectives(fset, []*ast.File{f})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	pos := posOnLine(t, fset, f, lineOf(t, src, "work()"))
+	if !sup.Suppressed(fset, Diagnostic{Pos: pos, Analyzer: "wallclock"}) {
+		t.Error("named analyzer on the target line should be suppressed")
+	}
+	if sup.Suppressed(fset, Diagnostic{Pos: pos, Analyzer: "gospawn"}) {
+		t.Error("a different analyzer must not be suppressed")
+	}
+	if sup.Suppressed(fset, Diagnostic{Pos: pos, Analyzer: DirectiveAnalyzerName}) {
+		t.Error("lintdirective diagnostics must never be suppressible")
+	}
+}
+
+// posOnLine returns some token position on the given line of the file.
+func posOnLine(t *testing.T, fset *token.FileSet, f *ast.File, line int) token.Pos {
+	t.Helper()
+	var found token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found != token.NoPos {
+			return false
+		}
+		if fset.Position(n.Pos()).Line == line {
+			found = n.Pos()
+			return false
+		}
+		return true
+	})
+	if found == token.NoPos {
+		t.Fatalf("no node on line %d", line)
+	}
+	return found
+}
+
+func TestHasPathSegment(t *testing.T) {
+	p := &Pass{PkgPath: "banscore/internal/simnet"}
+	for _, seg := range []string{"banscore", "internal", "simnet"} {
+		if !p.HasPathSegment(seg) {
+			t.Errorf("HasPathSegment(%q) = false, want true", seg)
+		}
+	}
+	for _, seg := range []string{"sim", "net", "simnet2", "banscore/internal"} {
+		if p.HasPathSegment(seg) {
+			t.Errorf("HasPathSegment(%q) = true, want false", seg)
+		}
+	}
+}
+
+func TestImportName(t *testing.T) {
+	src := `package p
+
+import (
+	"time"
+	mrand "math/rand"
+	. "strings"
+)
+`
+	_, f := parseSrc(t, src)
+	for path, want := range map[string]string{
+		"time":      "time",
+		"math/rand": "mrand",
+		"strings":   ".",
+		"fmt":       "",
+	} {
+		if got := ImportName(f, path); got != want {
+			t.Errorf("ImportName(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+	"banscore/internal/lint/analyzers/errsentinel"
+)
+
+func TestSentinelComparisons(t *testing.T) {
+	analysistest.Run(t, "testdata/sentinel", errsentinel.Analyzer)
+}

@@ -1,0 +1,92 @@
+// Package sentinel is an errsentinel fixture. The analyzer is unscoped,
+// so the directory name carries no meaning.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var (
+	ErrFull    = errors.New("queue full")
+	errRefused = errors.New("refused")
+)
+
+// ErrCodeBad is an error *code* (compare-by-value enum), not a sentinel
+// error value: package-local consts named Err* are exempt.
+const ErrCodeBad = 7
+
+// direct comparisons against sentinels in both orientations and with both
+// operators.
+func direct(err error, wrapErr error) {
+	if err == ErrFull { // want `== err against sentinel ErrFull misses wrapped errors; use errors\.Is`
+		return
+	}
+	if ErrFull == wrapErr { // want `== wrapErr against sentinel ErrFull misses wrapped errors; use errors\.Is`
+		return
+	}
+	if err != errRefused { // want `!= err against sentinel errRefused misses wrapped errors; use errors\.Is`
+		return
+	}
+	if err == pkg.ErrRemote { // want `== err against sentinel pkg\.ErrRemote misses wrapped errors; use errors\.Is`
+		return
+	}
+}
+
+// idioms that must stay silent: nil checks, errors.Is/As, error codes,
+// and comparisons whose other operand is clearly not an error.
+func fine(err error, myErrCode int, state int) {
+	if err == nil || err != nil {
+		return
+	}
+	if errors.Is(err, ErrFull) {
+		return
+	}
+	if myErrCode == ErrCodeBad { // local const Err* is a code, not a sentinel
+		return
+	}
+	if state == stateErrored { // other operand is not error-ish... but state isn't either
+		return
+	}
+}
+
+// textual matching on error messages.
+func text(err error) {
+	if err.Error() == "queue full" { // want `comparing err\.Error\(\) text breaks on any message edit; match the sentinel with errors\.Is`
+		return
+	}
+	if "refused" != err.Error() { // want `comparing err\.Error\(\) text breaks on any message edit`
+		return
+	}
+	if strings.Contains(err.Error(), "full") { // want `matching err\.Error\(\) text with strings\.Contains breaks on any message edit; use errors\.Is \(or errors\.As for typed errors\)`
+		return
+	}
+	if strings.HasPrefix(err.Error(), "queue") { // want `matching err\.Error\(\) text with strings\.HasPrefix breaks on any message edit`
+		return
+	}
+	// Plain string work not involving error text stays silent.
+	if strings.Contains(fmtHost("x"), "full") {
+		return
+	}
+	_ = fmt.Sprintf("%v", err)
+}
+
+// suppressed proves the waiver path: one finding waived, the identical
+// next one reported.
+func suppressed(err error) {
+	//lint:allow errsentinel(fixture: unwrapped by construction on this path)
+	if err == ErrFull {
+		return
+	}
+	if err == ErrFull { // want `== err against sentinel ErrFull misses wrapped errors`
+		return
+	}
+}
+
+// malformed directives report themselves and waive nothing.
+func malformed(err error) {
+	if err == ErrFull { //lint:allow // want `== err against sentinel ErrFull misses wrapped errors` `malformed lint:allow directive: want //lint:allow <analyzer>\(<reason>\) with a non-empty reason`
+		return
+	}
+}

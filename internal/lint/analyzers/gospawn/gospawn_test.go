@@ -1,0 +1,16 @@
+package gospawn_test
+
+import (
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+	"banscore/internal/lint/analyzers/gospawn"
+)
+
+func TestInScope(t *testing.T) {
+	analysistest.Run(t, "testdata/node", gospawn.Analyzer)
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/other", gospawn.Analyzer)
+}

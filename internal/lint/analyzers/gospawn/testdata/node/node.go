@@ -1,0 +1,53 @@
+// Package node is a gospawn fixture: its directory name puts it in the
+// analyzer's scope (segment "node").
+package node
+
+import "sync"
+
+type Node struct {
+	wg sync.WaitGroup
+}
+
+// spawn is the supervised helper; the go statement inside it is the one
+// sanctioned spawn site.
+func (n *Node) spawn(fn func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		fn()
+	}()
+}
+
+// serve routes through the helper — no diagnostic.
+func (n *Node) serve(loop func()) {
+	n.spawn(loop)
+}
+
+// fireAndForget is the invariant violation: a goroutine Stop cannot
+// collect.
+func (n *Node) fireAndForget(loop func()) {
+	go loop() // want `bare go statement in fireAndForget; route goroutines through the supervised spawn helper so shutdown can collect them`
+}
+
+// nested go statements are found at any depth, including inside
+// function literals and ordinary control flow.
+func (n *Node) nested(work func()) {
+	defer func() {
+		if true {
+			go work() // want `bare go statement in nested`
+		}
+	}()
+}
+
+// suppressed proves one stand-alone waiver covers exactly the next line.
+func (n *Node) suppressed(drain func()) {
+	//lint:allow gospawn(fixture: deliberately unsupervised reaper)
+	go drain()
+	go drain() // want `bare go statement in suppressed`
+}
+
+// malformed directives are diagnostics themselves and waive nothing.
+func (n *Node) malformed(drain func()) {
+	go drain() //lint:allow // want `bare go statement in malformed` `malformed lint:allow directive: want //lint:allow <analyzer>\(<reason>\) with a non-empty reason`
+	go drain() //lint:allow gospawn(  ) // want `bare go statement in malformed` `malformed lint:allow directive`
+}

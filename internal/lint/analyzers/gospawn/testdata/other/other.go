@@ -1,0 +1,8 @@
+// Package other is a gospawn fixture OUTSIDE the analyzer's scope: bare
+// go statements are fine in packages that do not own supervised
+// goroutine lifecycles.
+package other
+
+func fine(fn func()) {
+	go fn()
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+	"banscore/internal/lint/analyzers/lockhold"
+)
+
+func TestLockRegions(t *testing.T) {
+	analysistest.Run(t, "testdata/locks", lockhold.Analyzer)
+}

@@ -1,0 +1,147 @@
+// Package metriclabel defines the banlint analyzer that keeps telemetry
+// metric names and label keys compile-time constant.
+//
+// The telemetry registry creates a series per distinct (name, labels)
+// pair and never evicts. Names and label keys interpolated from runtime
+// data — the classic accident is a peer ID or address formatted into a
+// metric name — therefore grow the registry without bound under attack
+// traffic: an adversary who controls the interpolated value controls our
+// memory. Label *values* are allowed to vary (per-command and per-rule
+// families are the design), because their domains are protocol-bounded
+// and flow through the Vec caches; names and keys are not.
+//
+// The analyzer inspects every call of the registry surface —
+// Counter, Gauge, Histogram, CounterFunc, GaugeFunc, CounterVec,
+// GaugeVec, Describe, and the label constructor L — and requires the
+// name/key arguments to be constant string expressions: string literals,
+// identifiers declared const in the same package, or concatenations
+// thereof. Anything else (variables, fmt.Sprintf, function results,
+// cross-package selectors) is a diagnostic.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/token"
+
+	"banscore/internal/lint/analysis"
+)
+
+// constArgIndexes maps the registry surface's method names to the indexes
+// of the arguments that must be compile-time constant. Variadic label
+// arguments are handled by checking L() calls themselves.
+var constArgIndexes = map[string][]int{
+	"Counter":     {0},
+	"Gauge":       {0},
+	"Histogram":   {0},
+	"CounterFunc": {0},
+	"GaugeFunc":   {0},
+	"CounterVec":  {0, 1},
+	"GaugeVec":    {0, 1},
+	"Describe":    {0},
+	// telemetry.L(key, value): the key is identity, the value may vary.
+	"L": {0},
+}
+
+// argRole names the checked argument in diagnostics.
+func argRole(method string, index int) string {
+	if method == "L" || index == 1 {
+		return "label key"
+	}
+	return "metric name"
+}
+
+// Analyzer is the metriclabel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc: "require compile-time constant metric names and label keys\n\n" +
+		"Telemetry series live forever; a name or label key interpolated from " +
+		"runtime data (a peer ID, an address) lets attack traffic grow the " +
+		"registry without bound. Names and keys must be string literals or " +
+		"package constants; label values may vary.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	consts := packageConsts(pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			indexes, ok := constArgIndexes[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			for _, i := range indexes {
+				if i >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[i]
+				if looksNonString(arg) {
+					// A same-named method from an unrelated API (first
+					// argument clearly not a string): not ours to judge.
+					return true
+				}
+				if !isConstString(arg, consts) {
+					pass.Reportf(arg.Pos(),
+						"%s argument of %s must be a compile-time constant string; runtime-derived names explode series cardinality (peer IDs belong in label values, never names or keys)",
+						argRole(sel.Sel.Name, i), sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isConstString reports whether e is a compile-time constant string
+// expression: a string literal, an identifier declared const in this
+// package, or a + concatenation of such.
+func isConstString(e ast.Expr, consts map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.STRING
+	case *ast.Ident:
+		return consts[v.Name]
+	case *ast.BinaryExpr:
+		return v.Op == token.ADD && isConstString(v.X, consts) && isConstString(v.Y, consts)
+	case *ast.ParenExpr:
+		return isConstString(v.X, consts)
+	}
+	return false
+}
+
+// looksNonString recognizes arguments that are definitely not strings
+// (numeric or rune literals) so unrelated same-named methods are skipped
+// rather than flagged.
+func looksNonString(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind != token.STRING
+}
+
+// packageConsts collects every constant name declared in the package.
+func packageConsts(files []*ast.File) map[string]bool {
+	consts := make(map[string]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.GenDecl)
+			if !ok || decl.Tok != token.CONST {
+				return true
+			}
+			for _, spec := range decl.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						consts[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return consts
+}

@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+	"banscore/internal/lint/analyzers/metriclabel"
+)
+
+func TestRegistrySurface(t *testing.T) {
+	analysistest.Run(t, "testdata/metrics", metriclabel.Analyzer)
+}

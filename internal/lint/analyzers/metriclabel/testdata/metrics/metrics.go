@@ -1,0 +1,52 @@
+// Package metrics is a metriclabel fixture. The analyzer is unscoped; it
+// recognizes the telemetry registry surface by method name.
+package metrics
+
+import "fmt"
+
+const (
+	prefix       = "node_"
+	msgsTotal    = prefix + "messages_total"
+	commandLabel = "command"
+)
+
+// register exercises the constant-name rule across the registry surface.
+func register(peerID string, keyVar string) {
+	reg.Counter("banscore_started_total")
+	reg.Counter(msgsTotal)
+	reg.Counter(prefix + "drops_total")
+	reg.Counter("peer_" + peerID)             // want `metric name argument of Counter must be a compile-time constant string; runtime-derived names explode series cardinality \(peer IDs belong in label values, never names or keys\)`
+	reg.Gauge(fmt.Sprintf("peer_%s", peerID)) // want `metric name argument of Gauge must be a compile-time constant string`
+	reg.Histogram(metricFor(peerID))          // want `metric name argument of Histogram must be a compile-time constant string`
+	reg.CounterFunc(peerID, nil)              // want `metric name argument of CounterFunc must be a compile-time constant string`
+	reg.CounterVec(msgsTotal, commandLabel)
+	reg.CounterVec(msgsTotal, keyVar) // want `label key argument of CounterVec must be a compile-time constant string`
+	reg.GaugeVec(peerID, "state")     // want `metric name argument of GaugeVec must be a compile-time constant string`
+}
+
+// labels shows label VALUES may vary; only the key is identity.
+func labels(peerID string) {
+	reg.Counter(msgsTotal, telemetry.L(commandLabel, peerID))
+	reg.Counter(msgsTotal, telemetry.L("rule", ruleName(peerID)))
+	reg.Counter(msgsTotal, telemetry.L(peerID, "v")) // want `label key argument of L must be a compile-time constant string`
+}
+
+// unrelated same-named methods with clearly non-string arguments are not
+// ours to judge.
+func unrelated(m matrix) {
+	m.Counter(7)
+	m.Gauge(1.5)
+}
+
+// suppressed proves the waiver path: one finding waived, the identical
+// next one reported.
+func suppressed(family string) {
+	//lint:allow metriclabel(fixture: family is bound from a compile-time constant by every caller)
+	reg.Counter(family)
+	reg.Counter(family) // want `metric name argument of Counter must be a compile-time constant string`
+}
+
+// malformed directives report themselves and waive nothing.
+func malformed(family string) {
+	reg.Counter(family) //lint:allow metriclabel // want `metric name argument of Counter must be a compile-time constant string` `malformed lint:allow directive: want //lint:allow <analyzer>\(<reason>\) with a non-empty reason`
+}

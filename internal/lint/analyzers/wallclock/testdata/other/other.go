@@ -1,0 +1,14 @@
+// Package other is a wallclock fixture OUTSIDE the analyzer's scope: no
+// import-path segment matches simnet/experiments/vclock, so ambient clock
+// reads here are legitimate and must produce no diagnostics.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ambientIsFine() time.Time {
+	time.Sleep(time.Duration(rand.Intn(5)))
+	return time.Now()
+}

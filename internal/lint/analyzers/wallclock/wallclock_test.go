@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+	"banscore/internal/lint/analyzers/wallclock"
+)
+
+func TestInScope(t *testing.T) {
+	analysistest.Run(t, "testdata/simnet", wallclock.Analyzer)
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/other", wallclock.Analyzer)
+}

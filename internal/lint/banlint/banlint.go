@@ -1,0 +1,46 @@
+// Package banlint assembles the repository's analyzer suite — the single
+// list cmd/banlint, the analysistest fixtures, and the repo-cleanliness
+// test all share, so "what banlint checks" has exactly one definition.
+//
+// The suite enforces the invariants the concurrent core's correctness
+// arguments rest on (see DESIGN.md, "Checked invariants"):
+//
+//	wallclock    no ambient time / global math/rand in determinism-
+//	             critical packages (simnet, experiments, vclock)
+//	errsentinel  sentinel errors matched with errors.Is, never ==/!= or
+//	             error-text comparison
+//	lockhold     no blocking operations while holding a mutex
+//	metriclabel  metric names and label keys are compile-time constants
+//	gospawn      go statements in node/peer route through the supervised
+//	             spawn helpers
+package banlint
+
+import (
+	"banscore/internal/lint/analysis"
+	"banscore/internal/lint/analyzers/errsentinel"
+	"banscore/internal/lint/analyzers/gospawn"
+	"banscore/internal/lint/analyzers/lockhold"
+	"banscore/internal/lint/analyzers/metriclabel"
+	"banscore/internal/lint/analyzers/wallclock"
+)
+
+// Analyzers returns the full banlint suite, sorted by name.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errsentinel.Analyzer,
+		gospawn.Analyzer,
+		lockhold.Analyzer,
+		metriclabel.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package loader parses Go packages from directories for the banlint
+// driver. It is deliberately minimal — no build-tag evaluation beyond the
+// implicit _test split, no cgo, no type checking — because the analyzer
+// framework it feeds (internal/lint/analysis) is purely syntactic. The
+// payoff is that loading needs nothing but the standard library, so the
+// lint suite runs in the same dependency-free build as the rest of the
+// repository.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed directory of Go files.
+type Package struct {
+	// Name is the declared package name.
+	Name string
+
+	// Path is the package's import path: module path + relative
+	// directory when a go.mod governs the tree, the directory's base
+	// name otherwise (the analysistest case).
+	Path string
+
+	// Dir is the absolute directory.
+	Dir string
+
+	// Fset positions for Files.
+	Fset *token.FileSet
+
+	// Files are the parsed syntax trees, with comments, sorted by file
+	// name.
+	Files []*ast.File
+}
+
+// Config controls loading.
+type Config struct {
+	// IncludeTests also loads _test.go files (as part of the same
+	// package object; banlint is syntactic, so the internal/external
+	// test-package split does not matter).
+	IncludeTests bool
+}
+
+// LoadDir parses the single package in dir. Directories with no Go files
+// return (nil, nil). Mixed package clauses load the dominant (most
+// frequent) name and skip the rest — the pragmatic treatment of external
+// test packages and fixture files.
+func LoadDir(dir string, cfg Config) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !cfg.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	counts := make(map[string]int)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+		counts[f.Name.Name]++
+	}
+	pkgName, best := "", 0
+	for name, n := range counts {
+		// Prefer the non-_test name on ties so internal packages win.
+		if n > best || (n == best && !strings.HasSuffix(name, "_test")) {
+			pkgName, best = name, n
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == pkgName {
+			kept = append(kept, f)
+		}
+	}
+	return &Package{
+		Name:  pkgName,
+		Path:  importPath(abs),
+		Dir:   abs,
+		Fset:  fset,
+		Files: kept,
+	}, nil
+}
+
+// LoadTree parses every package under root, skipping testdata, vendor,
+// hidden, and underscore-prefixed directories. Packages come back sorted
+// by import path.
+func LoadTree(root string, cfg Config) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := d.Name()
+		if path != root && (base == "testdata" || base == "vendor" ||
+			strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := LoadDir(path, cfg)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPath derives the package's import path by locating the nearest
+// enclosing go.mod. Without one, the directory's base name stands in —
+// enough for the segment-matching rules scope-limited analyzers use.
+func importPath(absDir string) string {
+	dir := absDir
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			if mod := modulePath(data); mod != "" {
+				rel, err := filepath.Rel(dir, absDir)
+				if err != nil || rel == "." {
+					return mod
+				}
+				return mod + "/" + filepath.ToSlash(rel)
+			}
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return filepath.Base(absDir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}

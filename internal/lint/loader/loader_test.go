@@ -1,0 +1,99 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadDirSelf(t *testing.T) {
+	pkg, err := LoadDir(".", Config{})
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg == nil {
+		t.Fatal("LoadDir returned nil package for a directory with Go files")
+	}
+	if pkg.Name != "loader" {
+		t.Errorf("Name = %q, want %q", pkg.Name, "loader")
+	}
+	if pkg.Path != "banscore/internal/lint/loader" {
+		t.Errorf("Path = %q, want module-qualified import path", pkg.Path)
+	}
+	for _, f := range pkg.Files {
+		name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("Config{IncludeTests: false} loaded test file %s", name)
+		}
+	}
+}
+
+func TestLoadDirIncludeTests(t *testing.T) {
+	pkg, err := LoadDir(".", Config{IncludeTests: true})
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	found := false
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("IncludeTests did not load this _test.go file")
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	dir := t.TempDir()
+	pkg, err := LoadDir(dir, Config{})
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg != nil {
+		t.Errorf("empty directory should load as nil, got %+v", pkg)
+	}
+}
+
+func TestLoadDirWithoutGoMod(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "simnet")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package simnet\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, Config{})
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Path != "simnet" {
+		t.Errorf("Path = %q, want base-name fallback %q", pkg.Path, "simnet")
+	}
+}
+
+func TestLoadTreeSkipsTestdata(t *testing.T) {
+	// Two levels up is internal/lint: the analyzers' fixture packages under
+	// testdata/ must not surface as packages of the tree.
+	pkgs, err := LoadTree(filepath.Join("..", ".."), Config{})
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadTree found no packages under internal/lint")
+	}
+	seenSelf := false
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "/testdata/") || strings.HasSuffix(pkg.Path, "/testdata") {
+			t.Errorf("LoadTree surfaced fixture package %s", pkg.Path)
+		}
+		if pkg.Path == "banscore/internal/lint/loader" {
+			seenSelf = true
+		}
+	}
+	if !seenSelf {
+		t.Error("LoadTree missed banscore/internal/lint/loader")
+	}
+}

@@ -1,0 +1,69 @@
+// Package runner executes a set of analyzers over loaded packages and
+// applies the //lint:allow suppression pass. It is the shared core of the
+// cmd/banlint standalone driver, the go vet -vettool mode, and the
+// analysistest harness, so all three agree exactly on what a finding is.
+package runner
+
+import (
+	"fmt"
+
+	"banscore/internal/lint/analysis"
+	"banscore/internal/lint/loader"
+)
+
+// RunPackage applies every analyzer to pkg and returns the surviving
+// diagnostics: analyzer findings not waived by a well-formed //lint:allow
+// directive, plus one diagnostic per malformed directive. The result is
+// sorted by position.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			PkgName:  pkg.Name,
+			PkgPath:  pkg.Path,
+			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sup, directiveDiags := analysis.ParseDirectives(pkg.Fset, pkg.Files)
+	diags = sup.Filter(pkg.Fset, diags)
+	diags = append(diags, directiveDiags...)
+	analysis.SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// Finding is one diagnostic rendered against its file set — the
+// position-resolved form drivers print and serialize.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Resolve renders diagnostics into findings.
+func Resolve(pkg *loader.Package, diags []analysis.Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		out = append(out, Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// String formats a finding the way go vet does.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+}

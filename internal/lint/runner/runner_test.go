@@ -1,0 +1,92 @@
+package runner
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"banscore/internal/lint/analysis"
+	"banscore/internal/lint/loader"
+)
+
+// writeFixture materializes a one-file package and loads it.
+func writeFixture(t *testing.T, src string) *loader.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// callFlagger reports every call expression — a minimal analyzer that
+// gives the pipeline something to suppress.
+var callFlagger = &analysis.Analyzer{
+	Name: "callflag",
+	Doc:  "flag every call (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call site")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunPackagePipeline(t *testing.T) {
+	src := `package p
+
+func f() {
+	g() //lint:allow callflag(first call is sanctioned here)
+	g()
+	g() //lint:allow callflag
+}
+`
+	pkg := writeFixture(t, src)
+	diags, err := RunPackage(pkg, []*analysis.Analyzer{callFlagger})
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	findings := Resolve(pkg, diags)
+	// Line 4 is waived; line 5 survives; line 6's malformed directive
+	// waives nothing, so both the finding and the directive report.
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer)
+	}
+	want := map[int][]string{5: {"callflag"}, 6: {"callflag", "lintdirective"}}
+	byLine := make(map[int][]string)
+	for _, f := range findings {
+		byLine[f.Line] = append(byLine[f.Line], f.Analyzer)
+	}
+	if len(byLine) != len(want) {
+		t.Fatalf("findings on lines %v, want lines 5 and 6; all: %v", byLine, got)
+	}
+	for line, analyzers := range want {
+		if len(byLine[line]) != len(analyzers) {
+			t.Errorf("line %d: got %v, want %v", line, byLine[line], analyzers)
+			continue
+		}
+		for i, a := range analyzers {
+			if byLine[line][i] != a {
+				t.Errorf("line %d[%d]: got %q, want %q", line, i, byLine[line][i], a)
+			}
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a.go", Line: 3, Column: 7, Analyzer: "wallclock", Message: "m"}
+	if got, want := f.String(), "a.go:3:7: wallclock: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,12 @@
+package node
+
+import (
+	"testing"
+
+	"banscore/internal/leakcheck"
+)
+
+// TestMain enforces the collect-side of the node's goroutine contract: the
+// gospawn analyzer proves every goroutine registers with the WaitGroup, and
+// this proves Stop actually reaps them all before the binary exits.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

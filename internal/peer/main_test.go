@@ -1,0 +1,12 @@
+package peer
+
+import (
+	"testing"
+
+	"banscore/internal/leakcheck"
+)
+
+// TestMain enforces the collect-side of the peer's goroutine contract:
+// read/write loops spawned via (*Peer).spawn must be reaped by Disconnect
+// plus WaitForShutdown by the time the tests finish.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -159,9 +159,19 @@ func New(conn net.Conn, inbound bool, cfg Config) *Peer {
 
 // Start launches the read and write loops.
 func (p *Peer) Start() {
-	p.wg.Add(2)
-	go p.readLoop()
-	go p.writeLoop()
+	p.spawn(p.readLoop)
+	p.spawn(p.writeLoop)
+}
+
+// spawn runs fn on a goroutine registered with the peer's WaitGroup
+// before it starts, so WaitForShutdown collects it. The banlint gospawn
+// analyzer restricts go statements in this package to this helper.
+func (p *Peer) spawn(fn func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fn()
+	}()
 }
 
 // ID returns the peer's connection identifier ([IP:Port]) — the object the
@@ -279,7 +289,6 @@ func (p *Peer) WaitForShutdown() { p.wg.Wait() }
 
 // readLoop decodes messages until the connection dies.
 func (p *Peer) readLoop() {
-	defer p.wg.Done()
 	defer p.Disconnect()
 	tr := p.cfg.Tracer
 	for {
@@ -344,7 +353,6 @@ func (p *Peer) readLoop() {
 
 // writeLoop drains the send queue.
 func (p *Peer) writeLoop() {
-	defer p.wg.Done()
 	defer p.Disconnect()
 	for {
 		select {

@@ -421,10 +421,10 @@ func (c *stalledConn) SetWriteDeadline(t time.Time) error {
 	return nil
 }
 
-func (c *stalledConn) SetReadDeadline(time.Time) error     { return nil }
-func (c *stalledConn) SetDeadline(t time.Time) error       { return c.SetWriteDeadline(t) }
-func (c *stalledConn) LocalAddr() net.Addr                 { return simnet.Addr("10.0.0.1:8333") }
-func (c *stalledConn) RemoteAddr() net.Addr                { return simnet.Addr("10.0.0.9:1") }
+func (c *stalledConn) SetReadDeadline(time.Time) error { return nil }
+func (c *stalledConn) SetDeadline(t time.Time) error   { return c.SetWriteDeadline(t) }
+func (c *stalledConn) LocalAddr() net.Addr             { return simnet.Addr("10.0.0.1:8333") }
+func (c *stalledConn) RemoteAddr() net.Addr            { return simnet.Addr("10.0.0.9:1") }
 
 // TestWriteLoopTimesOutOnStalledReader is the regression test for the
 // writeLoop hang: a remote that stops reading used to wedge the write

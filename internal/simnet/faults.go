@@ -188,7 +188,7 @@ func (c *Conn) writeFaulty(p []byte) (int, error) {
 	}
 	data := make([]byte, len(p))
 	copy(data, p)
-	fs.q = append(fs.q, delayedWrite{data: data, due: time.Now().Add(delay)})
+	fs.q = append(fs.q, delayedWrite{data: data, due: clk.Now().Add(delay)})
 	if !fs.started {
 		fs.started = true
 		go c.deliveryLoop(fs)
@@ -217,8 +217,8 @@ func (c *Conn) deliveryLoop(fs *faultState) {
 		fs.cond.Broadcast() // room for blocked producers
 		fs.mu.Unlock()
 
-		if d := time.Until(dw.due); d > 0 {
-			time.Sleep(d)
+		if d := clk.Until(dw.due); d > 0 {
+			clk.Sleep(d)
 		}
 		if _, err := c.send.write(dw.data); err != nil {
 			fs.closeState()
@@ -371,7 +371,7 @@ func (n *Network) checkDialFaults(from, to Addr) (c2s, s2c *FaultPlan, err error
 				delay = DefaultBlackholeDelay
 			}
 			n.mu.Unlock()
-			time.Sleep(delay)
+			clk.Sleep(delay)
 			n.faultDialsFailed.Add(1)
 			return nil, nil, fmt.Errorf("dial %s -> %s: %w", from, to, ErrDialTimeout), false
 		}

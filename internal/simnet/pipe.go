@@ -82,11 +82,11 @@ func (h *pipeHalf) write(p []byte) (int, error) {
 		}
 		wdl := h.wdl
 		if !wdl.IsZero() {
-			now := time.Now()
+			now := clk.Now()
 			if !now.Before(wdl) {
 				return 0, ErrDeadlineExceeded
 			}
-			timer := time.AfterFunc(wdl.Sub(now), h.cond.Broadcast)
+			timer := clk.AfterFunc(wdl.Sub(now), h.cond.Broadcast)
 			h.cond.Wait()
 			timer.Stop()
 			continue
@@ -126,12 +126,12 @@ func (h *pipeHalf) read(p []byte) (int, error) {
 		}
 		rdl := h.rdl
 		if !rdl.IsZero() {
-			now := time.Now()
+			now := clk.Now()
 			if !now.Before(rdl) {
 				return 0, ErrDeadlineExceeded
 			}
 			// Arrange a wake-up at the deadline.
-			timer := time.AfterFunc(rdl.Sub(now), h.cond.Broadcast)
+			timer := clk.AfterFunc(rdl.Sub(now), h.cond.Broadcast)
 			h.cond.Wait()
 			timer.Stop()
 			continue
@@ -223,13 +223,13 @@ func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
 func (c *Conn) Write(p []byte) (int, error) {
 	if t := c.network.tracer.Load(); t != nil {
 		if ctx := t.Sample(); ctx != nil {
-			start := time.Now()
+			start := clk.Now()
 			n, err := c.write(p)
 			ctx.Add(trace.Span{
 				Stage: trace.StageConnWrite,
 				Peer:  string(c.remote),
 				Note:  fmt.Sprintf("from=%s bytes=%d", c.local, n),
-				Start: start, Duration: time.Since(start),
+				Start: start, Duration: clk.Since(start),
 			})
 			return n, err
 		}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -102,7 +103,7 @@ func (msg *MsgVersion) BtcDecode(r io.Reader, _ uint32) error {
 	msg.LastBlock = int32(lastBlock)
 	// Relay flag is optional trailing data.
 	relay, err := readBool(r)
-	if err == io.EOF || err == io.ErrUnexpectedEOF {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return nil
 	}
 	if err != nil {
