@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace chaos chaos-short
+.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace bench-gate bench-baseline test-poolpoison chaos chaos-short
 
-check: vet lint build race bench-telemetry bench-trace
+check: vet lint build race test-poolpoison bench-telemetry bench-trace
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +27,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# The wire buffer-pool suite again with poisoned releases: freed buffers
+# are overwritten with 0xdb, so any retained alias of a Released payload
+# fails loudly instead of reading recycled bytes.
+test-poolpoison:
+	$(GO) test -tags poolpoison -count=1 ./internal/wire/
 
 bench-telemetry:
 	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 1x ./...
@@ -38,6 +44,24 @@ bench-trace:
 # Full benchmark sweep (tables, figures, ablations). Slow; not part of check.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Benchmark-regression gate. The gated families are the hot paths with
+# committed baselines in BENCH_baseline.json: telemetry instrumentation,
+# trace dispatch, the sharded ban-score engine, ban-list reads, and the
+# pooled wire codec. Fixed iteration counts keep run-to-run variance down;
+# cmd/benchdiff fails the build past its tolerance, and any allocation on
+# a zero-alloc baseline fails outright.
+BENCH_GATE_PATTERN = 'BenchmarkTelemetry|BenchmarkTraceDispatch|BenchmarkBanScore|BenchmarkBanList|BenchmarkWire'
+
+# -count=3: benchdiff keeps the per-metric minimum across repeats, which
+# filters scheduler noise far better than one long run on a busy machine.
+bench-gate:
+	$(GO) test -run xxx -bench $(BENCH_GATE_PATTERN) -benchtime 100000x -benchmem -count=3 -json ./... | $(GO) run ./cmd/benchdiff
+
+# Refresh the committed baseline (after an intentional perf change; run on
+# a quiet machine and commit the resulting BENCH_baseline.json).
+bench-baseline:
+	$(GO) test -run xxx -bench $(BENCH_GATE_PATTERN) -benchtime 100000x -benchmem -count=3 -json ./... | $(GO) run ./cmd/benchdiff -update
 
 # Chaos scenarios: a mining node + honest peers + an attacker under 30%
 # loss, injected resets, and a timed partition, always under the race

@@ -1,0 +1,310 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline and fails on performance regressions — the benchmark gate the
+// CI pipeline runs on every change.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem -json ./... | benchdiff -baseline BENCH_baseline.json
+//	go test -run xxx -bench . -benchmem -json ./... | benchdiff -update   # refresh the baseline
+//
+// Input is the `go test -json` event stream (raw `go test -bench` text is
+// also accepted). Benchmark names are normalized by stripping the
+// -GOMAXPROCS suffix, and repeated runs of the same benchmark keep the
+// minimum — the least-noisy estimate of the true cost.
+//
+// Comparison rules, per baseline entry found in the new results:
+//
+//   - ns/op fails above baseline*(1+tolerance)+slack. The absolute slack
+//     keeps single-digit-nanosecond benchmarks from flaking on scheduler
+//     jitter that a pure percentage would magnify.
+//   - allocs/op fails above baseline*(1+tolerance); a baseline of zero
+//     allocs fails on ANY allocation — zero-alloc paths are a hard
+//     invariant, not a statistic.
+//
+// Exit status: 0 in-bounds, 1 regression detected, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's aggregated measurement.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// baseline is the committed BENCH_baseline.json document.
+type baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string            `json:"note"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// testEvent is the subset of the `go test -json` event schema we read.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// normalizeName strips the -GOMAXPROCS suffix go appends to benchmark
+// names, so baselines recorded on one core count compare on another.
+func normalizeName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkWireRoundTrip/pooled-8   100000   517.7 ns/op   0 B/op   0 allocs/op
+//
+// It returns ok=false for any line that is not a benchmark result.
+func parseBenchLine(line string) (name string, r result, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", result{}, false
+	}
+	name = normalizeName(fields[0])
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", result{}, false
+	}
+	r.AllocsPerOp = -1
+	r.BytesPerOp = -1
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return name, r, seen
+}
+
+// parseStream reads benchmark results from r, accepting either the
+// `go test -json` event stream or raw benchmark text. Repeats keep the
+// per-metric minimum.
+//
+// In -json mode the test binary writes a benchmark's name and its
+// measurements as separate output events (the name is printed before the
+// benchmark runs, the numbers after), so a pending name is held per
+// package and joined with the measurement line that follows it.
+func parseStream(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	pending := map[string]string{}
+	record := func(name string, res result) {
+		if prev, dup := out[name]; dup {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp >= 0 && (res.AllocsPerOp < 0 || prev.AllocsPerOp < res.AllocsPerOp) {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+			if prev.BytesPerOp >= 0 && (res.BytesPerOp < 0 || prev.BytesPerOp < res.BytesPerOp) {
+				res.BytesPerOp = prev.BytesPerOp
+			}
+		}
+		out[name] = res
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		pkg := ""
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("bad -json event: %w", err)
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			pkg = ev.Package
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		trimmed := strings.TrimSpace(line)
+		if name, res, ok := parseBenchLine(trimmed); ok {
+			record(name, res)
+			delete(pending, pkg)
+			continue
+		}
+		if strings.HasPrefix(trimmed, "Benchmark") && len(strings.Fields(trimmed)) == 1 {
+			pending[pkg] = trimmed
+			continue
+		}
+		if p := pending[pkg]; p != "" {
+			if name, res, ok := parseBenchLine(p + "   " + trimmed); ok {
+				record(name, res)
+			}
+			delete(pending, pkg)
+		}
+	}
+	return out, sc.Err()
+}
+
+// regression describes one out-of-bounds comparison.
+type regression struct {
+	name, metric string
+	base, got    float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("REGRESSION %-55s %s: baseline %.4g, got %.4g (%+.1f%%)",
+		r.name, r.metric, r.base, r.got, 100*(r.got-r.base)/max(r.base, 1e-9))
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// compare checks got against base under the gate rules and returns every
+// regression plus the names of baseline benchmarks missing from got.
+func compare(base map[string]result, got map[string]result, tolerance, slackNs float64) (regs []regression, missing []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		g, ok := got[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if g.NsPerOp > b.NsPerOp*(1+tolerance)+slackNs {
+			regs = append(regs, regression{name: name, metric: "ns/op", base: b.NsPerOp, got: g.NsPerOp})
+		}
+		if b.AllocsPerOp >= 0 && g.AllocsPerOp >= 0 {
+			if b.AllocsPerOp == 0 && g.AllocsPerOp > 0 {
+				regs = append(regs, regression{name: name, metric: "allocs/op (zero-alloc invariant)", base: 0, got: g.AllocsPerOp})
+			} else if g.AllocsPerOp > b.AllocsPerOp*(1+tolerance) {
+				regs = append(regs, regression{name: name, metric: "allocs/op", base: b.AllocsPerOp, got: g.AllocsPerOp})
+			}
+		}
+	}
+	return regs, missing
+}
+
+func writeBaseline(path, note string, results map[string]result) error {
+	doc := baseline{Note: note, Benchmarks: results}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline file")
+	update := fs.Bool("update", false, "rewrite the baseline from the incoming results instead of comparing")
+	tolerance := fs.Float64("tolerance", 0.15, "relative regression tolerance")
+	slackNs := fs.Float64("slack-ns", 25, "absolute ns/op slack added on top of the tolerance")
+	input := fs.String("input", "-", "benchmark output to read ('-' = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseStream(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark results in input")
+		return 2
+	}
+
+	if *update {
+		note := "Regenerate with: make bench-baseline (compares run on the same class of machine)."
+		if err := writeBaseline(*baselinePath, note, got); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return 0
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v (run with -update to create it)\n", err)
+		return 2
+	}
+	var doc baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: parsing %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	regs, missing := compare(doc.Benchmarks, got, *tolerance, *slackNs)
+	for _, name := range missing {
+		fmt.Fprintf(stderr, "benchdiff: WARNING: baseline benchmark %s missing from results\n", name)
+	}
+	names := make([]string, 0, len(doc.Benchmarks))
+	for name := range doc.Benchmarks {
+		if _, ok := got[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, g := doc.Benchmarks[name], got[name]
+		fmt.Fprintf(stdout, "%-60s ns/op %9.4g -> %9.4g   allocs/op %4.4g -> %4.4g\n",
+			name, b.NsPerOp, g.NsPerOp, b.AllocsPerOp, g.AllocsPerOp)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(stderr, r)
+		}
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s) beyond %.0f%% tolerance\n", len(regs), *tolerance*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d benchmarks within %.0f%% of baseline\n", len(names), *tolerance*100)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":                 "BenchmarkFoo",
+		"BenchmarkFoo-64":                "BenchmarkFoo",
+		"BenchmarkFoo":                   "BenchmarkFoo",
+		"BenchmarkFoo/goroutines=64-8":   "BenchmarkFoo/goroutines=64",
+		"BenchmarkFoo/impl=single-mutex": "BenchmarkFoo/impl=single-mutex",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkWireRoundTrip/pooled-8   \t 100000\t       517.7 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok || name != "BenchmarkWireRoundTrip/pooled" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
+	}
+	if r.NsPerOp != 517.7 || r.AllocsPerOp != 0 || r.BytesPerOp != 0 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+
+	// Without -benchmem the allocs field must read as unknown, not zero.
+	_, r, ok = parseBenchLine("BenchmarkFoo-4 2000 812 ns/op")
+	if !ok || r.AllocsPerOp != -1 {
+		t.Fatalf("want allocs=-1 for benchmem-less line, got %+v ok=%v", r, ok)
+	}
+
+	for _, notBench := range []string{
+		"PASS",
+		"ok  \tbanscore/internal/wire\t0.6s",
+		"BenchmarkFoo", // name only: no measurement
+		"goos: linux",
+	} {
+		if _, _, ok := parseBenchLine(notBench); ok {
+			t.Errorf("parseBenchLine(%q) unexpectedly ok", notBench)
+		}
+	}
+}
+
+func TestParseStreamJSONAndRepeats(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"output","Output":"BenchmarkX-8   1000   200.0 ns/op   16 B/op   2 allocs/op\n"}`,
+		`{"Action":"output","Output":"BenchmarkX-8   1000   150.0 ns/op   16 B/op   1 allocs/op\n"}`,
+		`{"Action":"output","Output":"not a bench line\n"}`,
+		`{"Action":"run","Test":"TestY"}`,
+		`BenchmarkRaw-2   500   99.0 ns/op   0 B/op   0 allocs/op`,
+	}, "\n")
+	got, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d: %v", len(got), got)
+	}
+	x := got["BenchmarkX"]
+	if x.NsPerOp != 150.0 || x.AllocsPerOp != 1 {
+		t.Fatalf("repeats should keep minimum, got %+v", x)
+	}
+	if got["BenchmarkRaw"].NsPerOp != 99.0 {
+		t.Fatalf("raw line not parsed: %+v", got["BenchmarkRaw"])
+	}
+}
+
+// The -json stream emits a benchmark's name and its measurements as two
+// separate output events; interleaved packages must not cross wires.
+func TestParseStreamSplitEvents(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"output","Package":"a","Output":"BenchmarkSplit/sub=1-8   \t"}`,
+		`{"Action":"output","Package":"b","Output":"BenchmarkOther-8   \t"}`,
+		`{"Action":"output","Package":"a","Output":"  20000\t       321.0 ns/op\t       0 B/op\t       0 allocs/op\n"}`,
+		`{"Action":"output","Package":"b","Output":"  20000\t       55.0 ns/op\t       8 B/op\t       1 allocs/op\n"}`,
+		`{"Action":"output","Package":"a","Output":"PASS\n"}`,
+	}, "\n")
+	got, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkSplit/sub=1"].NsPerOp != 321.0 {
+		t.Fatalf("split events not joined: %v", got)
+	}
+	if r := got["BenchmarkOther"]; r.NsPerOp != 55.0 || r.AllocsPerOp != 1 {
+		t.Fatalf("interleaved package mixed up: %v", got)
+	}
+}
+
+func TestCompareRules(t *testing.T) {
+	base := map[string]result{
+		"BenchmarkFast":  {NsPerOp: 10, AllocsPerOp: 0},
+		"BenchmarkSlow":  {NsPerOp: 10000, AllocsPerOp: 4},
+		"BenchmarkGone":  {NsPerOp: 50, AllocsPerOp: 0},
+		"BenchmarkNoMem": {NsPerOp: 100, AllocsPerOp: -1},
+	}
+
+	// In-bounds: tiny benchmark jitter absorbed by the absolute slack,
+	// tolerance absorbs the rest.
+	got := map[string]result{
+		"BenchmarkFast":  {NsPerOp: 30, AllocsPerOp: 0},    // +200% but within 25ns slack
+		"BenchmarkSlow":  {NsPerOp: 11000, AllocsPerOp: 4}, // +10%
+		"BenchmarkNoMem": {NsPerOp: 100, AllocsPerOp: 3},   // baseline has no alloc data
+	}
+	regs, missing := compare(base, got, 0.15, 25)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("want BenchmarkGone missing, got %v", missing)
+	}
+
+	// Regressions: ns/op beyond tolerance+slack, allocs beyond tolerance,
+	// and any alloc on a zero-alloc baseline.
+	got = map[string]result{
+		"BenchmarkFast":  {NsPerOp: 12, AllocsPerOp: 1},     // zero-alloc invariant broken
+		"BenchmarkSlow":  {NsPerOp: 13000, AllocsPerOp: 10}, // both metrics out
+		"BenchmarkGone":  {NsPerOp: 50, AllocsPerOp: 0},
+		"BenchmarkNoMem": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	regs, _ = compare(base, got, 0.15, 25)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
+	}
+}
+
+func TestRunUpdateThenGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	bench := "BenchmarkX-8   1000   100.0 ns/op   0 B/op   0 allocs/op\n"
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-update"},
+		strings.NewReader(bench), &out, &errOut); code != 0 {
+		t.Fatalf("update exit %d: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same numbers: gate passes.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline},
+		strings.NewReader(bench), &out, &errOut); code != 0 {
+		t.Fatalf("gate exit %d: %s", code, errOut.String())
+	}
+
+	// Seeded regression: 60% slower and a new allocation — gate fails.
+	out.Reset()
+	errOut.Reset()
+	slow := "BenchmarkX-8   1000   160.0 ns/op   8 B/op   1 allocs/op\n"
+	if code := run([]string{"-baseline", baseline},
+		strings.NewReader(slow), &out, &errOut); code != 1 {
+		t.Fatalf("want exit 1 on regression, got %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION report: %s", errOut.String())
+	}
+
+	// Empty input is a usage error, not a pass.
+	if code := run([]string{"-baseline", baseline},
+		strings.NewReader("PASS\n"), &out, &errOut); code != 2 {
+		t.Fatalf("want exit 2 on empty input, got %d", code)
+	}
+}

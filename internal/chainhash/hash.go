@@ -125,5 +125,16 @@ func DoubleHashH(b []byte) Hash {
 	return Hash(sha256.Sum256(first[:]))
 }
 
+// Checksum4 returns the first four bytes of SHA-256(SHA-256(b)) — the wire
+// message checksum — without a heap allocation, unlike slicing DoubleHashB.
+// The framing hot path verifies one of these per inbound message.
+func Checksum4(b []byte) [4]byte {
+	first := sha256.Sum256(b)
+	second := sha256.Sum256(first[:])
+	var c [4]byte
+	copy(c[:], second[:4])
+	return c
+}
+
 // ZeroHash is the all-zero hash, used as the previous-block hash of genesis.
 var ZeroHash = Hash{}

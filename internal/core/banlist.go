@@ -48,9 +48,19 @@ const DefaultBanDuration = 24 * time.Hour
 
 // BanList is the banning filter: the set of banned connection identifiers
 // with their expiry times. It is safe for concurrent use.
+//
+// The set is sharded by identifier hash so concurrent peers (every inbound
+// accept and every dispatched message consults IsBanned) contend only when
+// they collide on a shard, and the per-shard lock is an RWMutex so the
+// read-mostly IsBanned fast path never serializes readers at all: the
+// write lock is taken only to ban, unban, or prune an expired entry.
 type BanList struct {
-	now func() time.Time
+	now    func() time.Time
+	mask   uint32
+	shards []banShard
+}
 
+type banShard struct {
 	mu     sync.RWMutex
 	banned map[PeerID]time.Time
 }
@@ -61,67 +71,103 @@ func NewBanList(clock func() time.Time) *BanList {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &BanList{now: clock, banned: make(map[PeerID]time.Time)}
+	n := pickShardCount()
+	b := &BanList{now: clock, mask: uint32(n - 1), shards: make([]banShard, n)}
+	for i := range b.shards {
+		b.shards[i].banned = make(map[PeerID]time.Time)
+	}
+	return b
+}
+
+// ShardCount returns how many independently locked shards back the list.
+func (b *BanList) ShardCount() int { return len(b.shards) }
+
+func (b *BanList) shard(id PeerID) *banShard {
+	return &b.shards[shardFor(id, b.mask)]
 }
 
 // Ban adds the identifier for the given duration.
 func (b *BanList) Ban(id PeerID, d time.Duration) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.banned[id] = b.now().Add(d)
+	until := b.now().Add(d)
+	s := b.shard(id)
+	s.mu.Lock()
+	s.banned[id] = until
+	s.mu.Unlock()
 }
 
 // IsBanned reports whether the identifier is currently banned, pruning it
-// if the ban has expired.
+// if the ban has expired. The common cases — not banned, or banned and
+// unexpired — touch only the shard's read lock; the write lock is taken
+// only to prune an expired entry.
 func (b *BanList) IsBanned(id PeerID) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	until, ok := b.banned[id]
-	if !ok {
+	s := b.shard(id)
+	s.mu.RLock()
+	until, ok := s.banned[id]
+	s.mu.RUnlock()
+	switch {
+	case !ok:
 		return false
+	case !b.now().After(until):
+		return true
 	}
-	if b.now().After(until) {
-		delete(b.banned, id)
-		return false
+	// Expired: escalate to the write lock to prune, re-checking under it —
+	// a concurrent re-ban may have refreshed the expiry between the locks.
+	s.mu.Lock()
+	cur, ok := s.banned[id]
+	expired := ok && b.now().After(cur)
+	if expired {
+		delete(s.banned, id)
 	}
-	return true
+	s.mu.Unlock()
+	return ok && !expired
 }
 
 // Unban removes the identifier.
 func (b *BanList) Unban(id PeerID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	delete(b.banned, id)
+	s := b.shard(id)
+	s.mu.Lock()
+	delete(s.banned, id)
+	s.mu.Unlock()
 }
 
-// Count returns the number of identifiers currently banned.
+// Count returns the number of identifiers currently banned, pruning
+// expired entries shard by shard.
 func (b *BanList) Count() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	now := b.now()
 	n := 0
-	for id, until := range b.banned {
-		if now.After(until) {
-			delete(b.banned, id)
-			continue
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		now := b.now()
+		for id, until := range s.banned {
+			if now.After(until) {
+				delete(s.banned, id)
+				continue
+			}
+			n++
 		}
-		n++
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// BannedIDs returns the currently banned identifiers, sorted.
+// BannedIDs returns the currently banned identifiers, sorted. The snapshot
+// is assembled shard by shard and merged, so it is consistent per shard but
+// not a single atomic cut across all shards — the same guarantee a single
+// mutex gave callers that ban concurrently with the scan.
 func (b *BanList) BannedIDs() []PeerID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	now := b.now()
-	out := make([]PeerID, 0, len(b.banned))
-	for id, until := range b.banned {
-		if now.After(until) {
-			delete(b.banned, id)
-			continue
+	var out []PeerID
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		now := b.now()
+		for id, until := range s.banned {
+			if now.After(until) {
+				delete(s.banned, id)
+				continue
+			}
+			out = append(out, id)
 		}
-		out = append(out, id)
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -131,18 +177,21 @@ func (b *BanList) BannedIDs() []PeerID {
 // banned — the metric of the paper's full-IP preemptive Defamation, which
 // needs all 16384 ephemeral ports of an address banned to fully block it.
 func (b *BanList) BannedPortCountForIP(ip net.IP) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	now := b.now()
 	n := 0
-	for id, until := range b.banned {
-		if now.After(until) {
-			delete(b.banned, id)
-			continue
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		now := b.now()
+		for id, until := range s.banned {
+			if now.After(until) {
+				delete(s.banned, id)
+				continue
+			}
+			if bIP := id.IP(); bIP != nil && bIP.Equal(ip) {
+				n++
+			}
 		}
-		if bIP := id.IP(); bIP != nil && bIP.Equal(ip) {
-			n++
-		}
+		s.mu.Unlock()
 	}
 	return n
 }

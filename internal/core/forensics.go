@@ -69,9 +69,31 @@ type Ledger struct {
 	maxPerPeer int
 }
 
+// chain holds one peer's records as a ring: it fills by appending until
+// maxPerPeer, then overwrites oldest-first in place. The ring matters on
+// the hot path — the misbehavior benchmark caught the previous
+// copy-to-trim scheme recopying the whole chain on every append once a
+// flooding peer's chain was full (~15 KB per scoring call).
 type chain struct {
 	records []BanRecord
+	head    int // index of the oldest record once the ring is full
 	seq     uint64
+}
+
+// last returns the most recently appended record.
+func (c *chain) last() BanRecord {
+	if c.head == 0 {
+		return c.records[len(c.records)-1]
+	}
+	return c.records[c.head-1]
+}
+
+// snapshot copies the chain out oldest-first.
+func (c *chain) snapshot() []BanRecord {
+	out := make([]BanRecord, 0, len(c.records))
+	out = append(out, c.records[c.head:]...)
+	out = append(out, c.records[:c.head]...)
+	return out
 }
 
 // NewLedger builds a ledger; non-positive bounds select the defaults.
@@ -111,11 +133,12 @@ func (l *Ledger) Append(rec BanRecord) {
 	}
 	c.seq++
 	rec.Seq = c.seq
-	c.records = append(c.records, rec)
-	if len(c.records) > l.maxPerPeer {
-		trim := len(c.records) - l.maxPerPeer
-		c.records = append(c.records[:0:0], c.records[trim:]...)
-		l.trimmed += uint64(trim)
+	if len(c.records) < l.maxPerPeer {
+		c.records = append(c.records, rec)
+	} else {
+		c.records[c.head] = rec
+		c.head = (c.head + 1) % len(c.records)
+		l.trimmed++
 	}
 	l.total++
 }
@@ -131,9 +154,7 @@ func (l *Ledger) Records(id PeerID) []BanRecord {
 	if !ok {
 		return nil
 	}
-	out := make([]BanRecord, len(c.records))
-	copy(out, c.records)
-	return out
+	return c.snapshot()
 }
 
 // Peers returns every peer with at least one record, ordered by first
@@ -231,7 +252,7 @@ func (l *Ledger) serveIndex(w http.ResponseWriter, isBanned func(PeerID) bool) {
 	}
 	for _, id := range l.order {
 		c := l.chains[id]
-		last := c.records[len(c.records)-1]
+		last := c.last()
 		resp.Peers = append(resp.Peers, ledgerSummary{
 			Peer:     id,
 			Records:  len(c.records),

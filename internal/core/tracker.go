@@ -128,27 +128,54 @@ type Result struct {
 // Tracker keeps per-peer ban scores and the ban list — the paper's
 // "misbehavior tracking". The state is node-local and never broadcast,
 // matching Fig. 2. Tracker is safe for concurrent use.
+//
+// Score state is sharded by identifier hash: every Misbehaving call locks
+// only the peer's shard, so concurrent peers on different shards never
+// contend — the property that lets the hot misbehavior path scale with
+// cores under BM-DoS-style concurrent floods. A given peer always maps to
+// the same shard, and its forensics record is appended under that shard's
+// lock, so the per-peer ledger chain stays linearized against the score it
+// reports. Whole-tracker views (TrackedPeers) merge per-shard snapshots.
 type Tracker struct {
 	cfg   Config
 	rules map[RuleID]int
 
+	mask   uint32
+	shards []trackerShard
+
+	banlist *BanList
+}
+
+type trackerShard struct {
 	mu     sync.Mutex
 	scores map[PeerID]int
 	good   map[PeerID]int
-
-	banlist *BanList
 }
 
 // NewTracker returns a Tracker for the given configuration.
 func NewTracker(cfg Config) *Tracker {
 	cfg.fillDefaults()
-	return &Tracker{
+	n := pickShardCount()
+	t := &Tracker{
 		cfg:     cfg,
 		rules:   RuleSet(cfg.Version),
-		scores:  make(map[PeerID]int),
-		good:    make(map[PeerID]int),
+		mask:    uint32(n - 1),
+		shards:  make([]trackerShard, n),
 		banlist: NewBanList(cfg.Clock),
 	}
+	for i := range t.shards {
+		t.shards[i].scores = make(map[PeerID]int)
+		t.shards[i].good = make(map[PeerID]int)
+	}
+	return t
+}
+
+// ShardCount returns how many independently locked shards back the score
+// state.
+func (t *Tracker) ShardCount() int { return len(t.shards) }
+
+func (t *Tracker) shard(id PeerID) *trackerShard {
+	return &t.shards[shardFor(id, t.mask)]
 }
 
 // Config returns the tracker's effective configuration.
@@ -200,12 +227,19 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 		}
 	}
 
-	t.mu.Lock()
-	t.scores[id] += score
-	total := t.scores[id]
-	t.mu.Unlock()
-
+	// Score update, ban decision, and the forensics append all happen under
+	// the peer's shard lock: the ledger chain for a peer is therefore
+	// linearized against its score (records appear in exactly the order the
+	// totals they carry were computed), and the score reset on ban cannot
+	// race a concurrent hit into resurrecting a stale total.
+	s := t.shard(id)
+	s.mu.Lock()
+	s.scores[id] += score
+	total := s.scores[id]
 	banned := t.cfg.Mode == ModeStandard && total >= t.cfg.BanThreshold
+	if banned {
+		delete(s.scores, id)
+	}
 	t.cfg.Forensics.Append(BanRecord{
 		At:      t.cfg.Clock(),
 		Peer:    id,
@@ -217,6 +251,8 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 		Command: mctx.Command,
 		TraceID: mctx.TraceID,
 	})
+	s.mu.Unlock()
+
 	if t.cfg.OnApplied != nil {
 		t.cfg.OnApplied(id, rule, score, total)
 	}
@@ -227,27 +263,26 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 			t.cfg.OnBan(id, total)
 		}
 		t.banlist.Ban(id, t.cfg.BanDuration)
-		t.mu.Lock()
-		delete(t.scores, id)
-		t.mu.Unlock()
 	}
 	return res
 }
 
 // Score returns the peer's current ban score.
 func (t *Tracker) Score(id PeerID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.scores[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scores[id]
 }
 
 // Forget drops the peer's score state (e.g. when it disconnects cleanly).
 // The ban list is unaffected.
 func (t *Tracker) Forget(id PeerID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.scores, id)
-	delete(t.good, id)
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.scores, id)
+	delete(s.good, id)
 }
 
 // IsBanned reports whether the identifier is currently banned.
@@ -256,30 +291,40 @@ func (t *Tracker) IsBanned(id PeerID) bool { return t.banlist.IsBanned(id) }
 // AddGood credits the peer's good score — the paper's good-score mechanism
 // increments by 1 for each valid BLOCK the peer delivers.
 func (t *Tracker) AddGood(id PeerID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.good[id]++
-	return t.good[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.good[id]++
+	return s.good[id]
 }
 
 // GoodScore returns the peer's accumulated good score.
 func (t *Tracker) GoodScore(id PeerID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.good[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.good[id]
 }
 
 // Reputation returns goodScore - banScore, the non-binary peer-health
 // ranking the paper suggests the retained scores could feed.
 func (t *Tracker) Reputation(id PeerID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.good[id] - t.scores[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.good[id] - s.scores[id]
 }
 
-// TrackedPeers returns how many peers currently hold a non-zero ban score.
+// TrackedPeers returns how many peers currently hold a non-zero ban score,
+// merging per-shard snapshots (consistent per shard, not one atomic cut —
+// the same guarantee callers had against concurrent scoring before).
 func (t *Tracker) TrackedPeers() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.scores)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.scores)
+		s.mu.Unlock()
+	}
+	return n
 }

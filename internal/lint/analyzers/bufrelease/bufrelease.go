@@ -1,0 +1,271 @@
+// Package bufrelease defines the banlint analyzer that enforces the wire
+// buffer-pool ownership contract.
+//
+// internal/wire hands out pooled payload buffers (*wire.Buf) from GetBuf,
+// EncodeMessage, and (*Codec).DecodeMessage. The pool's zero-alloc
+// steady state only holds if every acquired buffer flows back through
+// Release (or opts out via Detach); a dropped buffer is a silent leak that
+// degrades the flood path back to per-message allocation, and — worse —
+// a buffer that is released on one path but leaked on another hides
+// exactly the kind of ownership confusion the poolpoison build tag exists
+// to catch at runtime. This analyzer catches it at lint time: within a
+// function that acquires a pooled buffer, the binding must syntactically
+// reach a .Release() or .Detach() call, be returned to the caller, or be
+// handed onward (passed as a bare argument, stored, or sent) — anything
+// else, including binding the buffer to the blank identifier or dropping
+// the result expression, is a diagnostic. Transfers are trusted: the
+// analyzer is intra-function and purely syntactic, so passing the buffer
+// on moves the obligation to the receiver rather than discharging it
+// globally. A deliberate leak (none exist today) documents itself with
+// //lint:allow bufrelease(<reason>).
+package bufrelease
+
+import (
+	"go/ast"
+
+	"banscore/internal/lint/analysis"
+)
+
+// wirePath is the import path of the package whose buffer pool this
+// analyzer guards.
+const wirePath = "banscore/internal/wire"
+
+// producers maps the wire package's buffer-returning functions to the
+// index of the *Buf in their result tuple.
+var producers = map[string]int{
+	"GetBuf":        0,
+	"EncodeMessage": 0,
+}
+
+// decodeMethod is the Codec method producing a *Buf at result index 1.
+// It is matched by selector name alone: the framework has no type
+// information, and no other type in the tree declares a DecodeMessage.
+const decodeMethod = "DecodeMessage"
+
+// Analyzer is the bufrelease check.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufrelease",
+	Doc: "require pooled wire buffers to reach Release or Detach\n\n" +
+		"A *wire.Buf obtained from GetBuf, EncodeMessage, or DecodeMessage " +
+		"must, within the acquiring function, reach a Release or Detach " +
+		"call, a return statement, or an onward transfer (bare argument, " +
+		"store, or channel send). Discarding the buffer — binding it to _ " +
+		"or dropping the call's result — is always a diagnostic.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The wire package itself calls its producers unqualified; everyone
+	// else must import the package, and the file's import table tells us
+	// under what name.
+	inWire := pass.HasPathSegment("wire")
+	for _, file := range pass.Files {
+		wireName := analysis.ImportName(file, wirePath)
+		if wireName == "" && !inWire {
+			// No access to the pool from this file; DecodeMessage is a
+			// method so it can still appear, but only on a value of a
+			// type from the uninported package — impossible.
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, wireName, inWire)
+		}
+	}
+	return nil
+}
+
+// acquisition is one tracked buffer binding: the identifier the *Buf was
+// assigned to and the producer call that created it.
+type acquisition struct {
+	name string
+	pos  ast.Node
+	src  string
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, wireName string, inWire bool) {
+	var acquired []acquisition
+	satisfied := map[string]bool{}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A producer called for its side effects alone drops the
+			// buffer on the floor.
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if src, _, isProd := producerCall(call, wireName, inWire); isProd {
+					pass.Reportf(call.Pos(),
+						"result of %s discarded in %s; the pooled buffer can never be Released",
+						src, fn.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			recordAcquisitions(pass, fn, n, wireName, inWire, &acquired)
+			// Re-assigning the buffer onward (p.pending = buf) is a
+			// transfer; the destination inherits the obligation.
+			for _, rhs := range n.Rhs {
+				if id, ok := bareIdent(rhs); ok {
+					satisfied[id] = true
+				}
+			}
+		case *ast.ValueSpec:
+			recordSpecAcquisitions(pass, fn, n, wireName, inWire, &acquired)
+		case *ast.CallExpr:
+			// name.Release() / name.Detach() discharge the obligation;
+			// a bare identifier (or its address) in argument position
+			// transfers it to the callee.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Release" || sel.Sel.Name == "Detach" {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						satisfied[id.Name] = true
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				if id, ok := bareIdent(arg); ok {
+					satisfied[id] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			// Returning the buffer hands ownership to the caller.
+			for _, res := range n.Results {
+				if id, ok := bareIdent(res); ok {
+					satisfied[id] = true
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := bareIdent(n.Value); ok {
+				satisfied[id] = true
+			}
+		case *ast.CompositeLit:
+			// Storing the buffer in a struct or slice keeps it reachable;
+			// the holder inherits the release obligation.
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if id, ok := bareIdent(v); ok {
+					satisfied[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, acq := range acquired {
+		if satisfied[acq.name] {
+			continue
+		}
+		pass.Reportf(acq.pos.Pos(),
+			"pooled buffer %s from %s never reaches Release or Detach in %s; release it on every path or hand it onward",
+			acq.name, acq.src, fn.Name.Name)
+	}
+}
+
+// recordAcquisitions inspects one assignment for producer calls on its
+// right-hand side, reporting blank-identifier discards immediately and
+// appending named bindings to acquired. Bindings to anything other than a
+// plain identifier (a struct field, a map slot) are transfers and tracked
+// by nobody.
+func recordAcquisitions(pass *analysis.Pass, fn *ast.FuncDecl, a *ast.AssignStmt, wireName string, inWire bool, acquired *[]acquisition) {
+	for i, rhs := range a.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		src, bufIdx, isProd := producerCall(call, wireName, inWire)
+		if !isProd {
+			continue
+		}
+		// Single multi-value call: the *Buf lands at its tuple index.
+		// Parallel single-value calls: position i on both sides.
+		lhsIdx := i
+		if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+			lhsIdx = bufIdx
+		}
+		if lhsIdx >= len(a.Lhs) {
+			continue
+		}
+		id, ok := a.Lhs[lhsIdx].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(),
+				"pooled buffer from %s bound to _ in %s; it can never be Released",
+				src, fn.Name.Name)
+			continue
+		}
+		*acquired = append(*acquired, acquisition{name: id.Name, pos: call, src: src})
+	}
+}
+
+// recordSpecAcquisitions is recordAcquisitions for `var b = GetBuf(n)`
+// declaration forms.
+func recordSpecAcquisitions(pass *analysis.Pass, fn *ast.FuncDecl, s *ast.ValueSpec, wireName string, inWire bool, acquired *[]acquisition) {
+	for i, v := range s.Values {
+		call, ok := v.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		src, bufIdx, isProd := producerCall(call, wireName, inWire)
+		if !isProd {
+			continue
+		}
+		nameIdx := i
+		if len(s.Values) == 1 && len(s.Names) > 1 {
+			nameIdx = bufIdx
+		}
+		if nameIdx >= len(s.Names) {
+			continue
+		}
+		id := s.Names[nameIdx]
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(),
+				"pooled buffer from %s bound to _ in %s; it can never be Released",
+				src, fn.Name.Name)
+			continue
+		}
+		*acquired = append(*acquired, acquisition{name: id.Name, pos: call, src: src})
+	}
+}
+
+// producerCall reports whether call acquires a pooled buffer, returning a
+// human-readable source label and the index of the *Buf in the call's
+// result tuple.
+func producerCall(call *ast.CallExpr, wireName string, inWire bool) (src string, bufIdx int, ok bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if idx, isProd := producers[fun.Name]; isProd && (inWire || wireName == ".") {
+			return fun.Name, idx, true
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == decodeMethod {
+			return decodeMethod, 1, true
+		}
+		if idx, isProd := producers[fun.Sel.Name]; isProd {
+			if base, isIdent := fun.X.(*ast.Ident); isIdent && wireName != "" && base.Name == wireName {
+				return wireName + "." + fun.Sel.Name, idx, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// bareIdent unwraps a plain identifier (or its address) used as a value,
+// the forms the analyzer accepts as ownership transfers. Method calls on
+// the buffer (buf.Bytes(), buf.Len()) deliberately do not qualify: they
+// borrow, and borrowing discharges nothing.
+func bareIdent(e ast.Expr) (string, bool) {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+		return id.Name, true
+	}
+	return "", false
+}

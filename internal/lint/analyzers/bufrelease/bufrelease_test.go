@@ -1,0 +1,20 @@
+package bufrelease_test
+
+import (
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+	"banscore/internal/lint/analyzers/bufrelease"
+)
+
+// TestImportingPackage covers the cross-package view: producers reached
+// through an (aliased) wire import, plus the DecodeMessage method.
+func TestImportingPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/peer", bufrelease.Analyzer)
+}
+
+// TestWirePackage covers the in-package view: unqualified producer calls
+// inside a package whose path contains the "wire" segment.
+func TestWirePackage(t *testing.T) {
+	analysistest.Run(t, "testdata/wire", bufrelease.Analyzer)
+}

@@ -1,0 +1,111 @@
+// Package peer is a bufrelease fixture for the importing-package view:
+// producers are reached through the wire import (here aliased to w, to
+// prove resolution goes through the import table rather than the literal
+// name "wire").
+package peer
+
+import (
+	"io"
+
+	w "banscore/internal/wire"
+)
+
+type conn struct {
+	codec w.Codec
+	rw    io.ReadWriter
+}
+
+// released is the canonical happy path: encode, write, Release.
+func (c *conn) released(msg w.Message) error {
+	buf, err := w.EncodeMessage(msg, 1, 0)
+	if err != nil {
+		return err
+	}
+	_, err = c.rw.Write(buf.Bytes())
+	buf.Release()
+	return err
+}
+
+// deferred releases through defer; the selector is found at any depth.
+func (c *conn) deferred(msg w.Message) error {
+	buf, err := w.EncodeMessage(msg, 1, 0)
+	if err != nil {
+		return err
+	}
+	defer buf.Release()
+	_, err = c.rw.Write(buf.Bytes())
+	return err
+}
+
+// detached opts out of the pool; Detach discharges like Release.
+func (c *conn) detached(msg w.Message) ([]byte, error) {
+	buf, err := w.EncodeMessage(msg, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Detach(), nil
+}
+
+// returned hands ownership to the caller; the obligation moves with it.
+func (c *conn) returned(msg w.Message) (*w.Buf, error) {
+	buf, err := w.EncodeMessage(msg, 1, 0)
+	return buf, err
+}
+
+// transferred passes the buffer on as a bare argument.
+func (c *conn) transferred(msg w.Message, sink func(*w.Buf)) error {
+	buf, err := w.EncodeMessage(msg, 1, 0)
+	if err != nil {
+		return err
+	}
+	sink(buf)
+	return nil
+}
+
+// decodeReleased exercises the method producer: the *Buf is the second
+// result of DecodeMessage.
+func (c *conn) decodeReleased() (w.Message, error) {
+	msg, pbuf, err := c.codec.DecodeMessage(c.rw, 1, 0, nil)
+	pbuf.Release()
+	return msg, err
+}
+
+// leaked is the invariant violation: the encode buffer never reaches
+// Release, Detach, or a transfer. Borrowing via buf.Bytes() does not
+// discharge the obligation.
+func (c *conn) leaked(msg w.Message) error {
+	buf, err := w.EncodeMessage(msg, 1, 0) // want `pooled buffer buf from w.EncodeMessage never reaches Release or Detach in leaked`
+	if err != nil {
+		return err
+	}
+	_, err = c.rw.Write(buf.Bytes())
+	return err
+}
+
+// discarded binds the decode buffer to the blank identifier, which can
+// never be released.
+func (c *conn) discarded() (w.Message, error) {
+	msg, _, err := c.codec.DecodeMessage(c.rw, 1, 0, nil) // want `pooled buffer from DecodeMessage bound to _ in discarded`
+	return msg, err
+}
+
+// dropped calls a producer as a statement, throwing the result away.
+func (c *conn) dropped(msg w.Message) {
+	w.EncodeMessage(msg, 1, 0) // want `result of w.EncodeMessage discarded in dropped`
+}
+
+// suppressed proves a waiver covers exactly its target line.
+func (c *conn) suppressed(msg w.Message) {
+	//lint:allow bufrelease(fixture: deliberate leak to exercise the waiver path)
+	w.EncodeMessage(msg, 1, 0)
+	w.EncodeMessage(msg, 1, 0) // want `result of w.EncodeMessage discarded in suppressed`
+}
+
+// stored stashes the buffer in a composite literal; the holder inherits
+// the obligation, so no diagnostic here.
+type held struct{ b *w.Buf }
+
+func (c *conn) stored(msg w.Message) held {
+	buf, _ := w.EncodeMessage(msg, 1, 0)
+	return held{b: buf}
+}

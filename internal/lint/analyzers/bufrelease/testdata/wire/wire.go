@@ -1,0 +1,68 @@
+// Package wire is a bufrelease fixture for the in-package view: the
+// directory segment "wire" puts unqualified GetBuf/EncodeMessage calls in
+// the producer set without any import resolution.
+package wire
+
+type Buf struct{ b []byte }
+
+func (b *Buf) Bytes() []byte  { return b.b }
+func (b *Buf) Release()       {}
+func (b *Buf) Detach() []byte { return b.b }
+
+func GetBuf(n int) *Buf { return &Buf{b: make([]byte, n)} }
+
+// released is the happy path: acquire, use, Release.
+func released(n int) int {
+	b := GetBuf(n)
+	m := len(b.Bytes())
+	b.Release()
+	return m
+}
+
+// detachedVar uses the var-declaration binding form.
+func detachedVar(n int) []byte {
+	var b = GetBuf(n)
+	return b.Detach()
+}
+
+// sent hands the buffer to a channel; the receiver inherits the
+// obligation.
+func sent(n int, ch chan *Buf) {
+	b := GetBuf(n)
+	ch <- b
+}
+
+// reassigned stores the buffer onward through an assignment.
+type holder struct{ pending *Buf }
+
+func (h *holder) reassigned(n int) {
+	b := GetBuf(n)
+	h.pending = b
+}
+
+// leaked acquires and never releases: the diagnostic names the
+// unqualified producer.
+func leaked(n int) int {
+	b := GetBuf(n) // want `pooled buffer b from GetBuf never reaches Release or Detach in leaked`
+	return len(b.Bytes())
+}
+
+// discardedVar binds to _ in a declaration.
+func discardedVar(n int) {
+	var _ = GetBuf(n) // want `pooled buffer from GetBuf bound to _ in discardedVar`
+}
+
+// dropped throws the result away entirely.
+func dropped(n int) {
+	GetBuf(n) // want `result of GetBuf discarded in dropped`
+}
+
+// closureReleased proves uses inside function literals count: acquire in
+// the outer body, Release in a deferred closure.
+func closureReleased(n int) []byte {
+	b := GetBuf(n)
+	defer func() { b.Release() }()
+	out := make([]byte, len(b.Bytes()))
+	copy(out, b.Bytes())
+	return out
+}

@@ -13,10 +13,13 @@
 //	metriclabel  metric names and label keys are compile-time constants
 //	gospawn      go statements in node/peer route through the supervised
 //	             spawn helpers
+//	bufrelease   pooled wire buffers (GetBuf, EncodeMessage,
+//	             DecodeMessage) reach Release/Detach or are handed onward
 package banlint
 
 import (
 	"banscore/internal/lint/analysis"
+	"banscore/internal/lint/analyzers/bufrelease"
 	"banscore/internal/lint/analyzers/errsentinel"
 	"banscore/internal/lint/analyzers/gospawn"
 	"banscore/internal/lint/analyzers/lockhold"
@@ -27,6 +30,7 @@ import (
 // Analyzers returns the full banlint suite, sorted by name.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		bufrelease.Analyzer,
 		errsentinel.Analyzer,
 		gospawn.Analyzer,
 		lockhold.Analyzer,

@@ -114,6 +114,10 @@ func newNodeMetrics(n *Node, reg *telemetry.Registry, journal *telemetry.Journal
 	reg.GaugeFunc("core_tracked_peers", func() float64 {
 		return float64(n.tracker.TrackedPeers())
 	})
+	reg.Describe("core_tracker_shards", "Lock shards in the ban-score tracker (fixed at startup).")
+	reg.GaugeFunc("core_tracker_shards", func() float64 {
+		return float64(n.tracker.ShardCount())
+	})
 
 	// Peer traffic totals: live connections summed at scrape time plus
 	// the retired remainder.

@@ -119,6 +119,15 @@ type Peer struct {
 	// goroutines than the read loop.
 	traceCtx atomic.Pointer[trace.Ctx]
 
+	// codec owns the per-connection decode state (header scratch, payload
+	// reader), and pick returns reusable decode targets for commands whose
+	// handlers never retain the message — only ping/pong, the flood shape.
+	// Both are used exclusively from the read loop.
+	codec     wire.Codec
+	pick      func(cmd string) wire.Message
+	reusePing wire.MsgPing
+	reusePong wire.MsgPong
+
 	sendQueue chan queued
 	quit      chan struct{}
 	quitOnce  sync.Once
@@ -147,7 +156,7 @@ func New(conn net.Conn, inbound bool, cfg Config) *Peer {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
 	}
-	return &Peer{
+	p := &Peer{
 		cfg:       cfg,
 		conn:      conn,
 		inbound:   inbound,
@@ -155,6 +164,19 @@ func New(conn net.Conn, inbound bool, cfg Config) *Peer {
 		sendQueue: make(chan queued, sendQueueSize),
 		quit:      make(chan struct{}),
 	}
+	// Built once so the read loop does not allocate a method-value closure
+	// per message. Only ping/pong are safe to reuse: every other handler
+	// (VERSION capture, block relay) may retain its message past dispatch.
+	p.pick = func(cmd string) wire.Message {
+		switch cmd {
+		case wire.CmdPing:
+			return &p.reusePing
+		case wire.CmdPong:
+			return &p.reusePong
+		}
+		return nil
+	}
+	return p
 }
 
 // Start launches the read and write loops.
@@ -307,8 +329,13 @@ func (p *Peer) readLoop() {
 		if tr.Armed() {
 			decodeStart = time.Now()
 		}
-		msg, payload, err := wire.ReadMessage(p.conn, p.cfg.ProtocolVersion, p.cfg.Net)
+		msg, pbuf, err := p.codec.DecodeMessage(p.conn, p.cfg.ProtocolVersion, p.cfg.Net, p.pick)
 		if err != nil {
+			// A non-nil buffer with an error marks a payload-decode
+			// failure (the payload was fully read but did not parse);
+			// release it before classifying.
+			decodeFailed := pbuf != nil && !errors.Is(err, io.EOF)
+			pbuf.Release()
 			switch {
 			case errors.Is(err, wire.ErrChecksumMismatch):
 				// Dropped pre-application, connection continues,
@@ -322,7 +349,7 @@ func (p *Peer) readLoop() {
 				// Unknown commands are ignored, also score-free.
 				p.bytesReceived.Add(uint64(wire.MessageHeaderSize))
 				continue
-			case isMessageError(err) || isDecodeError(err, payload):
+			case isMessageError(err) || decodeFailed:
 				if p.cfg.OnMalformed != nil {
 					p.cfg.OnMalformed(p, err)
 				}
@@ -332,7 +359,8 @@ func (p *Peer) readLoop() {
 				return
 			}
 		}
-		p.bytesReceived.Add(uint64(wire.MessageHeaderSize + len(payload)))
+		rawLen := pbuf.Len()
+		p.bytesReceived.Add(uint64(wire.MessageHeaderSize + rawLen))
 		p.messagesReceived.Add(1)
 		if p.cfg.OnMessage != nil {
 			if !decodeStart.IsZero() {
@@ -341,13 +369,15 @@ func (p *Peer) readLoop() {
 					// Publish the trace for the dispatch below it:
 					// the node's handle/misbehave spans join it.
 					p.traceCtx.Store(ctx)
-					p.cfg.OnMessage(p, msg, len(payload))
+					p.cfg.OnMessage(p, msg, rawLen)
 					p.traceCtx.Store(nil)
+					pbuf.Release()
 					continue
 				}
 			}
-			p.cfg.OnMessage(p, msg, len(payload))
+			p.cfg.OnMessage(p, msg, rawLen)
 		}
+		pbuf.Release()
 	}
 }
 
@@ -369,7 +399,12 @@ func (p *Peer) writeLoop() {
 				encodeStart = time.Now()
 				q.ctx.Record(trace.StageSendQueue, string(p.id), q.msg.Command(), q.at, encodeStart.Sub(q.at))
 			}
-			n, err := wire.WriteMessage(p.conn, q.msg, p.cfg.ProtocolVersion, p.cfg.Net)
+			buf, err := wire.EncodeMessage(q.msg, p.cfg.ProtocolVersion, p.cfg.Net)
+			if err != nil {
+				return
+			}
+			n, err := p.conn.Write(buf.Bytes())
+			buf.Release()
 			p.bytesSent.Add(uint64(n))
 			if err != nil {
 				if isTimeout(err) && p.cfg.OnWriteTimeout != nil {
@@ -402,10 +437,4 @@ func isUnknownCommand(err error) bool {
 func isMessageError(err error) bool {
 	var mErr *wire.MessageError
 	return errors.As(err, &mErr)
-}
-
-// isDecodeError distinguishes a payload-decode failure (payload was read but
-// did not parse) from a transport error.
-func isDecodeError(err error, payload []byte) bool {
-	return payload != nil && !errors.Is(err, io.EOF)
 }

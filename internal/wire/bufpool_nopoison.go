@@ -1,0 +1,11 @@
+//go:build !poolpoison
+
+package wire
+
+// PoolPoisonEnabled reports whether released buffers are poisoned; see the
+// poolpoison build tag.
+const PoolPoisonEnabled = false
+
+// poison is a no-op in normal builds; build with -tags poolpoison to
+// overwrite released buffers and surface use-after-Release aliasing.
+func poison([]byte) {}

@@ -1,0 +1,18 @@
+//go:build poolpoison
+
+package wire
+
+// PoolPoisonEnabled reports whether released buffers are poisoned. Tests
+// assert on it so the poolpoison suite fails loudly when run without the
+// tag instead of silently passing.
+const PoolPoisonEnabled = true
+
+// poison overwrites a released buffer's full capacity with 0xdb so any
+// alias read after Release returns garbage deterministically instead of
+// whichever message recycled the buffer next.
+func poison(p []byte) {
+	p = p[:cap(p)]
+	for i := range p {
+		p[i] = 0xdb
+	}
+}

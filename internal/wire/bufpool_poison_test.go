@@ -1,0 +1,62 @@
+//go:build poolpoison
+
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPoisonOnRelease proves the use-after-Release tripwire: with the
+// poolpoison tag, Release overwrites the buffer's full capacity with 0xdb,
+// so any alias retained past Release reads poison instead of silently
+// reading whatever payload recycled the buffer next.
+func TestPoisonOnRelease(t *testing.T) {
+	if !PoolPoisonEnabled {
+		t.Fatal("poolpoison tag not active")
+	}
+	b := GetBuf(64)
+	copy(b.Bytes(), bytes.Repeat([]byte{0x11}, 64))
+	alias := b.Bytes()
+	b.Release()
+	for i, v := range alias {
+		if v != 0xdb {
+			t.Fatalf("alias[%d] = %#x after Release, want poison 0xdb", i, v)
+		}
+	}
+}
+
+// TestPoisonSparesDetached: Detach transfers ownership out of the pool, so
+// the detached slice must NOT be poisoned by the (no-op) Release.
+func TestPoisonSparesDetached(t *testing.T) {
+	b := GetBuf(16)
+	copy(b.Bytes(), "keep these bytes")
+	p := b.Detach()
+	b.Release()
+	if string(p) != "keep these bytes" {
+		t.Fatalf("detached slice poisoned: %q", p)
+	}
+}
+
+// TestDecodeReleaseDoesNotCorruptNextMessage round-trips two different
+// messages through one Codec under poisoning, proving the decode path
+// never hands out state that aliases a released payload.
+func TestDecodeReleaseDoesNotCorruptNextMessage(t *testing.T) {
+	var codec Codec
+	var frame bytes.Buffer
+	for i := uint64(1); i <= 8; i++ {
+		frame.Reset()
+		if _, err := WriteMessage(&frame, NewMsgPing(i), ProtocolVersion, MainNet); err != nil {
+			t.Fatal(err)
+		}
+		msg, buf, err := codec.DecodeMessage(bytes.NewReader(frame.Bytes()), ProtocolVersion, MainNet, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonce := msg.(*MsgPing).Nonce
+		buf.Release()
+		if nonce != i {
+			t.Fatalf("nonce %d after release, want %d (decoded state aliased the pooled payload)", nonce, i)
+		}
+	}
+}

@@ -9,10 +9,19 @@ import (
 	"banscore/internal/chainhash"
 )
 
-// binaryFreeList would be an optimization in a production relay; the
-// reproduction keeps plain stack buffers for clarity.
+// The integer helpers fast-path the repository's two concrete hot-path
+// endpoints — *payloadReader on decode, *Buf on encode — because a stack
+// buffer handed through the io.Reader/io.Writer interface escapes to the
+// heap, and these helpers run several times per message on the flood
+// path. The interface fallbacks keep every other reader/writer working.
 
 func readUint8(r io.Reader) (uint8, error) {
+	if pr, ok := r.(*payloadReader); ok {
+		if s, ok := pr.take(1); ok {
+			return s[0], nil
+		}
+		return 0, pr.eofErr()
+	}
 	var b [1]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -21,11 +30,23 @@ func readUint8(r io.Reader) (uint8, error) {
 }
 
 func writeUint8(w io.Writer, v uint8) error {
+	if b, ok := w.(*Buf); ok {
+		var s [1]byte
+		s[0] = v
+		_, _ = b.Write(s[:])
+		return nil
+	}
 	_, err := w.Write([]byte{v})
 	return err
 }
 
 func readUint16(r io.Reader) (uint16, error) {
+	if pr, ok := r.(*payloadReader); ok {
+		if s, ok := pr.take(2); ok {
+			return binary.LittleEndian.Uint16(s), nil
+		}
+		return 0, pr.eofErr()
+	}
 	var b [2]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -34,6 +55,12 @@ func readUint16(r io.Reader) (uint16, error) {
 }
 
 func writeUint16(w io.Writer, v uint16) error {
+	if b, ok := w.(*Buf); ok {
+		var s [2]byte
+		binary.LittleEndian.PutUint16(s[:], v)
+		_, _ = b.Write(s[:])
+		return nil
+	}
 	var b [2]byte
 	binary.LittleEndian.PutUint16(b[:], v)
 	_, err := w.Write(b[:])
@@ -56,6 +83,12 @@ func writeUint16BE(w io.Writer, v uint16) error {
 }
 
 func readUint32(r io.Reader) (uint32, error) {
+	if pr, ok := r.(*payloadReader); ok {
+		if s, ok := pr.take(4); ok {
+			return binary.LittleEndian.Uint32(s), nil
+		}
+		return 0, pr.eofErr()
+	}
 	var b [4]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -64,6 +97,12 @@ func readUint32(r io.Reader) (uint32, error) {
 }
 
 func writeUint32(w io.Writer, v uint32) error {
+	if b, ok := w.(*Buf); ok {
+		var s [4]byte
+		binary.LittleEndian.PutUint32(s[:], v)
+		_, _ = b.Write(s[:])
+		return nil
+	}
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	_, err := w.Write(b[:])
@@ -71,6 +110,12 @@ func writeUint32(w io.Writer, v uint32) error {
 }
 
 func readUint64(r io.Reader) (uint64, error) {
+	if pr, ok := r.(*payloadReader); ok {
+		if s, ok := pr.take(8); ok {
+			return binary.LittleEndian.Uint64(s), nil
+		}
+		return 0, pr.eofErr()
+	}
 	var b [8]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -79,6 +124,12 @@ func readUint64(r io.Reader) (uint64, error) {
 }
 
 func writeUint64(w io.Writer, v uint64) error {
+	if b, ok := w.(*Buf); ok {
+		var s [8]byte
+		binary.LittleEndian.PutUint64(s[:], v)
+		_, _ = b.Write(s[:])
+		return nil
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	_, err := w.Write(b[:])

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,26 @@ type Message interface {
 	BtcEncode(w io.Writer, pver uint32) error
 	Command() string
 	MaxPayloadLength(pver uint32) uint32
+}
+
+// commandNames interns the NUL-padded command field of every known message
+// so the steady-state header parse resolves commands with a map probe
+// instead of allocating a fresh string per message.
+var commandNames = map[[CommandSize]byte]string{}
+
+func init() {
+	for _, cmd := range []string{
+		CmdVersion, CmdVerAck, CmdAddr, CmdGetAddr, CmdInv, CmdGetData,
+		CmdNotFound, CmdGetBlocks, CmdGetHeaders, CmdHeaders, CmdTx,
+		CmdBlock, CmdMemPool, CmdPing, CmdPong, CmdReject, CmdFilterLoad,
+		CmdFilterAdd, CmdFilterClear, CmdMerkleBlock, CmdSendHeaders,
+		CmdFeeFilter, CmdSendCmpct, CmdCmpctBlock, CmdGetBlockTxn,
+		CmdBlockTxn,
+	} {
+		var k [CommandSize]byte
+		copy(k[:], cmd)
+		commandNames[k] = cmd
+	}
 }
 
 // makeEmptyMessage creates a zero message of the proper concrete type for the
@@ -112,96 +133,53 @@ type messageHeader struct {
 	checksum [4]byte
 }
 
-func readMessageHeader(r io.Reader) (*messageHeader, error) {
-	var headerBytes [MessageHeaderSize]byte
-	if _, err := io.ReadFull(r, headerBytes[:]); err != nil {
-		return nil, err
-	}
-	hr := bytes.NewReader(headerBytes[:])
-	hdr := messageHeader{}
-	magic, err := readUint32(hr)
-	if err != nil {
-		return nil, err
-	}
-	hdr.magic = BitcoinNet(magic)
-	var command [CommandSize]byte
-	if _, err := io.ReadFull(hr, command[:]); err != nil {
-		return nil, err
-	}
-	hdr.command = string(bytes.TrimRight(command[:], "\x00"))
-	if hdr.length, err = readUint32(hr); err != nil {
-		return nil, err
-	}
-	if _, err := io.ReadFull(hr, hdr.checksum[:]); err != nil {
-		return nil, err
-	}
-	return &hdr, nil
+// Codec decodes and encodes framed messages for one connection. It owns the
+// header scratch buffer and the payload reader that would otherwise escape
+// to the heap on every message, making the steady-state receive path
+// allocation-free. A Codec is not safe for concurrent use; each peer
+// connection embeds its own.
+type Codec struct {
+	hdr [MessageHeaderSize]byte
+	pr  payloadReader
 }
 
-// WriteMessage serializes msg with a full header to w for the given network.
-// It returns the total number of bytes written.
-func WriteMessage(w io.Writer, msg Message, pver uint32, net BitcoinNet) (int, error) {
-	command := msg.Command()
-	if len(command) > CommandSize {
-		return 0, messageError("WriteMessage", fmt.Sprintf("command %q too long", command))
-	}
-
-	var payload bytes.Buffer
-	if err := msg.BtcEncode(&payload, pver); err != nil {
-		return 0, err
-	}
-	body := payload.Bytes()
-	if len(body) > MaxMessagePayload {
-		return 0, messageError("WriteMessage",
-			fmt.Sprintf("payload %d exceeds max %d", len(body), MaxMessagePayload))
-	}
-	if maxLen := msg.MaxPayloadLength(pver); uint32(len(body)) > maxLen {
-		return 0, messageError("WriteMessage",
-			fmt.Sprintf("payload %d exceeds max for %q [%d]", len(body), command, maxLen))
-	}
-	return WriteRawMessage(w, command, body, net)
-}
-
-// WriteRawMessage frames an arbitrary payload under the given command with a
-// correct checksum. It is what both the node and the attacker use; attackers
-// forging *incorrect* checksums use WriteRawMessageChecksum directly.
-func WriteRawMessage(w io.Writer, command string, payload []byte, net BitcoinNet) (int, error) {
-	var checksum [4]byte
-	copy(checksum[:], chainhash.DoubleHashB(payload)[:4])
-	return WriteRawMessageChecksum(w, command, payload, net, checksum)
-}
-
-// WriteRawMessageChecksum frames a payload with a caller-supplied checksum,
-// allowing the deliberate corruption used by the paper's bogus-message attack
-// vector.
-func WriteRawMessageChecksum(w io.Writer, command string, payload []byte, net BitcoinNet, checksum [4]byte) (int, error) {
+// parseHeader decodes the fixed header out of the codec's scratch buffer.
+func (c *Codec) parseHeader() messageHeader {
+	var hdr messageHeader
+	hdr.magic = BitcoinNet(binary.LittleEndian.Uint32(c.hdr[0:4]))
 	var cmd [CommandSize]byte
-	copy(cmd[:], command)
-
-	header := bytes.NewBuffer(make([]byte, 0, MessageHeaderSize))
-	_ = writeUint32(header, uint32(net))
-	header.Write(cmd[:])
-	_ = writeUint32(header, uint32(len(payload)))
-	header.Write(checksum[:])
-
-	n, err := w.Write(header.Bytes())
-	if err != nil {
-		return n, err
+	copy(cmd[:], c.hdr[4:16])
+	if name, ok := commandNames[cmd]; ok {
+		hdr.command = name
+	} else {
+		hdr.command = string(bytes.TrimRight(cmd[:], "\x00"))
 	}
-	np, err := w.Write(payload)
-	return n + np, err
+	hdr.length = binary.LittleEndian.Uint32(c.hdr[16:20])
+	copy(hdr.checksum[:], c.hdr[20:24])
+	return hdr
 }
 
-// ReadMessage reads, validates, and decodes the next message from r.
-// On success it returns the message and its raw payload. The validation
-// order mirrors a real node: magic, command sanity, length, THEN checksum,
-// THEN payload decode — so checksum failures never reach message processing.
-func ReadMessage(r io.Reader, pver uint32, net BitcoinNet) (Message, []byte, error) {
-	hdr, err := readMessageHeader(r)
-	if err != nil {
+// DecodeMessage reads, validates, and decodes the next message from r.
+// On success it returns the message and its raw payload as a pooled buffer
+// the caller MUST Release (or Detach) exactly once. The validation order
+// mirrors a real node: magic, command sanity, length, THEN checksum, THEN
+// payload decode — so checksum failures never reach message processing.
+//
+// pick, when non-nil, is consulted before makeEmptyMessage and may return a
+// reusable decode target for the command (or nil to fall through). Only
+// messages the caller never retains past its handler — in practice the
+// ping/pong flood shape — are safe to reuse.
+//
+// A decode (BtcDecode) failure returns (nil, buf, err) with a non-nil
+// buffer so the caller can distinguish malformed-payload errors, which are
+// scored, from framing errors, which are not; the buffer must still be
+// released. All other failures return a nil buffer.
+func (c *Codec) DecodeMessage(r io.Reader, pver uint32, bnet BitcoinNet, pick func(command string) Message) (Message, *Buf, error) {
+	if _, err := io.ReadFull(r, c.hdr[:]); err != nil {
 		return nil, nil, err
 	}
-	if hdr.magic != net {
+	hdr := c.parseHeader()
+	if hdr.magic != bnet {
 		return nil, nil, messageError("ReadMessage",
 			fmt.Sprintf("message from other network [%v]", hdr.magic))
 	}
@@ -213,14 +191,21 @@ func ReadMessage(r io.Reader, pver uint32, net BitcoinNet) (Message, []byte, err
 			fmt.Sprintf("payload %d exceeds max %d", hdr.length, MaxMessagePayload))
 	}
 
-	msg, err := makeEmptyMessage(hdr.command)
-	if err != nil {
-		// Unknown command: drain the payload so the stream stays in sync,
-		// then report. The caller ignores these without scoring.
-		if _, cErr := io.CopyN(io.Discard, r, int64(hdr.length)); cErr != nil {
-			return nil, nil, cErr
+	var msg Message
+	if pick != nil {
+		msg = pick(hdr.command)
+	}
+	if msg == nil {
+		var err error
+		msg, err = makeEmptyMessage(hdr.command)
+		if err != nil {
+			// Unknown command: drain the payload so the stream stays in
+			// sync, then report. The caller ignores these without scoring.
+			if _, cErr := io.CopyN(io.Discard, r, int64(hdr.length)); cErr != nil {
+				return nil, nil, cErr
+			}
+			return nil, nil, err
 		}
-		return nil, nil, err
 	}
 	if maxLen := msg.MaxPayloadLength(pver); hdr.length > maxLen {
 		if _, cErr := io.CopyN(io.Discard, r, int64(hdr.length)); cErr != nil {
@@ -230,20 +215,105 @@ func ReadMessage(r io.Reader, pver uint32, net BitcoinNet) (Message, []byte, err
 			fmt.Sprintf("payload %d exceeds max for %q [%d]", hdr.length, hdr.command, maxLen))
 	}
 
-	payload := make([]byte, hdr.length)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	buf := GetBuf(int(hdr.length))
+	if _, err := io.ReadFull(r, buf.Bytes()); err != nil {
+		buf.Release()
 		return nil, nil, err
 	}
 
-	var checksum [4]byte
-	copy(checksum[:], chainhash.DoubleHashB(payload)[:4])
-	if checksum != hdr.checksum {
+	if checksum := chainhash.Checksum4(buf.Bytes()); checksum != hdr.checksum {
+		buf.Release()
 		return nil, nil, fmt.Errorf("command %q: %w (got %x, want %x)",
 			hdr.command, ErrChecksumMismatch, hdr.checksum, checksum)
 	}
 
-	if err := msg.BtcDecode(bytes.NewReader(payload), pver); err != nil {
-		return nil, payload, err
+	c.pr.reset(buf.Bytes())
+	if err := msg.BtcDecode(&c.pr, pver); err != nil {
+		return nil, buf, err
 	}
-	return msg, payload, nil
+	return msg, buf, nil
+}
+
+// ReadMessage reads, validates, and decodes the next message from r. It is
+// the Release-free compatibility form of Codec.DecodeMessage: the returned
+// payload is detached from the pool, so callers own it outright with no
+// further obligation. Hot paths should hold a Codec instead.
+func ReadMessage(r io.Reader, pver uint32, net BitcoinNet) (Message, []byte, error) {
+	var c Codec
+	msg, buf, err := c.DecodeMessage(r, pver, net, nil)
+	return msg, buf.Detach(), err
+}
+
+// EncodeMessage serializes msg with a full header into a pooled buffer for
+// the given network. The caller owns the returned buffer and MUST Release
+// (or Detach) it exactly once after writing it out.
+func EncodeMessage(msg Message, pver uint32, net BitcoinNet) (*Buf, error) {
+	command := msg.Command()
+	if len(command) > CommandSize {
+		return nil, messageError("WriteMessage", fmt.Sprintf("command %q too long", command))
+	}
+
+	buf := GetBuf(MessageHeaderSize)
+	if err := msg.BtcEncode(buf, pver); err != nil {
+		buf.Release()
+		return nil, err
+	}
+	body := buf.Bytes()[MessageHeaderSize:]
+	if len(body) > MaxMessagePayload {
+		buf.Release()
+		return nil, messageError("WriteMessage",
+			fmt.Sprintf("payload %d exceeds max %d", len(body), MaxMessagePayload))
+	}
+	if maxLen := msg.MaxPayloadLength(pver); uint32(len(body)) > maxLen {
+		buf.Release()
+		return nil, messageError("WriteMessage",
+			fmt.Sprintf("payload %d exceeds max for %q [%d]", len(body), command, maxLen))
+	}
+
+	frame := buf.Bytes()
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(net))
+	var cmd [CommandSize]byte
+	copy(cmd[:], command)
+	copy(frame[4:16], cmd[:])
+	binary.LittleEndian.PutUint32(frame[16:20], uint32(len(body)))
+	checksum := chainhash.Checksum4(body)
+	copy(frame[20:24], checksum[:])
+	return buf, nil
+}
+
+// WriteMessage serializes msg with a full header to w for the given network.
+// It returns the total number of bytes written.
+func WriteMessage(w io.Writer, msg Message, pver uint32, net BitcoinNet) (int, error) {
+	buf, err := EncodeMessage(msg, pver, net)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	buf.Release()
+	return n, err
+}
+
+// WriteRawMessage frames an arbitrary payload under the given command with a
+// correct checksum. It is what both the node and the attacker use; attackers
+// forging *incorrect* checksums use WriteRawMessageChecksum directly.
+func WriteRawMessage(w io.Writer, command string, payload []byte, net BitcoinNet) (int, error) {
+	return WriteRawMessageChecksum(w, command, payload, net, chainhash.Checksum4(payload))
+}
+
+// WriteRawMessageChecksum frames a payload with a caller-supplied checksum,
+// allowing the deliberate corruption used by the paper's bogus-message attack
+// vector.
+func WriteRawMessageChecksum(w io.Writer, command string, payload []byte, net BitcoinNet, checksum [4]byte) (int, error) {
+	var header [MessageHeaderSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(net))
+	copy(header[4:16], command)
+	binary.LittleEndian.PutUint32(header[16:20], uint32(len(payload)))
+	copy(header[20:24], checksum[:])
+
+	n, err := w.Write(header[:])
+	if err != nil {
+		return n, err
+	}
+	np, err := w.Write(payload)
+	return n + np, err
 }

@@ -1,0 +1,46 @@
+package wire
+
+import "io"
+
+// payloadReader is an allocation-free io.Reader over one decoded message
+// payload. The integer read helpers in common.go type-assert for it and
+// read directly from the backing slice, so steady-state payload decoding
+// performs no copies through stack buffers that would escape into the
+// heap via the io.Reader interface. One payloadReader lives in each Codec
+// and is reset per message; it is not safe for concurrent use.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (p *payloadReader) reset(b []byte) { p.b, p.off = b, 0 }
+
+// Read implements io.Reader for decode paths with no fast-path support.
+func (p *payloadReader) Read(out []byte) (int, error) {
+	if p.off >= len(p.b) {
+		return 0, io.EOF
+	}
+	n := copy(out, p.b[p.off:])
+	p.off += n
+	return n, nil
+}
+
+// take returns the next n bytes of the payload without copying, or false
+// when fewer than n remain.
+func (p *payloadReader) take(n int) ([]byte, bool) {
+	if len(p.b)-p.off < n {
+		return nil, false
+	}
+	s := p.b[p.off : p.off+n]
+	p.off += n
+	return s, true
+}
+
+// eofErr mirrors io.ReadFull's error contract for a failed take: io.EOF at
+// a clean payload boundary, io.ErrUnexpectedEOF mid-value.
+func (p *payloadReader) eofErr() error {
+	if p.off >= len(p.b) {
+		return io.EOF
+	}
+	return io.ErrUnexpectedEOF
+}
