@@ -51,7 +51,7 @@ bench:
 # pooled wire codec. Fixed iteration counts keep run-to-run variance down;
 # cmd/benchdiff fails the build past its tolerance, and any allocation on
 # a zero-alloc baseline fails outright.
-BENCH_GATE_PATTERN = 'BenchmarkTelemetry|BenchmarkTraceDispatch|BenchmarkBanScore|BenchmarkBanList|BenchmarkWire'
+BENCH_GATE_PATTERN = 'BenchmarkTelemetry|BenchmarkTraceDispatch|BenchmarkBanScore|BenchmarkBanList|BenchmarkWire|BenchmarkReputation|BenchmarkNetgroup'
 
 # -count=3: benchdiff keeps the per-metric minimum across repeats, which
 # filters scheduler noise far better than one long run on a busy machine.

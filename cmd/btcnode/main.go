@@ -7,7 +7,7 @@
 //
 //	btcnode -listen :8333 [-connect host:port,...] [-mode standard|infinity|disabled|goodscore]
 //	        [-core-version 0.20.0|0.21.0|0.22.0] [-stats 10s] [-telemetry 127.0.0.1:9333]
-//	        [-trace] [-trace-sample 64] [-pprof]
+//	        [-trace] [-trace-sample 64] [-pprof] [-reputation]
 //	        [-dial-timeout 10s] [-handshake-timeout 15s] [-write-timeout 30s]
 //	        [-reconnect-backoff 100ms] [-reconnect-max-backoff 5s]
 //
@@ -25,6 +25,14 @@
 // /debug/bans and /debug/bans/<peer>. With -pprof (requires -telemetry), the
 // endpoint additionally serves net/http/pprof at /debug/pprof/ and exports Go
 // runtime gauges (goroutines, heap, GC) in /metrics.
+//
+// With -reputation, the evidence-backed netgroup reputation engine layers
+// over the tracker: misbehavior decays over time, valid BLOCK/TX delivery
+// earns trust, and Sybil identities from one IPv4 /16 (IPv6 /32) draw down
+// a shared budget whose exhaustion bans the whole prefix. Engine state is
+// served at /debug/reputation and /debug/reputation/<peer> (requires
+// -telemetry for the endpoint; the engine itself runs without it). Pair
+// with -mode infinity to rely on the engine instead of per-identifier bans.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"banscore/internal/detect"
 	"banscore/internal/node"
 	"banscore/internal/peer"
+	"banscore/internal/reputation"
 	"banscore/internal/telemetry"
 	"banscore/internal/trace"
 )
@@ -62,6 +71,7 @@ func run() error {
 	traceOn := flag.Bool("trace", false, "enable message-lifecycle tracing + ban forensics at /debug/trace, /debug/bans (requires -telemetry)")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleN, "trace 1 in N messages (rounded up to a power of two; 1 traces everything)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof at /debug/pprof/ and Go runtime gauges in /metrics (requires -telemetry)")
+	reputationOn := flag.Bool("reputation", false, "layer the netgroup reputation engine over the tracker (state at /debug/reputation with -telemetry)")
 	dialTimeout := flag.Duration("dial-timeout", node.DefaultDialTimeout, "outbound dial deadline (negative disables)")
 	handshakeTimeout := flag.Duration("handshake-timeout", node.DefaultHandshakeTimeout, "VERSION/VERACK deadline before a slot is reclaimed (negative disables)")
 	writeTimeout := flag.Duration("write-timeout", peer.DefaultWriteTimeout, "per-message write deadline (negative disables)")
@@ -89,6 +99,11 @@ func run() error {
 		ReconnectBackoff:    *reconnectBackoff,
 		ReconnectMaxBackoff: *reconnectMaxBackoff,
 	}
+	var engine *reputation.Engine
+	if *reputationOn {
+		engine = reputation.New(reputation.Config{})
+		cfg.Reputation = engine
+	}
 
 	if (*traceOn || *pprofOn) && *telemetryAddr == "" {
 		return fmt.Errorf("-trace and -pprof require -telemetry")
@@ -105,6 +120,12 @@ func run() error {
 		cfg.Telemetry = reg
 		cfg.Journal = journal
 		telemetrySrv = telemetry.NewServer(reg, journal)
+		if engine != nil {
+			engine.Instrument(reg)
+			repHandler := engine.Handler()
+			telemetrySrv.Handle("/debug/reputation", repHandler)
+			telemetrySrv.Handle("/debug/reputation/", repHandler)
+		}
 		if *traceOn {
 			tracer = trace.New(trace.Config{SampleN: *traceSample})
 			tracer.Instrument(reg)
@@ -124,6 +145,9 @@ func run() error {
 			return fmt.Errorf("telemetry: %w", err)
 		}
 		fmt.Printf("telemetry at http://%s/metrics (also /healthz, /events)\n", addr)
+		if engine != nil {
+			fmt.Printf("reputation engine at http://%s/debug/reputation\n", addr)
+		}
 		if *traceOn {
 			fmt.Printf("tracing 1-in-%d at http://%s/debug/trace (export: /debug/trace/export, forensics: /debug/bans)\n", tracer.SampleN(), addr)
 		}

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures]
+//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures|reputation]
 //	            [-loss 0.1] [-latency 5ms] [-jitter 2ms] [-fault-seed 1]
 //	            [-trace-out trace.json] [-trace-sample 64] [-bans-out bans.json]
+//	            [-reputation-out reputation.json]
 //
 // The fault flags degrade the simulation fabric every experiment runs on —
 // probabilistic payload loss, one-way latency, and jitter, all deterministic
@@ -18,6 +19,11 @@
 // wire-to-ban timeline behind a Table II row or a Fig. 8 serial-identifier
 // sweep. -bans-out writes the forensic ban ledger (every rule application,
 // per attacker identity, in order) as JSON.
+//
+// -reputation-out runs the ban-score vs reputation-engine comparison
+// (Defamation + Sybil swarm under both defenses) and writes its rows —
+// time-to-ban, innocent-ban rate, identities needed to exhaust a netgroup —
+// as a JSON artifact, in addition to whatever -only selects.
 package main
 
 import (
@@ -41,7 +47,7 @@ func main() {
 
 func run() error {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures, reputation)")
 	loss := flag.Float64("loss", 0, "fabric payload drop probability in [0,1]")
 	latency := flag.Duration("latency", 0, "fabric one-way latency")
 	jitter := flag.Duration("jitter", 0, "fabric per-payload jitter bound")
@@ -49,6 +55,7 @@ func run() error {
 	traceOut := flag.String("trace-out", "", "write sampled lifecycle spans as Chrome trace-event JSON to this file")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleN, "trace 1 in N messages (rounded up to a power of two; 1 traces everything)")
 	bansOut := flag.String("bans-out", "", "write the forensic ban ledger as JSON to this file")
+	reputationOut := flag.String("reputation-out", "", "run the ban-score vs reputation comparison and write its table as JSON to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -99,6 +106,16 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s (peers=%d records=%d)\n", *bansOut, len(ledger.Peers()), ledger.Total())
+	}
+	if *reputationOut != "" && runErr == nil {
+		res, err := experiments.ReputationComparison(scale)
+		if err != nil {
+			return fmt.Errorf("reputation comparison: %w", err)
+		}
+		if err := writeReputationArtifact(*reputationOut, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (modes=%d swarm-netgroup=%s)\n", *reputationOut, len(res.Rows), res.SwarmNetgroup)
 	}
 	return runErr
 }
@@ -161,6 +178,12 @@ func dispatch(scale experiments.Scale, only string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+	case "reputation":
+		res, err := experiments.ReputationComparison(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
 	default:
 		return fmt.Errorf("unknown experiment %q", only)
 	}
@@ -179,6 +202,19 @@ func writeTraceArtifact(path string, t *trace.Tracer) error {
 		return fmt.Errorf("trace-out: %w", err)
 	}
 	return f.Close()
+}
+
+// writeReputationArtifact dumps the ban-score vs reputation comparison rows
+// as JSON.
+func writeReputationArtifact(path string, res experiments.ReputationComparisonResult) error {
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return fmt.Errorf("reputation-out: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("reputation-out: %w", err)
+	}
+	return nil
 }
 
 // writeBansArtifact dumps the forensic ledger, peer by peer, as JSON.

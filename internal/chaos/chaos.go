@@ -20,6 +20,7 @@ import (
 	"banscore/internal/detect"
 	"banscore/internal/miner"
 	"banscore/internal/node"
+	"banscore/internal/reputation"
 	"banscore/internal/simnet"
 	"banscore/internal/telemetry"
 	"banscore/internal/trace"
@@ -57,6 +58,11 @@ type Config struct {
 	// selects trace.DefaultSampleN. Chaos forensics tests set 1 so every
 	// message through the storm leaves spans.
 	TraceSampleN int
+
+	// Reputation, when non-nil, layers the netgroup reputation engine
+	// over the victim's tracker so storms can exercise admission gating
+	// and collective netgroup bans under fabric faults.
+	Reputation *reputation.Engine
 }
 
 func (c *Config) applyDefaults() {
@@ -156,6 +162,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Journal:             c.Journal,
 		Tracer:              c.Tracer,
 		Forensics:           c.Forensics,
+		Reputation:          cfg.Reputation,
 		IdleTimeout:         cfg.IdleTimeout,
 		HandshakeTimeout:    cfg.HandshakeTimeout,
 		DialTimeout:         cfg.DialTimeout,

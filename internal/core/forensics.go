@@ -40,6 +40,13 @@ type BanRecord struct {
 	// TraceID links to the message's lifecycle trace (0 when the message
 	// was not sampled or tracing was off).
 	TraceID uint64 `json:"trace_id,omitempty"`
+
+	// PayloadDigest is the offending payload's wire checksum (first 4
+	// bytes of double-SHA256, big-endian) and PayloadLen its size in
+	// bytes — the evidence that ties this record to the bytes on the
+	// wire. Zero when the hit did not originate from a decoded message.
+	PayloadDigest uint32 `json:"payload_digest,omitempty"`
+	PayloadLen    int    `json:"payload_len,omitempty"`
 }
 
 // Ledger retention bounds. Chains survive disconnects and bans on purpose —

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -137,6 +138,41 @@ func TestTrackerRecordsForensics(t *testing.T) {
 	tr2.Misbehaving("x:1", true, InvOversize)
 	if got := ledger.Records("x:1"); len(got) != 1 || got[0].Command != "" || got[0].TraceID != 0 {
 		t.Errorf("wrapper record: %+v", got)
+	}
+}
+
+func TestTrackerRecordsPayloadEvidence(t *testing.T) {
+	// The evidence chain: a context carrying the offending message's wire
+	// checksum and length must land verbatim in the ledger record, and the
+	// Result must report the rule's delta for reputation-layer charging.
+	ledger := NewLedger(0, 0)
+	tr := NewTracker(Config{Forensics: ledger})
+	id := PeerID("10.0.0.9:4747")
+	res := tr.MisbehavingCtx(id, true, AddrOversize, MisbehaviorContext{
+		Command:       "addr",
+		TraceID:       7,
+		PayloadDigest: 0xdeadbeef,
+		PayloadLen:    30012,
+	})
+	if !res.Applied || res.Delta != 20 {
+		t.Fatalf("result %+v, want applied with delta 20", res)
+	}
+	records := ledger.Records(id)
+	if len(records) != 1 {
+		t.Fatalf("ledger holds %d records, want 1", len(records))
+	}
+	r := records[0]
+	if r.PayloadDigest != 0xdeadbeef || r.PayloadLen != 30012 {
+		t.Fatalf("record evidence (%#x, %d), want (0xdeadbeef, 30012)", r.PayloadDigest, r.PayloadLen)
+	}
+	// Evidence-free hits keep the fields out of the JSON document.
+	tr.MisbehavingCtx("y:1", true, InvOversize, MisbehaviorContext{Command: "inv"})
+	doc, err := json.Marshal(ledger.Records("y:1")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(doc), "payload_digest") {
+		t.Fatalf("evidence-free record leaked digest field: %s", doc)
 	}
 }
 

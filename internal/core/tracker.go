@@ -121,6 +121,11 @@ type Result struct {
 	// Score is the peer's accumulated ban score after the call.
 	Score int
 
+	// Delta is the points this call added (the rule's Table I score).
+	// Layers above the tracker — the reputation engine's netgroup
+	// charge — consume it so they weight misbehavior identically.
+	Delta int
+
 	// Banned is true when this call pushed the peer over the threshold.
 	Banned bool
 }
@@ -147,7 +152,7 @@ type Tracker struct {
 }
 
 type trackerShard struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	scores map[PeerID]int
 	good   map[PeerID]int
 }
@@ -185,12 +190,23 @@ func (t *Tracker) Config() Config { return t.cfg }
 func (t *Tracker) BanList() *BanList { return t.banlist }
 
 // MisbehaviorContext carries the causal context of one Misbehaving call for
-// the forensics ledger: the wire command that triggered the rule and the
-// lifecycle trace the message was sampled into (0 when untraced). The zero
-// value is valid — the record is then rule/score only.
+// the forensics ledger: the wire command that triggered the rule, the
+// lifecycle trace the message was sampled into (0 when untraced), and the
+// offending message's payload evidence. The zero value is valid — the
+// record is then rule/score only.
 type MisbehaviorContext struct {
 	Command string
 	TraceID uint64
+
+	// PayloadDigest is the wire checksum (first 4 bytes of double-SHA256)
+	// of the offending message's payload — already computed during decode,
+	// so attaching it costs nothing on the hot path. Together with
+	// PayloadLen it lets an operator corroborate a ban against a packet
+	// capture: the forensics chain names not just the rule but the bytes.
+	PayloadDigest uint32
+
+	// PayloadLen is the offending payload's length in bytes.
+	PayloadLen int
 }
 
 // Misbehaving applies the Table I rule against the peer, mirroring
@@ -241,22 +257,24 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 		delete(s.scores, id)
 	}
 	t.cfg.Forensics.Append(BanRecord{
-		At:      t.cfg.Clock(),
-		Peer:    id,
-		RuleID:  rule,
-		Rule:    r.Name,
-		Delta:   score,
-		Score:   total,
-		Banned:  banned,
-		Command: mctx.Command,
-		TraceID: mctx.TraceID,
+		At:            t.cfg.Clock(),
+		Peer:          id,
+		RuleID:        rule,
+		Rule:          r.Name,
+		Delta:         score,
+		Score:         total,
+		Banned:        banned,
+		Command:       mctx.Command,
+		TraceID:       mctx.TraceID,
+		PayloadDigest: mctx.PayloadDigest,
+		PayloadLen:    mctx.PayloadLen,
 	})
 	s.mu.Unlock()
 
 	if t.cfg.OnApplied != nil {
 		t.cfg.OnApplied(id, rule, score, total)
 	}
-	res := Result{Applied: true, Score: total}
+	res := Result{Applied: true, Score: total, Delta: score}
 	if banned {
 		res.Banned = true
 		if t.cfg.OnBan != nil {
@@ -267,11 +285,13 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 	return res
 }
 
-// Score returns the peer's current ban score.
+// Score returns the peer's current ban score. Read-only: it takes the
+// shard read lock, matching the IsBanned fast path, so health scrapes and
+// eviction ranking never serialize against concurrent scoring.
 func (t *Tracker) Score(id PeerID) int {
 	s := t.shard(id)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.scores[id]
 }
 
@@ -298,20 +318,22 @@ func (t *Tracker) AddGood(id PeerID) int {
 	return s.good[id]
 }
 
-// GoodScore returns the peer's accumulated good score.
+// GoodScore returns the peer's accumulated good score. Read-only (RLock).
 func (t *Tracker) GoodScore(id PeerID) int {
 	s := t.shard(id)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.good[id]
 }
 
 // Reputation returns goodScore - banScore, the non-binary peer-health
-// ranking the paper suggests the retained scores could feed.
+// ranking the paper suggests the retained scores could feed. Read-only
+// (RLock): RankPeers calls this once per connected peer per eviction
+// decision, and must not stall the scoring write path.
 func (t *Tracker) Reputation(id PeerID) int {
 	s := t.shard(id)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.good[id] - s.scores[id]
 }
 
@@ -322,9 +344,9 @@ func (t *Tracker) TrackedPeers() int {
 	n := 0
 	for i := range t.shards {
 		s := &t.shards[i]
-		s.mu.Lock()
+		s.mu.RLock()
 		n += len(s.scores)
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }

@@ -20,6 +20,7 @@ import (
 	"banscore/internal/core"
 	"banscore/internal/node"
 	"banscore/internal/peer"
+	"banscore/internal/reputation"
 	"banscore/internal/simnet"
 	"banscore/internal/telemetry"
 	"banscore/internal/trace"
@@ -60,6 +61,11 @@ type Scale struct {
 	// SerialIdentifiers per Fig. 8 delay setting.
 	SerialIdentifiers int
 
+	// SwarmIdentities sizes the parallel-Sybil swarm of the reputation
+	// comparison: distinct identifiers drawn from one IPv4 /16, enough to
+	// exhaust a netgroup budget with headroom.
+	SwarmIdentities int
+
 	// Faults, when non-nil, is installed as the fabric-wide default fault
 	// plan of every testbed the experiments build, so any table or figure
 	// can be regenerated over a lossy, laggy, or resetting network. Nil
@@ -88,6 +94,7 @@ func QuickScale() Scale {
 		TrainHours:        35,
 		TestHours:         2,
 		SerialIdentifiers: 3,
+		SwarmIdentities:   60,
 	}
 }
 
@@ -101,6 +108,7 @@ func PaperScale() Scale {
 		TrainHours:        35,
 		TestHours:         12,
 		SerialIdentifiers: 10,
+		SwarmIdentities:   120,
 	}
 }
 
@@ -135,6 +143,12 @@ type TestbedConfig struct {
 	// node (see Scale.Tracer, Scale.Forensics); both may be nil.
 	Tracer    *trace.Tracer
 	Forensics *core.Ledger
+
+	// Reputation, when non-nil, layers the netgroup reputation engine over
+	// the victim's tracker (admission gating, evidence-weighted penalties,
+	// collective netgroup bans). Pair with Mode: ModeThresholdInfinity to
+	// study the engine as the sole countermeasure.
+	Reputation *reputation.Engine
 }
 
 // NewTestbed builds and starts the victim node on a fresh fabric.
@@ -156,6 +170,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		Journal:       cfg.Journal,
 		Tracer:        cfg.Tracer,
 		Forensics:     cfg.Forensics,
+		Reputation:    cfg.Reputation,
 		Dialer: func(remote string) (net.Conn, error) {
 			port := 40000 + tb.ports.Add(1)
 			return fabric.Dial(fmt.Sprintf("10.0.0.1:%d", port), remote)
@@ -284,5 +299,12 @@ func Suite(scale Scale) (string, error) {
 		return sb.String(), fmt.Errorf("countermeasures: %w", err)
 	}
 	sb.WriteString(cm.Render())
+	sb.WriteString("\n")
+
+	rep, err := ReputationComparison(scale)
+	if err != nil {
+		return sb.String(), fmt.Errorf("reputation: %w", err)
+	}
+	sb.WriteString(rep.Render())
 	return sb.String(), nil
 }

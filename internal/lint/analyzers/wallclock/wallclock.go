@@ -28,8 +28,10 @@ import (
 
 // DefaultScope lists the import-path segments of the determinism-critical
 // packages. vclock is deliberately in scope: its wall-clock calls exist,
-// but each must carry an explicit waiver.
-var DefaultScope = []string{"simnet", "experiments", "vclock"}
+// but each must carry an explicit waiver. reputation is in scope because
+// the engine's decay arithmetic must be a function of its injected clock —
+// an ambient time.Now would desynchronize identical schedules across runs.
+var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation"}
 
 // bannedTime is the set of time-package functions that read or schedule
 // against the ambient clock. Constructors of values (time.Date, time.Unix,
@@ -70,7 +72,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbid ambient time and global math/rand in determinism-critical packages\n\n" +
 		"Packages whose import path contains a scoped segment (default: simnet, " +
-		"experiments, vclock) must take time from an injected vclock.Clock and " +
+		"experiments, vclock, reputation) must take time from an injected vclock.Clock and " +
 		"randomness from an explicitly seeded rand.New; ambient clock reads and " +
 		"global-generator calls are reported.",
 	Run: run,

@@ -11,6 +11,7 @@ import (
 	"banscore/internal/core"
 	"banscore/internal/mempool"
 	"banscore/internal/peer"
+	"banscore/internal/reputation"
 	"banscore/internal/trace"
 	"banscore/internal/wire"
 )
@@ -192,15 +193,27 @@ func (n *Node) misbehave(p *peer.Peer, cmd string, rule core.RuleID) core.Result
 	if ctx != nil {
 		start = time.Now()
 	}
+	digest, payloadLen := p.LastEvidence()
 	res := n.tracker.MisbehavingCtx(p.ID(), p.Inbound(), rule, core.MisbehaviorContext{
-		Command: cmd,
-		TraceID: ctx.TraceID(),
+		Command:       cmd,
+		TraceID:       ctx.TraceID(),
+		PayloadDigest: digest,
+		PayloadLen:    payloadLen,
 	})
 	if ctx != nil {
 		ctx.Add(trace.Span{
 			Stage: trace.StageMisbehave, Peer: string(p.ID()), Cmd: cmd,
 			Rule: rule.String(), Start: start, Duration: time.Since(start),
 		})
+	}
+	// Mirror every applied hit into the reputation engine: the same
+	// Table I delta charges the peer's decaying misbehavior and its
+	// netgroup budget. A penalty that exhausts the budget tears down
+	// every connected member of the prefix.
+	if e := n.cfg.Reputation; e != nil && res.Applied {
+		if r := e.Penalize(p.ID(), res.Delta); r.GroupBanned {
+			n.disconnectNetgroup(e.GroupOf(p.ID()))
+		}
 	}
 	if res.Banned {
 		p.Disconnect()
@@ -403,6 +416,9 @@ func (n *Node) handleTx(p *peer.Peer, m *wire.MsgTx) {
 		return
 	}
 	n.txAccepted.Add(1)
+	if e := n.cfg.Reputation; e != nil {
+		e.Credit(p.ID(), reputation.CreditTx)
+	}
 	hash := m.TxHash()
 	n.relayInv(wire.InvTypeTx, &hash, p.ID())
 }
@@ -420,6 +436,9 @@ func (n *Node) handleBlock(p *peer.Peer, m *wire.MsgBlock, cmd string) {
 		n.blocksAccepted.Add(1)
 		// Good-score mechanism (§VIII): a valid BLOCK earns +1 credit.
 		n.tracker.AddGood(p.ID())
+		if e := n.cfg.Reputation; e != nil {
+			e.Credit(p.ID(), reputation.CreditBlock)
+		}
 		if m := n.metrics; m != nil {
 			m.goodCredit.Inc()
 		}

@@ -38,6 +38,11 @@ func (n *Node) Health() (bool, map[string]any) {
 		"outbound_deficit": deficit,
 		"banned":           banned,
 	}
+	if e := n.cfg.Reputation; e != nil {
+		_, probation, netgroupBanned := e.TrackedGroups()
+		fields["netgroups_probation"] = probation
+		fields["netgroups_banned"] = netgroupBanned
+	}
 	if !healthy {
 		fields["degraded"] = reasons
 	}

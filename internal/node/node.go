@@ -22,6 +22,7 @@ import (
 	"banscore/internal/core"
 	"banscore/internal/mempool"
 	"banscore/internal/peer"
+	"banscore/internal/reputation"
 	"banscore/internal/telemetry"
 	"banscore/internal/trace"
 	"banscore/internal/wire"
@@ -175,22 +176,33 @@ type Config struct {
 	// TrackerConfig.Forensics is already set): every scoring Misbehaving
 	// call appends the rule/delta/score record /debug/bans serves.
 	Forensics *core.Ledger
+
+	// Reputation, if set, layers the netgroup reputation engine over the
+	// tracker: every applied rule hit also charges the peer's /16 (or
+	// IPv6 /32) budget, valid BLOCK/TX deliveries earn trust, admission
+	// consults the netgroup's standing (collectively banned prefixes are
+	// refused at accept time), and eviction under slot pressure ranks by
+	// engine reputation. Pair with ModeThresholdInfinity to run the
+	// engine as the sole countermeasure (scores and evidence retained,
+	// per-identifier bans off).
+	Reputation *reputation.Engine
 }
 
 // Stats aggregates node counters.
 type Stats struct {
-	InboundPeers       int
-	OutboundPeers      int
-	BannedConnsRefused uint64
-	SlotConnsRefused   uint64
-	MessagesProcessed  uint64
-	BlocksAccepted     uint64
-	TxAccepted         uint64
-	Reconnections      uint64
-	ReconnectAttempts  uint64
-	HandshakeTimeouts  uint64
-	WriteTimeouts      uint64
-	PendingOutbound    int
+	InboundPeers         int
+	OutboundPeers        int
+	BannedConnsRefused   uint64
+	SlotConnsRefused     uint64
+	NetgroupConnsRefused uint64
+	MessagesProcessed    uint64
+	BlocksAccepted       uint64
+	TxAccepted           uint64
+	Reconnections        uint64
+	ReconnectAttempts    uint64
+	HandshakeTimeouts    uint64
+	WriteTimeouts        uint64
+	PendingOutbound      int
 }
 
 // Node is a running full node.
@@ -217,6 +229,7 @@ type Node struct {
 
 	bannedRefused     atomic.Uint64
 	slotRefused       atomic.Uint64
+	netgroupRefused   atomic.Uint64
 	messagesProcessed atomic.Uint64
 	blocksAccepted    atomic.Uint64
 	txAccepted        atomic.Uint64
@@ -331,6 +344,10 @@ func (n *Node) Mempool() *mempool.TxPool { return n.mempool }
 // Tracker exposes the ban-score tracker.
 func (n *Node) Tracker() *core.Tracker { return n.tracker }
 
+// Reputation exposes the netgroup reputation engine (nil when the node
+// runs on ban score alone).
+func (n *Node) Reputation() *reputation.Engine { return n.cfg.Reputation }
+
 // AddrManager exposes the peer table.
 func (n *Node) AddrManager() *AddrManager { return n.addrmgr }
 
@@ -346,18 +363,19 @@ func (n *Node) Stats() Stats {
 		processed += m.msgRx.Total()
 	}
 	return Stats{
-		InboundPeers:       inbound,
-		OutboundPeers:      outbound,
-		BannedConnsRefused: n.bannedRefused.Load(),
-		SlotConnsRefused:   n.slotRefused.Load(),
-		MessagesProcessed:  processed,
-		BlocksAccepted:     n.blocksAccepted.Load(),
-		TxAccepted:         n.txAccepted.Load(),
-		Reconnections:      n.reconnections.Load(),
-		ReconnectAttempts:  n.reconnectAttempts.Load(),
-		HandshakeTimeouts:  n.handshakeTimeouts.Load(),
-		WriteTimeouts:      n.writeTimeouts.Load(),
-		PendingOutbound:    int(n.pendingOutbound.Load()),
+		InboundPeers:         inbound,
+		OutboundPeers:        outbound,
+		BannedConnsRefused:   n.bannedRefused.Load(),
+		SlotConnsRefused:     n.slotRefused.Load(),
+		NetgroupConnsRefused: n.netgroupRefused.Load(),
+		MessagesProcessed:    processed,
+		BlocksAccepted:       n.blocksAccepted.Load(),
+		TxAccepted:           n.txAccepted.Load(),
+		Reconnections:        n.reconnections.Load(),
+		ReconnectAttempts:    n.reconnectAttempts.Load(),
+		HandshakeTimeouts:    n.handshakeTimeouts.Load(),
+		WriteTimeouts:        n.writeTimeouts.Load(),
+		PendingOutbound:      int(n.pendingOutbound.Load()),
 	}
 }
 
@@ -388,6 +406,20 @@ func (n *Node) acceptInbound(conn net.Conn) {
 		if m := n.metrics; m != nil {
 			m.refusedBanned.Inc()
 			m.event(telemetry.EventConnRefused, string(remote), "", 0, "banned")
+		}
+		conn.Close()
+		return
+	}
+
+	// The reputation layer acts at the same point, one level up: a
+	// collectively banned netgroup refuses every member — including
+	// fresh identifiers the tracker has never seen, which is exactly the
+	// Sybil reconnect the per-identifier filter cannot stop.
+	if e := n.cfg.Reputation; e != nil && e.Admission(remote) == reputation.VerdictReject {
+		n.netgroupRefused.Add(1)
+		if m := n.metrics; m != nil {
+			m.refusedNetgroup.Inc()
+			m.event(telemetry.EventConnRefused, string(remote), "", 0, "netgroup")
 		}
 		conn.Close()
 		return
@@ -425,18 +457,27 @@ func (n *Node) refuseForSlots(conn net.Conn, remote core.PeerID) {
 }
 
 // evictWorstInbound disconnects the inbound peer with the lowest negative
-// reputation (CKB-style "evict bad peers"). It returns false when no
-// connected inbound peer has misbehaved on balance — honest peers are never
-// evicted for a stranger.
+// reputation (CKB-style "evict bad peers"). With the reputation engine
+// installed the ranking is its decayed trust−misbehavior; otherwise the
+// tracker's integer good−bad score. It returns false when no connected
+// inbound peer has misbehaved on balance — honest peers are never evicted
+// for a stranger.
 func (n *Node) evictWorstInbound() bool {
+	e := n.cfg.Reputation
 	n.mu.Lock()
 	var worst *peer.Peer
-	worstRep := 0
+	worstRep := 0.0
 	for _, p := range n.peers {
 		if !p.Inbound() {
 			continue
 		}
-		if rep := n.tracker.Reputation(p.ID()); rep < worstRep {
+		var rep float64
+		if e != nil {
+			rep = e.Score(p.ID()).Reputation
+		} else {
+			rep = float64(n.tracker.Reputation(p.ID()))
+		}
+		if rep < worstRep {
 			worstRep = rep
 			worst = p
 		}
@@ -450,18 +491,25 @@ func (n *Node) evictWorstInbound() bool {
 	return true
 }
 
-// PeerReputation is one entry of the node's peer-health ranking.
+// PeerReputation is one entry of the node's peer-health ranking. The
+// Engine* fields are populated only when the reputation engine is
+// installed; Netgroup is then the budget group the peer charges.
 type PeerReputation struct {
 	ID         core.PeerID
 	Inbound    bool
 	BanScore   int
 	GoodScore  int
 	Reputation int
+
+	Netgroup         string
+	EngineReputation float64
 }
 
 // RankPeers returns every connected peer ordered by ascending reputation —
 // the non-binary peer-health view the paper proposes building from retained
-// scores.
+// scores. With the reputation engine installed the order is its decayed
+// trust−misbehavior ranking (the same one eviction uses); otherwise the
+// tracker's integer reputation.
 func (n *Node) RankPeers() []PeerReputation {
 	n.mu.Lock()
 	peers := make([]*peer.Peer, 0, len(n.peers))
@@ -470,24 +518,59 @@ func (n *Node) RankPeers() []PeerReputation {
 	}
 	n.mu.Unlock()
 
+	e := n.cfg.Reputation
 	out := make([]PeerReputation, 0, len(peers))
 	for _, p := range peers {
 		id := p.ID()
-		out = append(out, PeerReputation{
+		pr := PeerReputation{
 			ID:         id,
 			Inbound:    p.Inbound(),
 			BanScore:   n.tracker.Score(id),
 			GoodScore:  n.tracker.GoodScore(id),
 			Reputation: n.tracker.Reputation(id),
-		})
+		}
+		if e != nil {
+			pr.Netgroup = e.GroupOf(id)
+			pr.EngineReputation = e.Score(id).Reputation
+		}
+		out = append(out, pr)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		if e != nil && out[i].EngineReputation != out[j].EngineReputation {
+			return out[i].EngineReputation < out[j].EngineReputation
+		}
 		if out[i].Reputation != out[j].Reputation {
 			return out[i].Reputation < out[j].Reputation
 		}
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// disconnectNetgroup drops every connected peer whose identifier maps into
+// the collectively banned group. Called from the misbehave path — which
+// runs on a member peer's read loop — so it must only Disconnect (async
+// teardown), never wait for shutdown.
+func (n *Node) disconnectNetgroup(group string) int {
+	e := n.cfg.Reputation
+	if e == nil {
+		return 0
+	}
+	n.mu.Lock()
+	members := make([]*peer.Peer, 0, 4)
+	for id, p := range n.peers {
+		if e.GroupOf(id) == group {
+			members = append(members, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range members {
+		p.Disconnect()
+	}
+	if m := n.metrics; m != nil {
+		m.event(telemetry.EventConnRefused, group, "", 0, "netgroup-ban")
+	}
+	return len(members)
 }
 
 // Connect opens an outbound connection to addr and performs our half of the

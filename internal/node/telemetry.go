@@ -35,9 +35,10 @@ type nodeMetrics struct {
 	bans       *telemetry.Counter    // core_bans_total
 	goodCredit *telemetry.Counter    // core_good_credits_total
 
-	refusedBanned *telemetry.Counter // node_conns_refused_total{reason="banned"}
-	refusedSlots  *telemetry.Counter // node_conns_refused_total{reason="slots"}
-	reconnects    *telemetry.Counter // node_reconnects_total
+	refusedBanned   *telemetry.Counter // node_conns_refused_total{reason="banned"}
+	refusedSlots    *telemetry.Counter // node_conns_refused_total{reason="slots"}
+	refusedNetgroup *telemetry.Counter // node_conns_refused_total{reason="netgroup"}
+	reconnects      *telemetry.Counter // node_reconnects_total
 
 	reconnectTries    *telemetry.CounterVec // node_reconnect_attempts_total{result}
 	handshakeTimeouts *telemetry.Counter    // node_handshake_timeouts_total
@@ -75,6 +76,7 @@ func newNodeMetrics(n *Node, reg *telemetry.Registry, journal *telemetry.Journal
 	reg.Describe("node_conns_refused_total", "Inbound connections refused, by reason.")
 	m.refusedBanned = reg.Counter("node_conns_refused_total", telemetry.L("reason", "banned"))
 	m.refusedSlots = reg.Counter("node_conns_refused_total", telemetry.L("reason", "slots"))
+	m.refusedNetgroup = reg.Counter("node_conns_refused_total", telemetry.L("reason", "netgroup"))
 	reg.Describe("node_reconnects_total", "Outbound connections rebuilt after a peer was lost.")
 	m.reconnects = reg.Counter("node_reconnects_total")
 

@@ -5,6 +5,7 @@
 package peer
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -118,6 +119,12 @@ type Peer struct {
 	// direct-injection paths (benchmarks, Table II) dispatch from other
 	// goroutines than the read loop.
 	traceCtx atomic.Pointer[trace.Ctx]
+
+	// evidence is the wire evidence of the message currently being
+	// dispatched, packed checksum<<32|payloadLen into one word so the
+	// misbehavior path reads a consistent (digest, length) pair with a
+	// single atomic load even against direct-injection dispatchers.
+	evidence atomic.Uint64
 
 	// codec owns the per-connection decode state (header scratch, payload
 	// reader), and pick returns reusable decode targets for commands whose
@@ -282,6 +289,21 @@ func (p *Peer) TraceCtx() *trace.Ctx { return p.traceCtx.Load() }
 // (node.handleTraced) set it when they own the sample.
 func (p *Peer) SetTraceCtx(ctx *trace.Ctx) { p.traceCtx.Store(ctx) }
 
+// LastEvidence returns the wire evidence of the inbound message currently
+// being dispatched: its payload checksum (big-endian, as framed on the
+// wire) and payload length. It is (0, 0) outside a dispatch or on
+// direct-injection paths that bypass the codec — the forensics record then
+// simply omits the evidence fields.
+func (p *Peer) LastEvidence() (digest uint32, payloadLen int) {
+	packed := p.evidence.Load()
+	return uint32(packed >> 32), int(uint32(packed))
+}
+
+// setEvidence publishes the current dispatch's wire evidence.
+func (p *Peer) setEvidence(digest uint32, payloadLen int) {
+	p.evidence.Store(uint64(digest)<<32 | uint64(uint32(payloadLen)))
+}
+
 // BytesReceived returns the total payload+header bytes read from the peer.
 func (p *Peer) BytesReceived() uint64 { return p.bytesReceived.Load() }
 
@@ -362,6 +384,12 @@ func (p *Peer) readLoop() {
 		rawLen := pbuf.Len()
 		p.bytesReceived.Add(uint64(wire.MessageHeaderSize + rawLen))
 		p.messagesReceived.Add(1)
+		// Snapshot the verified wire checksum as misbehavior evidence for
+		// the dispatch below: if a handler scores this message, the
+		// forensics record names the exact bytes. Published before and
+		// cleared after OnMessage, mirroring traceCtx.
+		sum := p.codec.LastChecksum()
+		p.setEvidence(binary.BigEndian.Uint32(sum[:]), rawLen)
 		if p.cfg.OnMessage != nil {
 			if !decodeStart.IsZero() {
 				if ctx := tr.Sample(); ctx != nil {
@@ -371,12 +399,14 @@ func (p *Peer) readLoop() {
 					p.traceCtx.Store(ctx)
 					p.cfg.OnMessage(p, msg, rawLen)
 					p.traceCtx.Store(nil)
+					p.evidence.Store(0)
 					pbuf.Release()
 					continue
 				}
 			}
 			p.cfg.OnMessage(p, msg, rawLen)
 		}
+		p.evidence.Store(0)
 		pbuf.Release()
 	}
 }

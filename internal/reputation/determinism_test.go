@@ -1,0 +1,128 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"banscore/internal/core"
+)
+
+// scheduleStep is one event in a deterministic reputation schedule: advance
+// the virtual clock, then act on one identity.
+type scheduleStep struct {
+	advance time.Duration
+	id      core.PeerID
+	penalty int // 0 → credit instead
+	credit  int
+}
+
+// runSchedule replays steps against a fresh engine with the given shard
+// count and returns the final (score, group-pressure) observations for
+// every identity touched.
+func runSchedule(steps []scheduleStep, shards int) map[core.PeerID][2]float64 {
+	clock := newVirtualClock()
+	e := New(Config{Clock: clock, ShardCount: shards})
+	seen := map[core.PeerID]bool{}
+	for _, st := range steps {
+		clock.Advance(st.advance)
+		if st.penalty > 0 {
+			e.Penalize(st.id, st.penalty)
+		} else {
+			e.Credit(st.id, st.credit)
+		}
+		seen[st.id] = true
+	}
+	out := make(map[core.PeerID][2]float64, len(seen))
+	for id := range seen {
+		s := e.Score(id)
+		p, _ := e.GroupPressure(e.GroupOf(id))
+		out[id] = [2]float64{s.Reputation, p}
+	}
+	return out
+}
+
+// deterministicSchedule builds a reproducible multi-peer schedule from a
+// small LCG (no math/rand: the banlint wallclock/determinism posture of
+// this package extends to its tests).
+func deterministicSchedule(n int) []scheduleStep {
+	ids := []core.PeerID{
+		"203.0.113.7:8333", "203.0.200.9:18333", // same /16
+		"[2001:db8::1]:8333", "[2001:db8:1::2]:8333", // same /32
+		"10.9.0.1:8333", "simnet-peer:0",
+	}
+	steps := make([]scheduleStep, 0, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := 0; i < n; i++ {
+		st := scheduleStep{
+			advance: time.Duration(next()%90) * time.Second,
+			id:      ids[next()%uint64(len(ids))],
+		}
+		if next()%3 == 0 {
+			st.credit = CreditTx
+		} else {
+			st.penalty = int(next()%100) + 1
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+func TestDecayDeterministicAcrossRunsAndShardCounts(t *testing.T) {
+	steps := deterministicSchedule(500)
+
+	baseline := runSchedule(steps, 8)
+	for _, shards := range []int{8, 16, 64, 256} {
+		for run := 0; run < 3; run++ {
+			got := runSchedule(steps, shards)
+			if len(got) != len(baseline) {
+				t.Fatalf("shards=%d run=%d: %d identities, want %d", shards, run, len(got), len(baseline))
+			}
+			for id, want := range baseline {
+				g := got[id]
+				// Bit-exact, not approximate: the same vclock schedule
+				// must replay to the same float trajectory regardless of
+				// shard layout or prior runs.
+				if g[0] != want[0] || g[1] != want[1] {
+					t.Fatalf("shards=%d run=%d peer=%s: (rep, pressure) = (%v, %v), want (%v, %v)",
+						shards, run, id, g[0], g[1], want[0], want[1])
+				}
+			}
+		}
+	}
+}
+
+func TestDecayHalfLifeExact(t *testing.T) {
+	// The decay curve itself is part of the determinism contract: after k
+	// half-lives a lone charge is worth exactly v·2⁻ᵏ (within one ulp-ish
+	// tolerance of Exp2).
+	clock := newVirtualClock()
+	e := New(Config{Clock: clock, HalfLife: time.Minute})
+	id := core.PeerID("10.0.0.1:8333")
+	e.Penalize(id, 64)
+	for k := 1; k <= 6; k++ {
+		clock.Advance(time.Minute)
+		want := 64 * math.Exp2(-float64(k))
+		if got := e.Score(id).Misbehavior; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("after %d half-lives misbehavior = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestNonAdvancingClockNeverDecays(t *testing.T) {
+	// Virtual schedules frequently fire many events at one instant; decay
+	// must be exactly 1 across them, not drift through float error.
+	clock := newVirtualClock()
+	e := New(Config{Clock: clock})
+	id := core.PeerID("10.0.0.1:8333")
+	for i := 0; i < 50; i++ {
+		e.Penalize(id, 1)
+	}
+	if got := e.Score(id).Misbehavior; got != 50 {
+		t.Fatalf("misbehavior = %v with frozen clock, want exactly 50", got)
+	}
+}

@@ -1,0 +1,100 @@
+package reputation
+
+import (
+	"net"
+
+	"banscore/internal/core"
+)
+
+// Netgroup key prefixes. Keys are short stable strings so they work as map
+// keys, metric labels, and /debug/reputation paths without further
+// normalization.
+const (
+	// prefixIPv4 marks an IPv4 /16 group: "ip4:a.b/16".
+	prefixIPv4 = "ip4:"
+
+	// prefixIPv6 marks an IPv6 /32 group: "ip6:aabb:ccdd/32".
+	prefixIPv6 = "ip6:"
+
+	// prefixSelf marks the per-identifier fallback group of an address
+	// that carries no parseable IP (simnet logical names, malformed
+	// input). Such identifiers pay their own budget alone — an attacker
+	// gains nothing by mangling its address string.
+	prefixSelf = "id:"
+)
+
+// hexDigits is the nibble alphabet for IPv6 group keys.
+const hexDigits = "0123456789abcdef"
+
+// NetgroupKey maps a connection identifier onto its reputation netgroup:
+// the IPv4 /16 or IPv6 /32 prefix the engine charges for the peer's
+// misbehavior. This is the granularity at which serial/parallel Sybil
+// identities share a budget — one entity controlling a prefix (the
+// "Hijacking Bitcoin" adversary) cannot reset its reputation by minting
+// fresh [IP:Port] identifiers inside it.
+//
+// Derivation rules, in order:
+//
+//   - "host:port" with an IPv4 (or IPv4-mapped IPv6) host → "ip4:a.b/16"
+//   - "host:port" with any other IPv6 host → "ip6:aabb:ccdd/32"
+//     (first 32 bits, hex, zero-padded)
+//   - a bare host without a port is grouped as if it had one
+//   - anything unparseable falls back to the per-identifier group
+//     "id:<identifier>" — never a panic, never a shared bucket that
+//     malformed input could poison
+func NetgroupKey(id core.PeerID) string {
+	host, _, err := net.SplitHostPort(string(id))
+	if err != nil {
+		// No port (or malformed): treat the whole identifier as the
+		// host and fall through to IP parsing.
+		host = string(id)
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return prefixSelf + string(id)
+	}
+	if v4 := ip.To4(); v4 != nil {
+		// Covers dotted quads and IPv4-mapped IPv6 (::ffff:a.b.c.d):
+		// both describe the same routable /16.
+		var buf [len(prefixIPv4) + 7 + len("/16")]byte
+		n := copy(buf[:], prefixIPv4)
+		n += putUint8(buf[n:], v4[0])
+		buf[n] = '.'
+		n++
+		n += putUint8(buf[n:], v4[1])
+		n += copy(buf[n:], "/16")
+		return string(buf[:n])
+	}
+	ip16 := ip.To16()
+	var buf [len(prefixIPv6) + 9 + len("/32")]byte
+	n := copy(buf[:], prefixIPv6)
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			buf[n] = ':'
+			n++
+		}
+		buf[n] = hexDigits[ip16[i]>>4]
+		buf[n+1] = hexDigits[ip16[i]&0xf]
+		n += 2
+	}
+	n += copy(buf[n:], "/32")
+	return string(buf[:n])
+}
+
+// putUint8 writes v in decimal and returns the number of bytes written.
+func putUint8(dst []byte, v byte) int {
+	switch {
+	case v >= 100:
+		dst[0] = '0' + v/100
+		dst[1] = '0' + (v/10)%10
+		dst[2] = '0' + v%10
+		return 3
+	case v >= 10:
+		dst[0] = '0' + v/10
+		dst[1] = '0' + v%10
+		return 2
+	default:
+		dst[0] = '0' + v
+		return 1
+	}
+}

@@ -143,6 +143,18 @@ type Codec struct {
 	pr  payloadReader
 }
 
+// LastChecksum returns the wire checksum of the most recently decoded
+// message's payload, straight from the codec's header scratch. Valid only
+// between a successful DecodeMessage and the next read; the peer layer
+// snapshots it immediately after decode as misbehavior evidence — the same
+// 4 bytes the node already verified against the payload, re-used instead of
+// re-hashed.
+func (c *Codec) LastChecksum() [4]byte {
+	var sum [4]byte
+	copy(sum[:], c.hdr[20:24])
+	return sum
+}
+
 // parseHeader decodes the fixed header out of the codec's scratch buffer.
 func (c *Codec) parseHeader() messageHeader {
 	var hdr messageHeader
