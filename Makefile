@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace bench-gate bench-baseline test-poolpoison chaos chaos-short
+.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace bench-gate bench-baseline test-poolpoison chaos chaos-short chaos-crash
 
 check: vet lint build race test-poolpoison bench-telemetry bench-trace
 
@@ -47,11 +47,12 @@ bench:
 
 # Benchmark-regression gate. The gated families are the hot paths with
 # committed baselines in BENCH_baseline.json: telemetry instrumentation,
-# trace dispatch, the sharded ban-score engine, ban-list reads, and the
-# pooled wire codec. Fixed iteration counts keep run-to-run variance down;
-# cmd/benchdiff fails the build past its tolerance, and any allocation on
-# a zero-alloc baseline fails outright.
-BENCH_GATE_PATTERN = 'BenchmarkTelemetry|BenchmarkTraceDispatch|BenchmarkBanScore|BenchmarkBanList|BenchmarkWire|BenchmarkReputation|BenchmarkNetgroup'
+# trace dispatch, the sharded ban-score engine, ban-list reads, the pooled
+# wire codec, and the banstore WAL append + recovery replay. Fixed
+# iteration counts keep run-to-run variance down; cmd/benchdiff fails the
+# build past its tolerance, and any allocation on a zero-alloc baseline
+# fails outright.
+BENCH_GATE_PATTERN = 'BenchmarkTelemetry|BenchmarkTraceDispatch|BenchmarkBanScore|BenchmarkBanList|BenchmarkWire|BenchmarkReputation|BenchmarkNetgroup|BenchmarkWALAppend|BenchmarkRecovery'
 
 # -count=3: benchdiff keeps the per-metric minimum across repeats, which
 # filters scheduler noise far better than one long run on a busy machine.
@@ -72,3 +73,8 @@ chaos:
 
 chaos-short:
 	$(GO) test -race -short -count=1 -timeout 300s ./internal/chaos/
+
+# Kill/restart chaos: the crash-storm scenarios (simulated and real
+# SIGKILL) plus the banstore recovery edge cases, under the race detector.
+chaos-crash:
+	$(GO) test -race -count=1 -timeout 300s -run 'Crash|Restart|Recover|SIGKILL' ./internal/banstore/ ./internal/chaos/ ./internal/node/

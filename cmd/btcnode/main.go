@@ -10,6 +10,7 @@
 //	        [-trace] [-trace-sample 64] [-pprof] [-reputation]
 //	        [-dial-timeout 10s] [-handshake-timeout 15s] [-write-timeout 30s]
 //	        [-reconnect-backoff 100ms] [-reconnect-max-backoff 5s]
+//	        [-banstore-dir /var/lib/btcnode/banstore] [-fsync batch] [-snapshot-every 1m]
 //
 // With -telemetry set, an HTTP endpoint serves /metrics (Prometheus text, or
 // ?format=json), /healthz, and /events (the typed event journal). /healthz
@@ -33,6 +34,16 @@
 // served at /debug/reputation and /debug/reputation/<peer> (requires
 // -telemetry for the endpoint; the engine itself runs without it). Pair
 // with -mode infinity to rely on the engine instead of per-identifier bans.
+//
+// With -banstore-dir, ban state is crash-safe: every scoring event, ban,
+// and reputation change is appended to a write-ahead log in that directory,
+// compacted snapshots are written every -snapshot-every, and on startup the
+// node recovers the latest valid snapshot plus the WAL tail — truncating,
+// never refusing, on a corrupted tail — so banned attackers stay banned
+// across restarts. -fsync picks the durability policy: "batch" (default)
+// fsyncs at most once per group-commit window, "always" fsyncs every batch,
+// "none" leaves flushing to the OS. Store status is served at
+// /debug/banstore (with -telemetry).
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"banscore/internal/banstore"
 	"banscore/internal/core"
 	"banscore/internal/detect"
 	"banscore/internal/node"
@@ -77,6 +89,9 @@ func run() error {
 	writeTimeout := flag.Duration("write-timeout", peer.DefaultWriteTimeout, "per-message write deadline (negative disables)")
 	reconnectBackoff := flag.Duration("reconnect-backoff", node.DefaultReconnectBackoff, "initial slot-keeper retry backoff")
 	reconnectMaxBackoff := flag.Duration("reconnect-max-backoff", node.DefaultReconnectMaxBackoff, "slot-keeper backoff cap")
+	banstoreDir := flag.String("banstore-dir", "", "directory for crash-safe ban-state WAL + snapshots (empty disables persistence)")
+	fsyncMode := flag.String("fsync", "batch", "banstore fsync policy: always, batch, none")
+	snapshotEvery := flag.Duration("snapshot-every", node.DefaultSnapshotEvery, "banstore snapshot interval (negative disables the scheduler)")
 	flag.Parse()
 
 	trackerMode, err := parseMode(*mode)
@@ -99,9 +114,34 @@ func run() error {
 		ReconnectBackoff:    *reconnectBackoff,
 		ReconnectMaxBackoff: *reconnectMaxBackoff,
 	}
+	// The store opens before the reputation engine so the engine can be
+	// born with its Recorder attached — no reputation change escapes the
+	// WAL — and before node.New so recovered state is restored ahead of
+	// the first accepted connection.
+	var store *banstore.Store
+	var recovered *banstore.Recovered
+	if *banstoreDir != "" {
+		policy, err := banstore.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		store, recovered, err = banstore.Open(banstore.Options{Dir: *banstoreDir, Fsync: policy})
+		if err != nil {
+			return fmt.Errorf("banstore: %w", err)
+		}
+		defer store.Close()
+		cfg.BanStore = store
+		cfg.BanStoreRecovered = recovered
+		cfg.SnapshotEvery = *snapshotEvery
+	}
+
 	var engine *reputation.Engine
 	if *reputationOn {
-		engine = reputation.New(reputation.Config{})
+		rcfg := reputation.Config{}
+		if store != nil {
+			rcfg.Recorder = store
+		}
+		engine = reputation.New(rcfg)
 		cfg.Reputation = engine
 	}
 
@@ -135,6 +175,10 @@ func run() error {
 			cfg.Forensics = ledger
 			telemetrySrv.Handle("/debug/trace", tracer.QueryHandler())
 			telemetrySrv.Handle("/debug/trace/export", tracer.ExportHandler())
+		}
+		if store != nil {
+			store.Instrument(reg)
+			telemetrySrv.Handle("/debug/banstore", store.Handler())
 		}
 		if *pprofOn {
 			telemetry.RegisterRuntimeMetrics(reg)
@@ -172,6 +216,17 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
+	if store != nil {
+		fmt.Printf("banstore at %s (fsync=%s): recovered %d WAL records", *banstoreDir, *fsyncMode, len(recovered.Records))
+		if recovered.Snapshot != nil {
+			fmt.Printf(" atop snapshot lsn %d", recovered.SnapshotLSN)
+		}
+		if recovered.Truncations > 0 {
+			fmt.Printf(", truncated %d corrupt tail(s)", recovered.Truncations)
+		}
+		fmt.Println()
+	}
+
 	n.Serve(l)
 	fmt.Printf("btcnode listening on %s (mode=%s, rules=%s)\n", l.Addr(), trackerMode, version)
 
@@ -203,6 +258,14 @@ func run() error {
 		case <-sig:
 			fmt.Println("\nshutting down")
 			n.Stop()
+			if store != nil {
+				// Parting snapshot: the next boot restores without
+				// replaying this run's WAL tail. Close (deferred)
+				// flushes and fsyncs whatever is still pending.
+				if err := n.WriteSnapshot(); err != nil {
+					fmt.Fprintln(os.Stderr, "banstore snapshot:", err)
+				}
+			}
 			return nil
 		case <-tick:
 			s := n.Stats()

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures|reputation]
+//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures|reputation|restart]
 //	            [-loss 0.1] [-latency 5ms] [-jitter 2ms] [-fault-seed 1]
 //	            [-trace-out trace.json] [-trace-sample 64] [-bans-out bans.json]
-//	            [-reputation-out reputation.json]
+//	            [-reputation-out reputation.json] [-restart-out restart.json]
 //
 // The fault flags degrade the simulation fabric every experiment runs on —
 // probabilistic payload loss, one-way latency, and jitter, all deterministic
@@ -24,6 +24,12 @@
 // (Defamation + Sybil swarm under both defenses) and writes its rows —
 // time-to-ban, innocent-ban rate, identities needed to exhaust a netgroup —
 // as a JSON artifact, in addition to whatever -only selects.
+//
+// -only restart (or -restart-out restart.json) runs the ban-durability
+// matrix: Defamation and Sybil attacks against a victim that crashes and
+// restarts mid-defense, with and without the crash-safe banstore. The rows
+// record whether each ban survived the restart and what re-earning it cost
+// the defender when it did not.
 package main
 
 import (
@@ -56,6 +62,7 @@ func run() error {
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleN, "trace 1 in N messages (rounded up to a power of two; 1 traces everything)")
 	bansOut := flag.String("bans-out", "", "write the forensic ban ledger as JSON to this file")
 	reputationOut := flag.String("reputation-out", "", "run the ban-score vs reputation comparison and write its table as JSON to this file")
+	restartOut := flag.String("restart-out", "", "run the restart ban-durability matrix and write its rows as JSON to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -117,7 +124,32 @@ func run() error {
 		}
 		fmt.Printf("wrote %s (modes=%d swarm-netgroup=%s)\n", *reputationOut, len(res.Rows), res.SwarmNetgroup)
 	}
+	if *restartOut != "" && runErr == nil {
+		res, err := runRestart(scale)
+		if err != nil {
+			return fmt.Errorf("restart comparison: %w", err)
+		}
+		data, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			return fmt.Errorf("restart-out: %w", err)
+		}
+		if err := os.WriteFile(*restartOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("restart-out: %w", err)
+		}
+		fmt.Printf("wrote %s (rows=%d)\n", *restartOut, len(res.Rows))
+	}
 	return runErr
+}
+
+// runRestart runs the ban-durability matrix against a throwaway store
+// directory.
+func runRestart(scale experiments.Scale) (experiments.RestartComparisonResult, error) {
+	dir, err := os.MkdirTemp("", "banstore-restart-*")
+	if err != nil {
+		return experiments.RestartComparisonResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	return experiments.RestartComparison(scale, dir)
 }
 
 func dispatch(scale experiments.Scale, only string) error {
@@ -180,6 +212,12 @@ func dispatch(scale experiments.Scale, only string) error {
 		fmt.Print(res.Render())
 	case "reputation":
 		res, err := experiments.ReputationComparison(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "restart":
+		res, err := runRestart(scale)
 		if err != nil {
 			return err
 		}

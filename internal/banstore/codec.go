@@ -1,0 +1,285 @@
+package banstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"banscore/internal/core"
+	"banscore/internal/reputation"
+)
+
+// Wire format. Every WAL record is framed
+//
+//	[u32 LE payload len][u32 LE CRC32C(payload)][payload]
+//
+// and every payload starts with a kind byte. Fields are hand-rolled binary:
+// varints for integers, uvarint-length-prefixed bytes for strings, IEEE bits
+// for floats, and an explicit present/absent flag plus UnixNano varint for
+// times (UnixNano alone cannot represent the zero time, and epoch-0 is a
+// legitimate virtual-clock reading the determinism tests exercise). The
+// encoding is canonical: the same logical value always serializes to the
+// same bytes, which is what lets the recovery property test compare states
+// byte-for-byte.
+
+// Record kinds.
+const (
+	recMisbehave byte = 1 // one Tracker scoring hit (a full core.BanRecord)
+	recBan       byte = 2 // identifier ban with absolute expiry
+	recForget    byte = 3 // clean disconnect dropped live score state
+	recGood      byte = 4 // good-score credit with post-state total
+	recPenalty   byte = 5 // reputation.PenaltyRecord
+	recCredit    byte = 6 // reputation.CreditRecord
+)
+
+// frameOverhead is the per-record framing cost: len + CRC.
+const frameOverhead = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	errCorrupt  = errors.New("banstore: corrupt record")
+	errBadMagic = errors.New("banstore: bad file magic")
+)
+
+// --- encoding primitives -------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendTime(b []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return binary.AppendVarint(b, t.UnixNano())
+}
+
+// decoder walks one payload. The first decode error sticks; every
+// subsequent read returns zero values, so record decoders can run
+// straight-line and check err once.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() { d.err = errCorrupt }
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) time() time.Time {
+	if !d.bool() {
+		return time.Time{}
+	}
+	return time.Unix(0, d.varint())
+}
+
+// --- record payloads -----------------------------------------------------
+
+func appendBanRecord(b []byte, rec *core.BanRecord) []byte {
+	b = appendUvarint(b, rec.Seq)
+	b = appendTime(b, rec.At)
+	b = appendString(b, string(rec.Peer))
+	b = appendUvarint(b, uint64(rec.RuleID))
+	b = appendString(b, rec.Rule)
+	b = appendVarint(b, int64(rec.Delta))
+	b = appendVarint(b, int64(rec.Score))
+	b = appendBool(b, rec.Banned)
+	b = appendString(b, rec.Command)
+	b = appendUvarint(b, rec.TraceID)
+	b = appendUvarint(b, uint64(rec.PayloadDigest))
+	b = appendVarint(b, int64(rec.PayloadLen))
+	return b
+}
+
+func (d *decoder) banRecord() core.BanRecord {
+	return core.BanRecord{
+		Seq:           d.uvarint(),
+		At:            d.time(),
+		Peer:          core.PeerID(d.str()),
+		RuleID:        core.RuleID(d.uvarint()),
+		Rule:          d.str(),
+		Delta:         int(d.varint()),
+		Score:         int(d.varint()),
+		Banned:        d.bool(),
+		Command:       d.str(),
+		TraceID:       d.uvarint(),
+		PayloadDigest: uint32(d.uvarint()),
+		PayloadLen:    int(d.varint()),
+	}
+}
+
+func appendPenaltyRecord(b []byte, rec *reputation.PenaltyRecord) []byte {
+	b = appendString(b, string(rec.ID))
+	b = appendUvarint(b, rec.Seq)
+	b = appendTime(b, rec.At)
+	b = appendFloat(b, rec.Mis)
+	b = appendFloat(b, rec.Contributed)
+	b = appendString(b, rec.Group)
+	b = appendFloat(b, rec.Pressure)
+	b = appendTime(b, rec.BannedUntil)
+	b = appendVarint(b, int64(rec.Identities))
+	b = appendUvarint(b, rec.Bans)
+	return b
+}
+
+func (d *decoder) penaltyRecord() reputation.PenaltyRecord {
+	return reputation.PenaltyRecord{
+		ID:          core.PeerID(d.str()),
+		Seq:         d.uvarint(),
+		At:          d.time(),
+		Mis:         d.f64(),
+		Contributed: d.f64(),
+		Group:       d.str(),
+		Pressure:    d.f64(),
+		BannedUntil: d.time(),
+		Identities:  int(d.varint()),
+		Bans:        d.uvarint(),
+	}
+}
+
+func appendCreditRecord(b []byte, rec *reputation.CreditRecord) []byte {
+	b = appendString(b, string(rec.ID))
+	b = appendUvarint(b, rec.Seq)
+	b = appendFloat(b, rec.Trust)
+	return b
+}
+
+func (d *decoder) creditRecord() reputation.CreditRecord {
+	return reputation.CreditRecord{
+		ID:    core.PeerID(d.str()),
+		Seq:   d.uvarint(),
+		Trust: d.f64(),
+	}
+}
+
+// Record is one decoded WAL entry — a tagged union over the six kinds.
+type Record struct {
+	Kind byte
+
+	// recMisbehave
+	Misbehavior core.BanRecord
+
+	// recBan / recForget / recGood
+	Peer  core.PeerID
+	Until time.Time // recBan: absolute expiry
+	Total int       // recGood: post-state good score
+
+	// recPenalty / recCredit
+	Penalty reputation.PenaltyRecord
+	Credit  reputation.CreditRecord
+}
+
+// decodeRecord decodes one framed payload (kind byte + fields).
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, errCorrupt
+	}
+	d := &decoder{b: payload, off: 1}
+	rec := Record{Kind: payload[0]}
+	switch rec.Kind {
+	case recMisbehave:
+		rec.Misbehavior = d.banRecord()
+	case recBan:
+		rec.Peer = core.PeerID(d.str())
+		rec.Until = d.time()
+	case recForget:
+		rec.Peer = core.PeerID(d.str())
+	case recGood:
+		rec.Peer = core.PeerID(d.str())
+		rec.Total = int(d.varint())
+	case recPenalty:
+		rec.Penalty = d.penaltyRecord()
+	case recCredit:
+		rec.Credit = d.creditRecord()
+	default:
+		return Record{}, errCorrupt
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	return rec, nil
+}

@@ -1,0 +1,66 @@
+package banstore
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"banscore/internal/telemetry"
+)
+
+// Instrument registers the store's observability surface on reg:
+//
+//	banstore_wal_appends_total        records accepted into the WAL
+//	banstore_wal_bytes_total          framed bytes appended
+//	banstore_wal_dropped_total        appends shed at the backlog cap
+//	banstore_fsync_seconds            fsync latency histogram
+//	banstore_fsyncs_total             fsyncs issued
+//	banstore_snapshots_total          snapshots written
+//	banstore_recovery_truncated_total corruption events truncated at open
+//	banstore_pending_bytes            current group-commit backlog
+//	banstore_lsn                      last assigned log sequence number
+//	banstore_healthy                  1 while durability is within budget
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	reg.Describe("banstore_wal_appends_total", "Records accepted into the ban-state WAL.")
+	reg.CounterFunc("banstore_wal_appends_total", func() float64 { return float64(s.appends.Load()) })
+	reg.Describe("banstore_wal_bytes_total", "Framed bytes appended to the ban-state WAL.")
+	reg.CounterFunc("banstore_wal_bytes_total", func() float64 { return float64(s.walBytes.Load()) })
+	reg.Describe("banstore_wal_dropped_total", "WAL appends shed because the group-commit backlog hit its cap.")
+	reg.CounterFunc("banstore_wal_dropped_total", func() float64 { return float64(s.dropped.Load()) })
+	reg.Describe("banstore_fsyncs_total", "fsync calls issued by the WAL writer.")
+	reg.CounterFunc("banstore_fsyncs_total", func() float64 { return float64(s.fsyncs.Load()) })
+	reg.Describe("banstore_snapshots_total", "Compacted ban-state snapshots written.")
+	reg.CounterFunc("banstore_snapshots_total", func() float64 { return float64(s.snapshots.Load()) })
+	reg.Describe("banstore_recovery_truncated_total", "Corruption events truncated away during recovery.")
+	reg.CounterFunc("banstore_recovery_truncated_total", func() float64 { return float64(s.truncations.Load()) })
+
+	reg.Describe("banstore_pending_bytes", "Bytes waiting in the group-commit buffer.")
+	reg.GaugeFunc("banstore_pending_bytes", func() float64 {
+		s.mu.Lock()
+		n := len(s.pending)
+		s.mu.Unlock()
+		return float64(n)
+	})
+	reg.Describe("banstore_lsn", "Last assigned WAL log sequence number.")
+	reg.GaugeFunc("banstore_lsn", func() float64 { return float64(s.LSN()) })
+	reg.Describe("banstore_healthy", "1 while fsync latency and WAL backlog are within budget.")
+	reg.GaugeFunc("banstore_healthy", func() float64 {
+		if s.Healthy() {
+			return 1
+		}
+		return 0
+	})
+
+	reg.Describe("banstore_fsync_seconds", "WAL fsync latency in seconds.")
+	hist := reg.Histogram("banstore_fsync_seconds")
+	fn := func(d time.Duration) { hist.ObserveDuration(d) }
+	s.onFsync.Store(&fn)
+}
+
+// Handler serves the store's Status as JSON — mounted at /debug/banstore.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Status())
+	})
+}

@@ -1,0 +1,231 @@
+package banstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Recovery state machine. Open walks the store directory in three steps:
+//
+//  1. Snapshots, newest first: the first one whose magic, CRC, and decode
+//     all check out becomes the base state. Corrupt generations are counted
+//     and skipped — the previous generation is always still on disk because
+//     snapshot writes are tmp+rename atomic.
+//  2. WAL segments, oldest first: records are re-framed and CRC-checked one
+//     by one. The first torn or corrupt record ends the log: the segment is
+//     truncated at that offset, later segments are deleted (their LSNs are
+//     unreachable once the log has a hole), the event is counted — and
+//     recovery continues with what survived. Corruption is data loss to
+//     bound, never a reason to refuse to start.
+//  3. A fresh active segment is created at the recovered LSN frontier, so
+//     implicit record numbering (segment start + index) stays exact even
+//     when the snapshot outruns the log.
+//
+// The caller feeds the returned Recovered into Restore; replay tolerates
+// arbitrary overlap between the snapshot and the retained records.
+
+// Recovered is what Open salvaged from the store directory.
+type Recovered struct {
+	// Snapshot is the newest valid snapshot (nil when none survived).
+	Snapshot *State
+
+	// SnapshotLSN is the LSN the snapshot covers through.
+	SnapshotLSN uint64
+
+	// Records is every retained WAL record, in log order. Replay is
+	// idempotent, so records the snapshot already covers are included.
+	Records []Record
+
+	// LastLSN is the highest LSN recovered (snapshot or record).
+	LastLSN uint64
+
+	// Truncations counts corruption events handled: torn/corrupt records
+	// truncated away, unreachable segments deleted, corrupt snapshot
+	// generations skipped.
+	Truncations uint64
+}
+
+type fileRef struct {
+	path  string
+	start uint64 // segment startLSN, or snapshot LSN
+}
+
+// scanDir lists WAL segments (ascending startLSN) and snapshots (ascending
+// LSN) in dir.
+func scanDir(dir string) (segs, snaps []fileRef, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64); perr == nil {
+				segs = append(segs, fileRef{path: filepath.Join(dir, name), start: n})
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			if n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64); perr == nil {
+				snaps = append(snaps, fileRef{path: filepath.Join(dir, name), start: n})
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].start < snaps[j].start })
+	return segs, snaps, nil
+}
+
+// loadSnapshot reads and validates one snapshot file.
+func loadSnapshot(path string) (State, uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return State{}, 0, err
+	}
+	hdr := len(snapMagic) + 16
+	if len(b) < hdr || string(b[:len(snapMagic)]) != string(snapMagic) {
+		return State{}, 0, errBadMagic
+	}
+	lsn := binary.LittleEndian.Uint64(b[len(snapMagic):])
+	plen := binary.LittleEndian.Uint32(b[len(snapMagic)+8:])
+	crc := binary.LittleEndian.Uint32(b[len(snapMagic)+12:])
+	if uint64(plen) != uint64(len(b)-hdr) {
+		return State{}, 0, errCorrupt
+	}
+	payload := b[hdr:]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return State{}, 0, errCorrupt
+	}
+	st, err := DecodeState(payload)
+	if err != nil {
+		return State{}, 0, err
+	}
+	return st, lsn, nil
+}
+
+// replaySegment decodes every valid record in one segment file. It returns
+// the records, how many bytes of the file were valid (header included), and
+// whether the file ended cleanly (false means a torn or corrupt record was
+// found at offset goodBytes).
+func replaySegment(path string) (records []Record, startLSN uint64, goodBytes int64, clean bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	hdr := len(walMagic) + 8
+	if len(b) < hdr || string(b[:len(walMagic)]) != string(walMagic) {
+		return nil, 0, 0, false, errBadMagic
+	}
+	startLSN = binary.LittleEndian.Uint64(b[len(walMagic):])
+	off := hdr
+	for {
+		if off == len(b) {
+			return records, startLSN, int64(off), true, nil
+		}
+		if off+frameOverhead > len(b) {
+			return records, startLSN, int64(off), false, nil // torn frame header
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off:]))
+		crc := binary.LittleEndian.Uint32(b[off+4:])
+		if plen <= 0 || plen > maxRecordBytes || off+frameOverhead+plen > len(b) {
+			return records, startLSN, int64(off), false, nil // torn/insane length
+		}
+		payload := b[off+frameOverhead : off+frameOverhead+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return records, startLSN, int64(off), false, nil // bit flip
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return records, startLSN, int64(off), false, nil // valid CRC, bad schema
+		}
+		records = append(records, rec)
+		off += frameOverhead + plen
+	}
+}
+
+// Open recovers the store in dir and returns it ready for appends, plus
+// everything it salvaged. Corruption never fails Open — it truncates,
+// counts, and keeps going; only I/O errors (unreadable dir, create failure)
+// are returned.
+func Open(opts Options) (*Store, *Recovered, error) {
+	opts.fillDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	segs, snaps, err := scanDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &Recovered{}
+
+	// Newest valid snapshot wins; corrupt generations are skipped.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		st, lsn, lerr := loadSnapshot(snaps[i].path)
+		if lerr != nil {
+			rec.Truncations++
+			continue
+		}
+		rec.Snapshot = &st
+		rec.SnapshotLSN = lsn
+		rec.LastLSN = lsn
+		break
+	}
+
+	// Replay segments oldest-first; stop the log at the first corruption.
+	for i, seg := range segs {
+		records, startLSN, goodBytes, clean, rerr := replaySegment(seg.path)
+		if rerr != nil {
+			// Unreadable header: this segment and everything after it are
+			// unreachable.
+			rec.Truncations++
+			for _, later := range segs[i:] {
+				_ = os.Remove(later.path)
+			}
+			break
+		}
+		rec.Records = append(rec.Records, records...)
+		if last := startLSN + uint64(len(records)) - 1; len(records) > 0 && last > rec.LastLSN {
+			rec.LastLSN = last
+		}
+		if !clean {
+			rec.Truncations++
+			_ = os.Truncate(seg.path, goodBytes)
+			for _, later := range segs[i+1:] {
+				rec.Truncations++
+				_ = os.Remove(later.path)
+			}
+			break
+		}
+	}
+
+	s := &Store{
+		opts:  opts,
+		clock: opts.Clock,
+		done:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.nextLSN = rec.LastLSN + 1
+	s.written = rec.LastLSN
+	s.truncations.Store(rec.Truncations)
+	s.snapLSN.Store(rec.SnapshotLSN)
+
+	// Always begin a fresh segment at the recovered frontier: implicit
+	// record numbering (segment start + index) must stay exact even when
+	// the snapshot is newer than the log or the old tail was truncated.
+	f, start, err := createSegment(opts.Dir, s.nextLSN)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.f = f
+	s.segStart = start
+	s.syncDir()
+
+	spawn(s.writerLoop)
+	return s, rec, nil
+}

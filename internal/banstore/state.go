@@ -1,0 +1,259 @@
+package banstore
+
+import (
+	"sort"
+	"time"
+
+	"banscore/internal/core"
+	"banscore/internal/reputation"
+)
+
+// State is a compacted snapshot of everything the node's ban intelligence
+// knows: tracker scores, the ban list, the forensics ledger, and (when the
+// reputation engine is running) its full peer/netgroup state. Encoding is
+// canonical — map keys are sorted — so the same logical state always
+// produces the same bytes regardless of shard counts or map iteration
+// order.
+type State struct {
+	Scores map[core.PeerID]int
+	Good   map[core.PeerID]int
+	Bans   map[core.PeerID]time.Time
+
+	Ledger core.LedgerState
+
+	HasRep bool
+	Rep    reputation.State
+}
+
+// CaptureState exports the live components into a State. ledger and engine
+// may be nil.
+func CaptureState(tracker *core.Tracker, ledger *core.Ledger, engine *reputation.Engine) State {
+	st := State{}
+	st.Scores, st.Good = tracker.ExportScores()
+	st.Bans = tracker.BanList().Export()
+	st.Ledger = ledger.ExportState()
+	if engine != nil {
+		st.HasRep = true
+		st.Rep = engine.ExportState()
+	}
+	return st
+}
+
+const stateVersion = 1
+
+// EncodeState serializes st canonically.
+func EncodeState(st State) []byte {
+	b := []byte{stateVersion}
+
+	b = appendUvarint(b, uint64(len(st.Scores)))
+	for _, id := range sortedPeerKeys(st.Scores) {
+		b = appendString(b, string(id))
+		b = appendVarint(b, int64(st.Scores[id]))
+	}
+	b = appendUvarint(b, uint64(len(st.Good)))
+	for _, id := range sortedPeerKeys(st.Good) {
+		b = appendString(b, string(id))
+		b = appendVarint(b, int64(st.Good[id]))
+	}
+	b = appendUvarint(b, uint64(len(st.Bans)))
+	banIDs := make([]core.PeerID, 0, len(st.Bans))
+	for id := range st.Bans {
+		banIDs = append(banIDs, id)
+	}
+	sort.Slice(banIDs, func(i, j int) bool { return banIDs[i] < banIDs[j] })
+	for _, id := range banIDs {
+		b = appendString(b, string(id))
+		b = appendTime(b, st.Bans[id])
+	}
+
+	// Forensics ledger: chains already carry first-appearance order, which
+	// is itself part of the state (eviction order), so they are encoded
+	// as-is rather than re-sorted.
+	b = appendVarint(b, int64(st.Ledger.MaxPeers))
+	b = appendVarint(b, int64(st.Ledger.MaxPerPeer))
+	b = appendUvarint(b, st.Ledger.Total)
+	b = appendUvarint(b, st.Ledger.Evicted)
+	b = appendUvarint(b, st.Ledger.Trimmed)
+	b = appendUvarint(b, uint64(len(st.Ledger.Chains)))
+	for i := range st.Ledger.Chains {
+		c := &st.Ledger.Chains[i]
+		b = appendString(b, string(c.Peer))
+		b = appendUvarint(b, c.Seq)
+		b = appendUvarint(b, uint64(len(c.Records)))
+		for j := range c.Records {
+			b = appendBanRecord(b, &c.Records[j])
+		}
+	}
+
+	b = appendBool(b, st.HasRep)
+	if st.HasRep {
+		b = appendUvarint(b, uint64(len(st.Rep.Peers)))
+		for i := range st.Rep.Peers {
+			p := &st.Rep.Peers[i]
+			b = appendString(b, string(p.ID))
+			b = appendString(b, p.Group)
+			b = appendFloat(b, p.Trust)
+			b = appendFloat(b, p.Mis)
+			b = appendFloat(b, p.Contributed)
+			b = appendTime(b, p.Last)
+			b = appendUvarint(b, p.Penalties)
+			b = appendUvarint(b, p.Credits)
+		}
+		b = appendUvarint(b, uint64(len(st.Rep.Groups)))
+		for i := range st.Rep.Groups {
+			g := &st.Rep.Groups[i]
+			b = appendString(b, g.Key)
+			b = appendFloat(b, g.Pressure)
+			b = appendTime(b, g.Last)
+			b = appendTime(b, g.BannedUntil)
+			b = appendVarint(b, int64(g.Identities))
+			b = appendUvarint(b, g.Bans)
+		}
+		b = appendUvarint(b, st.Rep.Penalties)
+		b = appendUvarint(b, st.Rep.Credits)
+		b = appendUvarint(b, st.Rep.GroupBans)
+		b = appendUvarint(b, st.Rep.Rejected)
+	}
+	return b
+}
+
+// DecodeState parses an EncodeState payload.
+func DecodeState(b []byte) (State, error) {
+	if len(b) == 0 || b[0] != stateVersion {
+		return State{}, errCorrupt
+	}
+	d := &decoder{b: b, off: 1}
+	st := State{
+		Scores: map[core.PeerID]int{},
+		Good:   map[core.PeerID]int{},
+		Bans:   map[core.PeerID]time.Time{},
+	}
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		id := core.PeerID(d.str())
+		st.Scores[id] = int(d.varint())
+	}
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		id := core.PeerID(d.str())
+		st.Good[id] = int(d.varint())
+	}
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		id := core.PeerID(d.str())
+		st.Bans[id] = d.time()
+	}
+
+	st.Ledger.MaxPeers = int(d.varint())
+	st.Ledger.MaxPerPeer = int(d.varint())
+	st.Ledger.Total = d.uvarint()
+	st.Ledger.Evicted = d.uvarint()
+	st.Ledger.Trimmed = d.uvarint()
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		c := core.LedgerChain{Peer: core.PeerID(d.str()), Seq: d.uvarint()}
+		for m := d.uvarint(); m > 0 && d.err == nil; m-- {
+			c.Records = append(c.Records, d.banRecord())
+		}
+		st.Ledger.Chains = append(st.Ledger.Chains, c)
+	}
+
+	if st.HasRep = d.bool(); st.HasRep {
+		for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+			st.Rep.Peers = append(st.Rep.Peers, reputation.PeerPersist{
+				ID:          core.PeerID(d.str()),
+				Group:       d.str(),
+				Trust:       d.f64(),
+				Mis:         d.f64(),
+				Contributed: d.f64(),
+				Last:        d.time(),
+				Penalties:   d.uvarint(),
+				Credits:     d.uvarint(),
+			})
+		}
+		for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+			st.Rep.Groups = append(st.Rep.Groups, reputation.GroupPersist{
+				Key:         d.str(),
+				Pressure:    d.f64(),
+				Last:        d.time(),
+				BannedUntil: d.time(),
+				Identities:  int(d.varint()),
+				Bans:        d.uvarint(),
+			})
+		}
+		st.Rep.Penalties = d.uvarint()
+		st.Rep.Credits = d.uvarint()
+		st.Rep.GroupBans = d.uvarint()
+		st.Rep.Rejected = d.uvarint()
+	}
+	if d.err != nil {
+		return State{}, d.err
+	}
+	return st, nil
+}
+
+func sortedPeerKeys(m map[core.PeerID]int) []core.PeerID {
+	keys := make([]core.PeerID, 0, len(m))
+	for id := range m {
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Restore rebuilds the live components from a recovery result: snapshot
+// first, then every retained WAL record replayed in order. Replay is
+// idempotent over the snapshot — score/ban/trust records carry post-state
+// absolutes (last-write-wins), ledger and reputation records are de-duped
+// by their stamped sequence numbers — so it is correct, by design, for the
+// retained log to overlap the snapshot. ledger and engine may be nil; their
+// records are then skipped.
+func Restore(rec *Recovered, tracker *core.Tracker, ledger *core.Ledger, engine *reputation.Engine) {
+	scores := map[core.PeerID]int{}
+	good := map[core.PeerID]int{}
+	bans := map[core.PeerID]time.Time{}
+	if rec.Snapshot != nil {
+		st := rec.Snapshot
+		for id, v := range st.Scores {
+			scores[id] = v
+		}
+		for id, v := range st.Good {
+			good[id] = v
+		}
+		for id, until := range st.Bans {
+			bans[id] = until
+		}
+		ledger.ImportState(st.Ledger)
+		if engine != nil && st.HasRep {
+			engine.ImportState(st.Rep)
+		}
+	}
+	for i := range rec.Records {
+		r := &rec.Records[i]
+		switch r.Kind {
+		case recMisbehave:
+			m := &r.Misbehavior
+			if m.Banned {
+				// The live path resets the score on ban (the peer moves to
+				// the ban list); mirror it.
+				delete(scores, m.Peer)
+			} else {
+				scores[m.Peer] = m.Score
+			}
+			ledger.Restore(*m)
+		case recBan:
+			bans[r.Peer] = r.Until
+		case recForget:
+			delete(scores, r.Peer)
+			delete(good, r.Peer)
+		case recGood:
+			good[r.Peer] = r.Total
+		case recPenalty:
+			if engine != nil {
+				engine.RestorePenalty(r.Penalty)
+			}
+		case recCredit:
+			if engine != nil {
+				engine.RestoreCredit(r.Credit)
+			}
+		}
+	}
+	tracker.ImportScores(scores, good)
+	tracker.BanList().Import(bans)
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"banscore/internal/banstore"
 	"banscore/internal/core"
 	"banscore/internal/detect"
 	"banscore/internal/miner"
@@ -63,6 +64,16 @@ type Config struct {
 	// over the victim's tracker so storms can exercise admission gating
 	// and collective netgroup bans under fabric faults.
 	Reputation *reputation.Engine
+
+	// BanStore, when non-nil, gives the victim crash-safe ban-state
+	// persistence; BanStoreRecovered (from banstore.Open) is restored
+	// into the victim before it accepts connections. SnapshotEvery
+	// follows node.Config semantics (zero = default, negative = off).
+	// Crash-storm scenarios open the store themselves so they can
+	// Crash() and reopen it across simulated process deaths.
+	BanStore          *banstore.Store
+	BanStoreRecovered *banstore.Recovered
+	SnapshotEvery     time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -163,6 +174,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Tracer:              c.Tracer,
 		Forensics:           c.Forensics,
 		Reputation:          cfg.Reputation,
+		BanStore:            cfg.BanStore,
+		BanStoreRecovered:   cfg.BanStoreRecovered,
+		SnapshotEvery:       cfg.SnapshotEvery,
 		IdleTimeout:         cfg.IdleTimeout,
 		HandshakeTimeout:    cfg.HandshakeTimeout,
 		DialTimeout:         cfg.DialTimeout,

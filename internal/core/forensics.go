@@ -118,11 +118,13 @@ func NewLedger(maxPeers, maxPerPeer int) *Ledger {
 	}
 }
 
-// Append records rec, stamping its per-peer sequence number. No-op on a nil
-// ledger.
-func (l *Ledger) Append(rec BanRecord) {
+// Append records rec, stamping its per-peer sequence number, and returns
+// the stamp — the durability layer writes it into the WAL so replay can
+// dedupe against a snapshot that already captured the record. No-op on a
+// nil ledger (returning 0, the "unstamped" sentinel Restore recognizes).
+func (l *Ledger) Append(rec BanRecord) uint64 {
 	if l == nil {
-		return
+		return 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -148,6 +150,7 @@ func (l *Ledger) Append(rec BanRecord) {
 		l.trimmed++
 	}
 	l.total++
+	return c.seq
 }
 
 // Records returns the peer's chain, oldest first (nil when unknown).

@@ -92,6 +92,16 @@ type Config struct {
 	// hit that scored — the causal chain /debug/bans/<peer> serves. Nil
 	// disables the ledger.
 	Forensics *Ledger
+
+	// OnRecord, if set, receives the same BanRecord the forensics ledger
+	// stores (Seq stamped when a ledger is installed, zero otherwise) for
+	// every rule hit that scored. It is invoked under the peer's shard
+	// lock so records observe exactly the order their totals were
+	// computed in — the durability layer's WAL hook depends on that
+	// ordering to replay absolute score totals correctly. Implementations
+	// must therefore be non-blocking and fast (the banstore append is a
+	// mutex-guarded buffer copy).
+	OnRecord func(rec BanRecord)
 }
 
 func (c *Config) fillDefaults() {
@@ -256,7 +266,7 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 	if banned {
 		delete(s.scores, id)
 	}
-	t.cfg.Forensics.Append(BanRecord{
+	rec := BanRecord{
 		At:            t.cfg.Clock(),
 		Peer:          id,
 		RuleID:        rule,
@@ -268,7 +278,12 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 		TraceID:       mctx.TraceID,
 		PayloadDigest: mctx.PayloadDigest,
 		PayloadLen:    mctx.PayloadLen,
-	})
+	}
+	seq := t.cfg.Forensics.Append(rec)
+	if t.cfg.OnRecord != nil {
+		rec.Seq = seq
+		t.cfg.OnRecord(rec)
+	}
 	s.mu.Unlock()
 
 	if t.cfg.OnApplied != nil {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"banscore/internal/attack"
+	"banscore/internal/banstore"
 	"banscore/internal/blockchain"
 	"banscore/internal/core"
 	"banscore/internal/node"
@@ -149,6 +150,14 @@ type TestbedConfig struct {
 	// collective netgroup bans). Pair with Mode: ModeThresholdInfinity to
 	// study the engine as the sole countermeasure.
 	Reputation *reputation.Engine
+
+	// BanStore / BanStoreRecovered / SnapshotEvery pass crash-safe ban
+	// persistence through to the victim node (see node.Config). The
+	// restart experiment opens the store itself so it can crash and
+	// reopen it between victim lifetimes.
+	BanStore          *banstore.Store
+	BanStoreRecovered *banstore.Recovered
+	SnapshotEvery     time.Duration
 }
 
 // NewTestbed builds and starts the victim node on a fresh fabric.
@@ -162,15 +171,18 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	}
 	tb := &Testbed{Fabric: fabric, Target: "10.0.0.1:8333"}
 	victim := node.New(node.Config{
-		ChainParams:   cfg.ChainParams,
-		TrackerConfig: cfg.TrackerConfig,
-		Tap:           cfg.Tap,
-		MaxInbound:    cfg.MaxInbound,
-		Telemetry:     cfg.Telemetry,
-		Journal:       cfg.Journal,
-		Tracer:        cfg.Tracer,
-		Forensics:     cfg.Forensics,
-		Reputation:    cfg.Reputation,
+		ChainParams:       cfg.ChainParams,
+		TrackerConfig:     cfg.TrackerConfig,
+		Tap:               cfg.Tap,
+		MaxInbound:        cfg.MaxInbound,
+		Telemetry:         cfg.Telemetry,
+		Journal:           cfg.Journal,
+		Tracer:            cfg.Tracer,
+		Forensics:         cfg.Forensics,
+		Reputation:        cfg.Reputation,
+		BanStore:          cfg.BanStore,
+		BanStoreRecovered: cfg.BanStoreRecovered,
+		SnapshotEvery:     cfg.SnapshotEvery,
 		Dialer: func(remote string) (net.Conn, error) {
 			port := 40000 + tb.ports.Add(1)
 			return fabric.Dial(fmt.Sprintf("10.0.0.1:%d", port), remote)

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRestartComparisonShapes runs the full restart matrix at quick scale
+// and checks the claims the table exists to make: without persistence a
+// restart erases the ban and the attacker must be re-banned at full price;
+// with the banstore the ban survives, the reconnect is refused, and the
+// re-ban costs nothing.
+func TestRestartComparisonShapes(t *testing.T) {
+	res, err := RestartComparison(QuickScale(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 attacks × 2 persistence modes)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MsgsToBan == 0 {
+			t.Errorf("%s/%s: first life never measured a ban", row.Attack, row.Persistence)
+		}
+		switch row.Persistence {
+		case "none":
+			if row.BannedAfterRestart {
+				t.Errorf("%s/none: ban survived a restart without persistence", row.Attack)
+			}
+			if row.MsgsToReban == 0 {
+				t.Errorf("%s/none: re-ban was free without persistence", row.Attack)
+			}
+		case "banstore":
+			if !row.BannedAfterRestart {
+				t.Errorf("%s/banstore: ban lost across restart", row.Attack)
+			}
+			if !row.ReconnectRefused {
+				t.Errorf("%s/banstore: banned party reconnected after restart", row.Attack)
+			}
+			if row.MsgsToReban != 0 {
+				t.Errorf("%s/banstore: durable ban still cost %d messages to re-earn", row.Attack, row.MsgsToReban)
+			}
+		default:
+			t.Errorf("unknown persistence %q", row.Persistence)
+		}
+	}
+
+	if out := res.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

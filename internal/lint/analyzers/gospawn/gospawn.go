@@ -24,7 +24,7 @@ import (
 
 // DefaultScope lists the import-path segments of the packages whose
 // goroutines must be supervised.
-var DefaultScope = []string{"node", "peer"}
+var DefaultScope = []string{"node", "peer", "banstore"}
 
 // spawnHelpers names the functions allowed to contain go statements: the
 // WaitGroup-registering helpers everything else must route through.

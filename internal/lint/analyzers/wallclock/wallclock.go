@@ -31,7 +31,11 @@ import (
 // but each must carry an explicit waiver. reputation is in scope because
 // the engine's decay arithmetic must be a function of its injected clock —
 // an ambient time.Now would desynchronize identical schedules across runs.
-var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation"}
+// banstore is in scope because recovery replay must reproduce the exact
+// state the live process held: fsync pacing and latency measurement run
+// off the injected clock, and record timestamps come from the callers'
+// clocks, never the ambient one.
+var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation", "banstore"}
 
 // bannedTime is the set of time-package functions that read or schedule
 // against the ambient clock. Constructors of values (time.Date, time.Unix,
@@ -72,7 +76,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbid ambient time and global math/rand in determinism-critical packages\n\n" +
 		"Packages whose import path contains a scoped segment (default: simnet, " +
-		"experiments, vclock, reputation) must take time from an injected vclock.Clock and " +
+		"experiments, vclock, reputation, banstore) must take time from an injected vclock.Clock and " +
 		"randomness from an explicitly seeded rand.New; ambient clock reads and " +
 		"global-generator calls are reported.",
 	Run: run,

@@ -435,7 +435,13 @@ func (n *Node) handleBlock(p *peer.Peer, m *wire.MsgBlock, cmd string) {
 		n.mu.Unlock()
 		n.blocksAccepted.Add(1)
 		// Good-score mechanism (§VIII): a valid BLOCK earns +1 credit.
-		n.tracker.AddGood(p.ID())
+		// The WAL records the post-increment total, not the delta, so
+		// replay converges last-write-wins no matter where the covering
+		// snapshot cut the stream.
+		total := n.tracker.AddGood(p.ID())
+		if s := n.cfg.BanStore; s != nil {
+			s.AppendGood(p.ID(), total)
+		}
 		if e := n.cfg.Reputation; e != nil {
 			e.Credit(p.ID(), reputation.CreditBlock)
 		}

@@ -32,11 +32,33 @@ func (n *Node) Health() (bool, map[string]any) {
 		reasons = append(reasons, "ban-table-saturated")
 	}
 
+	// Persistence degrades before it interferes: when fsync latency or
+	// the WAL backlog exceeds budget the store sheds appends rather than
+	// blocking the message path, and the node reports itself degraded so
+	// operators know durability — not traffic — is what's being lost.
+	var storeStatus map[string]any
+	if s := n.cfg.BanStore; s != nil {
+		st := s.Status()
+		storeStatus = map[string]any{
+			"lsn":           st.LSN,
+			"pending_bytes": st.PendingBytes,
+			"dropped":       st.Dropped,
+			"fsync_seconds": st.LastFsyncSeconds,
+		}
+		if !st.Healthy {
+			healthy = false
+			reasons = append(reasons, "banstore-degraded")
+		}
+	}
+
 	fields := map[string]any{
 		"peers_inbound":    inbound,
 		"peers_outbound":   outbound,
 		"outbound_deficit": deficit,
 		"banned":           banned,
+	}
+	if storeStatus != nil {
+		fields["banstore"] = storeStatus
 	}
 	if e := n.cfg.Reputation; e != nil {
 		_, probation, netgroupBanned := e.TrackedGroups()

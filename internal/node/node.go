@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"banscore/internal/banstore"
 	"banscore/internal/blockchain"
 	"banscore/internal/bloom"
 	"banscore/internal/chainhash"
@@ -177,6 +178,25 @@ type Config struct {
 	// call appends the rule/delta/score record /debug/bans serves.
 	Forensics *core.Ledger
 
+	// BanStore, if set, makes ban state crash-safe: every scoring event,
+	// ban, forget, and good-score credit is appended to its write-ahead
+	// log from the tracker's OnRecord hook, and a background scheduler
+	// writes compacted snapshots every SnapshotEvery. The store sheds
+	// appends (never blocks the message path) when durability falls
+	// behind, and Health reports the node degraded while it does.
+	BanStore *banstore.Store
+
+	// BanStoreRecovered, if set together with BanStore, is the recovery
+	// result from banstore.Open. New replays it into the tracker, the
+	// forensics ledger, and the reputation engine before the node accepts
+	// its first connection, so bans survive a crash or restart.
+	BanStoreRecovered *banstore.Recovered
+
+	// SnapshotEvery is the ban-state snapshot interval; zero selects
+	// DefaultSnapshotEvery, negative disables the scheduler (Snapshot can
+	// still be forced via WriteSnapshot).
+	SnapshotEvery time.Duration
+
 	// Reputation, if set, layers the netgroup reputation engine over the
 	// tracker: every applied rule hit also charges the peer's /16 (or
 	// IPv6 /32) budget, valid BLOCK/TX deliveries earn trust, admission
@@ -319,7 +339,40 @@ func New(cfg Config) *Node {
 			}
 		}
 	}
+	if s := cfg.BanStore; s != nil {
+		// Feed the WAL from the tracker's record hook. The hook runs
+		// under the peer's shard lock, so records reach the store in
+		// exact computation order; the store itself only encodes into
+		// the group-commit buffer there (fsync is off this path).
+		tc := &n.cfg.TrackerConfig
+		banDur := tc.BanDuration
+		if banDur == 0 {
+			banDur = core.DefaultBanDuration
+		}
+		userRecord := tc.OnRecord
+		tc.OnRecord = func(rec core.BanRecord) {
+			s.AppendMisbehavior(rec)
+			if rec.Banned {
+				s.AppendBan(rec.Peer, rec.At.Add(banDur))
+			}
+			if userRecord != nil {
+				userRecord(rec)
+			}
+		}
+	}
 	n.tracker = core.NewTracker(n.cfg.TrackerConfig)
+	if s := cfg.BanStore; s != nil {
+		if cfg.BanStoreRecovered != nil {
+			banstore.Restore(cfg.BanStoreRecovered, n.tracker, n.cfg.TrackerConfig.Forensics, cfg.Reputation)
+		}
+		if cfg.SnapshotEvery >= 0 {
+			every := cfg.SnapshotEvery
+			if every == 0 {
+				every = DefaultSnapshotEvery
+			}
+			n.spawn(func() { n.snapshotLoop(every) })
+		}
+	}
 	return n
 }
 
@@ -800,6 +853,9 @@ func (n *Node) peerDisconnected(p *peer.Peer) {
 	}
 	n.mu.Unlock()
 	n.tracker.Forget(p.ID())
+	if s := n.cfg.BanStore; s != nil {
+		s.AppendForget(p.ID())
+	}
 	if m := n.metrics; m != nil {
 		m.peerRetired(p.BytesReceived(), p.BytesSent())
 		direction := "outbound"

@@ -1,0 +1,253 @@
+package reputation
+
+import (
+	"sort"
+	"time"
+
+	"banscore/internal/core"
+)
+
+// This file is the reputation engine's durability seam. Two halves:
+//
+//   - ExportState/ImportState move the whole engine (peer trust/misbehavior,
+//     netgroup budgets, lifetime counters) through a canonical, sorted,
+//     shard-count-independent State — the compacted-snapshot payload.
+//   - Recorder + PenaltyRecord/CreditRecord stream every state change as it
+//     happens — the WAL feed. Records carry post-state absolutes (decayed
+//     values plus the vclock instant they are valued at), never deltas, so
+//     replay is last-write-wins and a record applied twice converges instead
+//     of double-charging. The per-peer Penalties/Credits counters double as
+//     replay sequence numbers: a record at or below the restored counter was
+//     already captured by the snapshot the replay runs on top of.
+//
+// Because every record is stamped with the injected vclock's reading, decay
+// replays deterministically: restoring a snapshot plus its WAL tail on any
+// shard count yields byte-for-byte the state of the live engine at the same
+// clock instant.
+
+// PenaltyRecord is the durable image of one Penalize call: the peer's and
+// the netgroup's post-state, valued At the engine clock's reading.
+type PenaltyRecord struct {
+	ID core.PeerID
+
+	// Seq is the peer's lifetime penalty count after this call — the
+	// replay dedup sequence for the peer-state half of the record.
+	Seq uint64
+
+	// At is the vclock instant Mis/Contributed/Pressure are valued at;
+	// restore re-anchors decay here.
+	At time.Time
+
+	// Peer post-state.
+	Mis         float64
+	Contributed float64
+
+	// Netgroup post-state. Captured under the group mutex, so the WAL
+	// observes group absolutes in exactly the order they were computed.
+	Group       string
+	Pressure    float64
+	BannedUntil time.Time
+	Identities  int
+	Bans        uint64
+}
+
+// CreditRecord is the durable image of one Credit call.
+type CreditRecord struct {
+	ID core.PeerID
+
+	// Seq is the peer's lifetime credit count after this call.
+	Seq uint64
+
+	// Trust is the peer's post-state trust (capped).
+	Trust float64
+}
+
+// Recorder receives the engine's durable event stream. Implementations are
+// invoked under the engine locks that computed the record's values — that is
+// what makes the stream replayable in order — and must therefore be fast and
+// non-blocking (the banstore's implementation is a mutex-guarded buffer
+// append; fsync happens on a background writer).
+type Recorder interface {
+	RecordPenalty(rec PenaltyRecord)
+	RecordCredit(rec CreditRecord)
+}
+
+// PeerPersist is one identity's exported reputation state.
+type PeerPersist struct {
+	ID          core.PeerID
+	Group       string
+	Trust       float64
+	Mis         float64
+	Contributed float64
+	Last        time.Time
+	Penalties   uint64
+	Credits     uint64
+}
+
+// GroupPersist is one netgroup's exported state.
+type GroupPersist struct {
+	Key         string
+	Pressure    float64
+	Last        time.Time
+	BannedUntil time.Time
+	Identities  int
+	Bans        uint64
+}
+
+// State is the engine's complete exported state. Peers and Groups are
+// sorted (by ID and Key), so the same logical state always exports
+// identically regardless of shard count or map iteration order — the
+// property the crash-recovery byte-for-byte test leans on.
+type State struct {
+	Peers  []PeerPersist
+	Groups []GroupPersist
+
+	// Lifetime counters (Totals).
+	Penalties uint64
+	Credits   uint64
+	GroupBans uint64
+	Rejected  uint64
+}
+
+// ExportState snapshots the engine shard by shard under the read/group
+// locks (consistent per shard — the same guarantee every whole-engine view
+// gives).
+func (e *Engine) ExportState() State {
+	st := State{
+		Penalties: e.penalties.Load(),
+		Credits:   e.credits.Load(),
+		GroupBans: e.groupBans.Load(),
+		Rejected:  e.rejected.Load(),
+	}
+	for i := range e.peers {
+		s := &e.peers[i]
+		s.mu.RLock()
+		for id, p := range s.m {
+			st.Peers = append(st.Peers, PeerPersist{
+				ID:          id,
+				Group:       p.group.key,
+				Trust:       p.trust,
+				Mis:         p.mis,
+				Contributed: p.contributed,
+				Last:        p.last,
+				Penalties:   p.penalties,
+				Credits:     p.credits,
+			})
+		}
+		s.mu.RUnlock()
+	}
+	for i := range e.groups {
+		s := &e.groups[i]
+		s.mu.Lock()
+		for key, g := range s.m {
+			g.mu.Lock()
+			st.Groups = append(st.Groups, GroupPersist{
+				Key:         key,
+				Pressure:    g.pressure,
+				Last:        g.last,
+				BannedUntil: g.bannedUntil,
+				Identities:  g.identities,
+				Bans:        g.bans,
+			})
+			g.mu.Unlock()
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].ID < st.Peers[j].ID })
+	sort.Slice(st.Groups, func(i, j int) bool { return st.Groups[i].Key < st.Groups[j].Key })
+	return st
+}
+
+// ImportState installs restored state into a freshly built engine. Groups
+// are created first so every peer's cached group pointer lands on the same
+// record future lookups resolve; entries land on whatever shard they hash
+// to, so a snapshot taken at 8 shards restores identically at 256.
+func (e *Engine) ImportState(st State) {
+	for _, gp := range st.Groups {
+		g := e.group(gp.Key)
+		g.mu.Lock()
+		g.pressure = gp.Pressure
+		g.last = gp.Last
+		g.bannedUntil = gp.BannedUntil
+		g.identities = gp.Identities
+		g.bans = gp.Bans
+		g.mu.Unlock()
+	}
+	for _, pp := range st.Peers {
+		g := e.group(pp.Group)
+		s := e.peerShard(pp.ID)
+		s.mu.Lock()
+		p := s.m[pp.ID]
+		if p == nil {
+			p = &peerState{group: g}
+			s.m[pp.ID] = p
+		}
+		p.trust = pp.Trust
+		p.mis = pp.Mis
+		p.contributed = pp.Contributed
+		p.last = pp.Last
+		p.penalties = pp.Penalties
+		p.credits = pp.Credits
+		s.mu.Unlock()
+	}
+	e.penalties.Store(st.Penalties)
+	e.credits.Store(st.Credits)
+	e.groupBans.Store(st.GroupBans)
+	e.rejected.Store(st.Rejected)
+}
+
+// RestorePenalty replays one WAL penalty record. The peer half is guarded
+// by Seq (skipped when the snapshot already captured it); the group half is
+// guarded by At (never rewinds group state to an older instant). Records
+// therefore apply idempotently in WAL order on top of any snapshot that
+// overlaps the log.
+func (e *Engine) RestorePenalty(rec PenaltyRecord) {
+	p := e.peer(rec.ID)
+	s := e.peerShard(rec.ID)
+	fresh := false
+	s.mu.Lock()
+	if rec.Seq > p.penalties {
+		p.mis = rec.Mis
+		p.contributed = rec.Contributed
+		p.last = rec.At
+		p.penalties = rec.Seq
+		fresh = true
+	}
+	g := p.group
+	s.mu.Unlock()
+
+	g.mu.Lock()
+	if !rec.At.Before(g.last) {
+		if rec.Bans > g.bans {
+			e.groupBans.Add(rec.Bans - g.bans)
+		}
+		g.pressure = rec.Pressure
+		g.last = rec.At
+		g.bannedUntil = rec.BannedUntil
+		g.identities = rec.Identities
+		g.bans = rec.Bans
+	}
+	g.mu.Unlock()
+
+	if fresh {
+		e.penalties.Add(1)
+	}
+}
+
+// RestoreCredit replays one WAL credit record, Seq-guarded like the penalty
+// peer half.
+func (e *Engine) RestoreCredit(rec CreditRecord) {
+	p := e.peer(rec.ID)
+	s := e.peerShard(rec.ID)
+	fresh := false
+	s.mu.Lock()
+	if rec.Seq > p.credits {
+		p.trust = rec.Trust
+		p.credits = rec.Seq
+		fresh = true
+	}
+	s.mu.Unlock()
+	if fresh {
+		e.credits.Add(1)
+	}
+}

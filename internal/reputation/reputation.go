@@ -165,6 +165,14 @@ type Config struct {
 	// OnGroupBan, if set, is invoked — outside all engine locks — when a
 	// penalty pushes a netgroup over its budget.
 	OnGroupBan func(group string, pressure float64)
+
+	// Recorder, if set, receives the engine's durable event stream: one
+	// PenaltyRecord per Penalize (emitted under the group mutex, after
+	// both the peer and group halves are computed) and one CreditRecord
+	// per Credit (emitted under the peer shard lock). See persist.go for
+	// the ordering/idempotency contract; implementations must be fast and
+	// non-blocking.
+	Recorder Recorder
 }
 
 func (c *Config) fillDefaults() {
@@ -407,7 +415,9 @@ func (e *Engine) Penalize(id core.PeerID, weight int) PenaltyResult {
 	}
 	p.contributed += delta
 	p.penalties++
+	seq := p.penalties
 	mis := p.mis
+	contributed := p.contributed
 	g := p.group
 	s.mu.Unlock()
 
@@ -427,6 +437,23 @@ func (e *Engine) Penalize(id core.PeerID, weight int) PenaltyResult {
 	res.GroupPressure = g.pressure
 	res.GroupStatus = e.groupStatusLocked(g, now)
 	res.GroupBanned = justBanned
+	if e.cfg.Recorder != nil {
+		// Emitted while g.mu is held: the WAL observes group absolutes in
+		// exactly the order the group computed them, which is what makes
+		// last-write-wins replay converge.
+		e.cfg.Recorder.RecordPenalty(PenaltyRecord{
+			ID:          id,
+			Seq:         seq,
+			At:          now,
+			Mis:         mis,
+			Contributed: contributed,
+			Group:       g.key,
+			Pressure:    g.pressure,
+			BannedUntil: g.bannedUntil,
+			Identities:  g.identities,
+			Bans:        g.bans,
+		})
+	}
 	g.mu.Unlock()
 
 	e.penalties.Add(1)
@@ -452,6 +479,9 @@ func (e *Engine) Credit(id core.PeerID, weight int) float64 {
 	}
 	p.credits++
 	t := p.trust
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.RecordCredit(CreditRecord{ID: id, Seq: p.credits, Trust: t})
+	}
 	s.mu.Unlock()
 	e.credits.Add(1)
 	return t
