@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace bench-gate bench-baseline test-poolpoison chaos chaos-short chaos-crash
+.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace bench-gate bench-baseline test-poolpoison chaos chaos-short chaos-crash fleet-short
 
 check: vet lint build race test-poolpoison bench-telemetry bench-trace
 
@@ -48,11 +48,11 @@ bench:
 # Benchmark-regression gate. The gated families are the hot paths with
 # committed baselines in BENCH_baseline.json: telemetry instrumentation,
 # trace dispatch, the sharded ban-score engine, ban-list reads, the pooled
-# wire codec, and the banstore WAL append + recovery replay. Fixed
-# iteration counts keep run-to-run variance down; cmd/benchdiff fails the
-# build past its tolerance, and any allocation on a zero-alloc baseline
-# fails outright.
-BENCH_GATE_PATTERN = 'BenchmarkTelemetry|BenchmarkTraceDispatch|BenchmarkBanScore|BenchmarkBanList|BenchmarkWire|BenchmarkReputation|BenchmarkNetgroup|BenchmarkWALAppend|BenchmarkRecovery'
+# wire codec, the banstore WAL append + recovery replay, and the fleet
+# observer's store ingest. Fixed iteration counts keep run-to-run variance
+# down; cmd/benchdiff fails the build past its tolerance, and any
+# allocation on a zero-alloc baseline fails outright.
+BENCH_GATE_PATTERN = 'BenchmarkTelemetry|BenchmarkTraceDispatch|BenchmarkBanScore|BenchmarkBanList|BenchmarkWire|BenchmarkReputation|BenchmarkNetgroup|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkObserver'
 
 # -count=3: benchdiff keeps the per-metric minimum across repeats, which
 # filters scheduler noise far better than one long run on a busy machine.
@@ -75,6 +75,14 @@ chaos-short:
 	$(GO) test -race -short -count=1 -timeout 300s ./internal/chaos/
 
 # Kill/restart chaos: the crash-storm scenarios (simulated and real
-# SIGKILL) plus the banstore recovery edge cases, under the race detector.
+# SIGKILL) plus the banstore and fleet-observer recovery edge cases, under
+# the race detector.
 chaos-crash:
-	$(GO) test -race -count=1 -timeout 300s -run 'Crash|Restart|Recover|SIGKILL' ./internal/banstore/ ./internal/chaos/ ./internal/node/
+	$(GO) test -race -count=1 -timeout 300s -run 'Crash|Restart|Recover|SIGKILL' ./internal/banstore/ ./internal/chaos/ ./internal/node/ ./internal/observer/
+
+# Fleet smoke: launch 3 real btcnode processes on loopback TCP, replay one
+# Defamation identity and one Sybil identity against all of them at once,
+# and write the cross-node ban-propagation result as a JSON artifact. The
+# run is bounded by the fleet's 30s ban-propagation wait.
+fleet-short:
+	$(GO) run ./cmd/fleet -nodes 3 -sybils 1 -out fleet-propagation.json

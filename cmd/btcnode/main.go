@@ -7,16 +7,22 @@
 //
 //	btcnode -listen :8333 [-connect host:port,...] [-mode standard|infinity|disabled|goodscore]
 //	        [-core-version 0.20.0|0.21.0|0.22.0] [-stats 10s] [-telemetry 127.0.0.1:9333]
+//	        [-node-id fleet-1]
 //	        [-trace] [-trace-sample 64] [-pprof] [-reputation]
 //	        [-dial-timeout 10s] [-handshake-timeout 15s] [-write-timeout 30s]
 //	        [-reconnect-backoff 100ms] [-reconnect-max-backoff 5s]
 //	        [-banstore-dir /var/lib/btcnode/banstore] [-fsync batch] [-snapshot-every 1m]
 //
 // With -telemetry set, an HTTP endpoint serves /metrics (Prometheus text, or
-// ?format=json), /healthz, and /events (the typed event journal). /healthz
-// reflects the node's own health probe: it degrades (HTTP 503) on an
-// outbound-slot deficit or a saturated ban table, and recovers on its own as
-// the slot keepers refill connections.
+// ?format=json), /healthz, /events (the typed event journal), and
+// /debug/journal (the incremental cursor feed fleet observers poll:
+// ?since=<cursor> resumes, and the response's next_cursor + dropped count
+// let a poller detect ring-buffer gaps instead of silently missing events).
+// /healthz reflects the node's own health probe: it degrades (HTTP 503) on
+// an outbound-slot deficit or a saturated ban table, and recovers on its
+// own as the slot keepers refill connections. -node-id stamps the node's
+// identity on node_info{node_id,version,go_version}, /healthz, and
+// /debug/journal so fleet-aggregated telemetry is attributable.
 //
 // With -trace (requires -telemetry), the message-lifecycle tracer samples
 // 1-in-N messages (-trace-sample) through decode, dispatch, ban scoring, and
@@ -66,6 +72,10 @@ import (
 	"banscore/internal/trace"
 )
 
+// buildVersion stamps node_info{version=...}; bump alongside releases so a
+// fleet scrape can spot version skew across nodes.
+const buildVersion = "0.8.0"
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "btcnode:", err)
@@ -80,6 +90,7 @@ func run() error {
 	coreVersion := flag.String("core-version", "0.20.0", "Table I rule set: 0.20.0, 0.21.0, 0.22.0")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	telemetryAddr := flag.String("telemetry", "", "HTTP address for /metrics, /healthz, /events (empty disables; \":0\" picks a port)")
+	nodeID := flag.String("node-id", "", "fleet-unique node identifier stamped on node_info{node_id} and /debug/journal (default: the listen address)")
 	traceOn := flag.Bool("trace", false, "enable message-lifecycle tracing + ban forensics at /debug/trace, /debug/bans (requires -telemetry)")
 	traceSample := flag.Int("trace-sample", trace.DefaultSampleN, "trace 1 in N messages (rounded up to a power of two; 1 traces everything)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof at /debug/pprof/ and Go runtime gauges in /metrics (requires -telemetry)")
@@ -160,6 +171,12 @@ func run() error {
 		cfg.Telemetry = reg
 		cfg.Journal = journal
 		telemetrySrv = telemetry.NewServer(reg, journal)
+		id := *nodeID
+		if id == "" {
+			id = *listen
+		}
+		telemetrySrv.SetNodeID(id)
+		telemetry.RegisterNodeInfo(reg, id, buildVersion)
 		if engine != nil {
 			engine.Instrument(reg)
 			repHandler := engine.Handler()

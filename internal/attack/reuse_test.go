@@ -1,0 +1,64 @@
+package attack
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReuseDialerSharedLocalPort proves the fleet-identity property: two
+// concurrent connections to two distinct listeners bound to the SAME local
+// [IP:port], so both accepting sides attribute the traffic to one
+// identifier.
+func TestReuseDialerSharedLocalPort(t *testing.T) {
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Close()
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+
+	seen := make(chan string, 2)
+	var wg sync.WaitGroup
+	for _, l := range []net.Listener{l1, l2} {
+		wg.Add(1)
+		go func(l net.Listener) {
+			defer wg.Done()
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			seen <- conn.RemoteAddr().String()
+			conn.Close()
+		}(l)
+	}
+
+	c1, err := ReuseDialer(&net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)}, time.Second).Dial("tcp", l1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	laddr := c1.LocalAddr().(*net.TCPAddr)
+
+	c2, err := ReuseDialer(laddr, time.Second).Dial("tcp", l2.Addr().String())
+	if err != nil {
+		t.Fatalf("second dial from %s: %v (SO_REUSEPORT not honored?)", laddr, err)
+	}
+	defer c2.Close()
+
+	if got := c2.LocalAddr().String(); got != laddr.String() {
+		t.Fatalf("second connection local addr = %s, want %s", got, laddr)
+	}
+	wg.Wait()
+	close(seen)
+	for remote := range seen {
+		if remote != laddr.String() {
+			t.Errorf("listener saw remote %s, want the shared identity %s", remote, laddr)
+		}
+	}
+}

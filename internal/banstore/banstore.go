@@ -575,36 +575,10 @@ func (s *Store) Snapshot(st State, lsn uint64) error {
 		return err
 	}
 
-	payload := EncodeState(st)
-	buf := make([]byte, 0, len(snapMagic)+16+len(payload))
-	buf = append(buf, snapMagic...)
-	buf = binary.LittleEndian.AppendUint64(buf, lsn)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
-	buf = append(buf, payload...)
-
-	tmp := s.path(snapshotName(lsn) + ".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	buf := EncodeSnapshotFile(snapMagic, lsn, EncodeState(st))
+	if err := WriteFileAtomic(s.path(snapshotName(lsn)), buf, s.opts.Fsync != FsyncNone); err != nil {
 		return err
 	}
-	if _, err = f.Write(buf); err != nil {
-		_ = f.Close()
-		return err
-	}
-	if s.opts.Fsync != FsyncNone {
-		if err = f.Sync(); err != nil {
-			_ = f.Close()
-			return err
-		}
-	}
-	if err = f.Close(); err != nil {
-		return err
-	}
-	if err = os.Rename(tmp, s.path(snapshotName(lsn))); err != nil {
-		return err
-	}
-	s.syncDir()
 
 	if err := s.rotateSegment(); err != nil {
 		return err
@@ -662,17 +636,17 @@ func (s *Store) pruneCovered(snapLSN uint64) {
 	segs, snaps, _ := scanDir(s.opts.Dir)
 	if keep := s.opts.SnapshotKeep; len(snaps) > keep {
 		for _, sn := range snaps[:len(snaps)-keep] {
-			_ = os.Remove(sn.path)
+			_ = os.Remove(sn.Path)
 		}
 		snaps = snaps[len(snaps)-keep:]
 	}
 	cover := snapLSN
-	if len(snaps) > 0 && snaps[0].start < cover {
-		cover = snaps[0].start
+	if len(snaps) > 0 && snaps[0].Start < cover {
+		cover = snaps[0].Start
 	}
 	for i := 0; i+1 < len(segs); i++ {
-		if segs[i+1].start-1 <= cover {
-			_ = os.Remove(segs[i].path)
+		if segs[i+1].Start-1 <= cover {
+			_ = os.Remove(segs[i].Path)
 		}
 	}
 	s.syncDir()
@@ -692,10 +666,7 @@ func createSegment(dir string, startLSN uint64) (*os.File, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	hdr := make([]byte, 0, len(walMagic)+8)
-	hdr = append(hdr, walMagic...)
-	hdr = binary.LittleEndian.AppendUint64(hdr, startLSN)
-	if _, err := f.Write(hdr); err != nil {
+	if _, err := f.Write(SegmentHeader(walMagic, startLSN)); err != nil {
 		_ = f.Close()
 		return nil, 0, err
 	}

@@ -1,0 +1,155 @@
+package banstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Exported WAL/snapshot framing. The byte-level durability layer — CRC32C
+// length-prefixed record frames, magic+startLSN segment headers, and
+// magic+LSN+CRC snapshot files written tmp→fsync→rename — is independent of
+// what the records mean. banstore's own segment writer and recovery are
+// built on these helpers, and internal/observer reuses them verbatim for
+// its fleet-event store: one framing implementation, one set of corruption
+// semantics (truncate at the first bad frame, never refuse to open), two
+// typed stores.
+
+// FrameOverhead is the per-record framing cost: u32 LE payload length plus
+// u32 LE CRC32C of the payload.
+const FrameOverhead = frameOverhead
+
+// MaxFramePayload bounds a single frame's payload; a larger length prefix
+// in a log is corruption, not data.
+const MaxFramePayload = maxRecordBytes
+
+// AppendFrame appends one framed record to dst and returns the extended
+// slice: [u32 LE len][u32 LE CRC32C(payload)][payload].
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// ScanFrames walks the framed records in b (no file header), invoking fn on
+// each CRC-valid payload. It stops at the first torn or corrupt frame — or
+// the first fn error, which callers use to reject schema-invalid payloads —
+// and returns how many bytes of b were consumed by valid frames and whether
+// the buffer ended cleanly (false means good is a truncation point).
+func ScanFrames(b []byte, fn func(payload []byte) error) (good int64, clean bool) {
+	off := 0
+	for {
+		if off == len(b) {
+			return int64(off), true
+		}
+		if off+frameOverhead > len(b) {
+			return int64(off), false // torn frame header
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off:]))
+		crc := binary.LittleEndian.Uint32(b[off+4:])
+		if plen <= 0 || plen > maxRecordBytes || off+frameOverhead+plen > len(b) {
+			return int64(off), false // torn/insane length
+		}
+		payload := b[off+frameOverhead : off+frameOverhead+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return int64(off), false // bit flip
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return int64(off), false // valid CRC, bad schema
+			}
+		}
+		off += frameOverhead + plen
+	}
+}
+
+// SegmentHeader renders a WAL segment header: magic then u64 LE startLSN.
+func SegmentHeader(magic []byte, startLSN uint64) []byte {
+	hdr := make([]byte, 0, len(magic)+8)
+	hdr = append(hdr, magic...)
+	return binary.LittleEndian.AppendUint64(hdr, startLSN)
+}
+
+// ParseSegmentHeader validates b's magic and returns the segment's startLSN
+// and the header length (where frame scanning begins).
+func ParseSegmentHeader(magic, b []byte) (startLSN uint64, hdrLen int, err error) {
+	hdrLen = len(magic) + 8
+	if len(b) < hdrLen || string(b[:len(magic)]) != string(magic) {
+		return 0, 0, errBadMagic
+	}
+	return binary.LittleEndian.Uint64(b[len(magic):]), hdrLen, nil
+}
+
+// EncodeSnapshotFile renders a complete snapshot file image: magic, u64 LE
+// LSN, u32 LE payload length, u32 LE CRC32C(payload), payload.
+func EncodeSnapshotFile(magic []byte, lsn uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(magic)+16+len(payload))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// DecodeSnapshotFile validates a snapshot file image (magic, length, CRC)
+// and returns its payload and covered LSN.
+func DecodeSnapshotFile(magic, b []byte) (payload []byte, lsn uint64, err error) {
+	hdr := len(magic) + 16
+	if len(b) < hdr || string(b[:len(magic)]) != string(magic) {
+		return nil, 0, errBadMagic
+	}
+	lsn = binary.LittleEndian.Uint64(b[len(magic):])
+	plen := binary.LittleEndian.Uint32(b[len(magic)+8:])
+	crc := binary.LittleEndian.Uint32(b[len(magic)+12:])
+	if uint64(plen) != uint64(len(b)-hdr) {
+		return nil, 0, errCorrupt
+	}
+	payload = b[hdr:]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, 0, errCorrupt
+	}
+	return payload, lsn, nil
+}
+
+// SegmentFileName returns the on-disk name of the WAL segment whose first
+// record carries startLSN.
+func SegmentFileName(startLSN uint64) string { return segmentName(startLSN) }
+
+// SnapshotFileName returns the on-disk name of the snapshot covering
+// through lsn.
+func SnapshotFileName(lsn uint64) string { return snapshotName(lsn) }
+
+// WriteFileAtomic durably writes data at path: tmp file, optional fsync,
+// rename, optional directory fsync. A crash mid-write leaves the previous
+// file (if any) intact.
+func WriteFileAtomic(path string, data []byte, fsync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if fsync {
+		if err = f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if fsync {
+		if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+			_ = d.Sync()
+			_ = d.Close()
+		}
+	}
+	return nil
+}

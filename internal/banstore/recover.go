@@ -1,8 +1,6 @@
 package banstore
 
 import (
-	"encoding/binary"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -51,14 +49,16 @@ type Recovered struct {
 	Truncations uint64
 }
 
-type fileRef struct {
-	path  string
-	start uint64 // segment startLSN, or snapshot LSN
+// StoreFile is one WAL segment or snapshot located by ScanStoreDir.
+type StoreFile struct {
+	Path  string
+	Start uint64 // segment startLSN, or snapshot covered LSN
 }
 
-// scanDir lists WAL segments (ascending startLSN) and snapshots (ascending
-// LSN) in dir.
-func scanDir(dir string) (segs, snaps []fileRef, err error) {
+// ScanStoreDir lists a store directory's WAL segments (ascending startLSN)
+// and snapshots (ascending covered LSN). Shared by banstore's own recovery
+// and any store reusing its file layout (internal/observer).
+func ScanStoreDir(dir string) (segs, snaps []StoreFile, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -68,18 +68,21 @@ func scanDir(dir string) (segs, snaps []fileRef, err error) {
 		switch {
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
 			if n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64); perr == nil {
-				segs = append(segs, fileRef{path: filepath.Join(dir, name), start: n})
+				segs = append(segs, StoreFile{Path: filepath.Join(dir, name), Start: n})
 			}
 		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
 			if n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64); perr == nil {
-				snaps = append(snaps, fileRef{path: filepath.Join(dir, name), start: n})
+				snaps = append(snaps, StoreFile{Path: filepath.Join(dir, name), Start: n})
 			}
 		}
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i].start < snaps[j].start })
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Start < snaps[j].Start })
 	return segs, snaps, nil
 }
+
+// scanDir is the internal alias recovery and pruning call.
+func scanDir(dir string) (segs, snaps []StoreFile, err error) { return ScanStoreDir(dir) }
 
 // loadSnapshot reads and validates one snapshot file.
 func loadSnapshot(path string) (State, uint64, error) {
@@ -87,19 +90,9 @@ func loadSnapshot(path string) (State, uint64, error) {
 	if err != nil {
 		return State{}, 0, err
 	}
-	hdr := len(snapMagic) + 16
-	if len(b) < hdr || string(b[:len(snapMagic)]) != string(snapMagic) {
-		return State{}, 0, errBadMagic
-	}
-	lsn := binary.LittleEndian.Uint64(b[len(snapMagic):])
-	plen := binary.LittleEndian.Uint32(b[len(snapMagic)+8:])
-	crc := binary.LittleEndian.Uint32(b[len(snapMagic)+12:])
-	if uint64(plen) != uint64(len(b)-hdr) {
-		return State{}, 0, errCorrupt
-	}
-	payload := b[hdr:]
-	if crc32.Checksum(payload, castagnoli) != crc {
-		return State{}, 0, errCorrupt
+	payload, lsn, err := DecodeSnapshotFile(snapMagic, b)
+	if err != nil {
+		return State{}, 0, err
 	}
 	st, err := DecodeState(payload)
 	if err != nil {
@@ -117,35 +110,19 @@ func replaySegment(path string) (records []Record, startLSN uint64, goodBytes in
 	if err != nil {
 		return nil, 0, 0, false, err
 	}
-	hdr := len(walMagic) + 8
-	if len(b) < hdr || string(b[:len(walMagic)]) != string(walMagic) {
-		return nil, 0, 0, false, errBadMagic
+	startLSN, hdr, err := ParseSegmentHeader(walMagic, b)
+	if err != nil {
+		return nil, 0, 0, false, err
 	}
-	startLSN = binary.LittleEndian.Uint64(b[len(walMagic):])
-	off := hdr
-	for {
-		if off == len(b) {
-			return records, startLSN, int64(off), true, nil
-		}
-		if off+frameOverhead > len(b) {
-			return records, startLSN, int64(off), false, nil // torn frame header
-		}
-		plen := int(binary.LittleEndian.Uint32(b[off:]))
-		crc := binary.LittleEndian.Uint32(b[off+4:])
-		if plen <= 0 || plen > maxRecordBytes || off+frameOverhead+plen > len(b) {
-			return records, startLSN, int64(off), false, nil // torn/insane length
-		}
-		payload := b[off+frameOverhead : off+frameOverhead+plen]
-		if crc32.Checksum(payload, castagnoli) != crc {
-			return records, startLSN, int64(off), false, nil // bit flip
-		}
+	good, clean := ScanFrames(b[hdr:], func(payload []byte) error {
 		rec, derr := decodeRecord(payload)
 		if derr != nil {
-			return records, startLSN, int64(off), false, nil // valid CRC, bad schema
+			return derr
 		}
 		records = append(records, rec)
-		off += frameOverhead + plen
-	}
+		return nil
+	})
+	return records, startLSN, int64(hdr) + good, clean, nil
 }
 
 // Open recovers the store in dir and returns it ready for appends, plus
@@ -166,7 +143,7 @@ func Open(opts Options) (*Store, *Recovered, error) {
 
 	// Newest valid snapshot wins; corrupt generations are skipped.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		st, lsn, lerr := loadSnapshot(snaps[i].path)
+		st, lsn, lerr := loadSnapshot(snaps[i].Path)
 		if lerr != nil {
 			rec.Truncations++
 			continue
@@ -179,13 +156,13 @@ func Open(opts Options) (*Store, *Recovered, error) {
 
 	// Replay segments oldest-first; stop the log at the first corruption.
 	for i, seg := range segs {
-		records, startLSN, goodBytes, clean, rerr := replaySegment(seg.path)
+		records, startLSN, goodBytes, clean, rerr := replaySegment(seg.Path)
 		if rerr != nil {
 			// Unreadable header: this segment and everything after it are
 			// unreachable.
 			rec.Truncations++
 			for _, later := range segs[i:] {
-				_ = os.Remove(later.path)
+				_ = os.Remove(later.Path)
 			}
 			break
 		}
@@ -195,10 +172,10 @@ func Open(opts Options) (*Store, *Recovered, error) {
 		}
 		if !clean {
 			rec.Truncations++
-			_ = os.Truncate(seg.path, goodBytes)
+			_ = os.Truncate(seg.Path, goodBytes)
 			for _, later := range segs[i+1:] {
 				rec.Truncations++
-				_ = os.Remove(later.path)
+				_ = os.Remove(later.Path)
 			}
 			break
 		}

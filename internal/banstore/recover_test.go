@@ -47,7 +47,7 @@ func lastSegment(t *testing.T, dir string) string {
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments in %s: %v", dir, err)
 	}
-	return segs[len(segs)-1].path
+	return segs[len(segs)-1].Path
 }
 
 func TestRecoverTornFinalRecord(t *testing.T) {
@@ -151,7 +151,7 @@ func TestRecoverEmptyWALWithValidSnapshot(t *testing.T) {
 	// Drop every WAL segment: only the snapshot remains.
 	segs, _, _ := scanDir(dir)
 	for _, seg := range segs {
-		if err := os.Remove(seg.path); err != nil {
+		if err := os.Remove(seg.Path); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -227,7 +227,7 @@ func TestRecoverCorruptLatestSnapshotFallsBack(t *testing.T) {
 		t.Fatalf("want 2 snapshot generations, got %d", len(snaps))
 	}
 	// Corrupt the newest generation's payload.
-	newest := snaps[len(snaps)-1].path
+	newest := snaps[len(snaps)-1].Path
 	b, err := os.ReadFile(newest)
 	if err != nil {
 		t.Fatal(err)

@@ -186,8 +186,8 @@ func TestSnapshotRotatesAndPrunes(t *testing.T) {
 		t.Fatalf("retained %d snapshots, want 2", len(snaps))
 	}
 	for _, seg := range segs[:len(segs)-1] {
-		if seg.start-1 < lsn && seg.start == 1 {
-			t.Fatalf("segment %s fully covered by snapshot lsn %d still on disk", seg.path, lsn)
+		if seg.Start-1 < lsn && seg.Start == 1 {
+			t.Fatalf("segment %s fully covered by snapshot lsn %d still on disk", seg.Path, lsn)
 		}
 	}
 

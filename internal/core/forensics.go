@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
@@ -231,6 +232,11 @@ func (l *Ledger) Handler(isBanned func(PeerID) bool) http.Handler {
 		if rest == "" {
 			l.serveIndex(w, isBanned)
 			return
+		}
+		// Peer identifiers contain ":" and, for IPv6, "[]" — clients that
+		// escape the path segment must still resolve the same peer.
+		if unescaped, err := url.PathUnescape(rest); err == nil {
+			rest = unescaped
 		}
 		id := PeerID(rest)
 		records := l.Records(id)

@@ -269,6 +269,55 @@ func TestLedgerHandler(t *testing.T) {
 	}
 }
 
+func TestLedgerHandlerEscapedPeerAndContentType(t *testing.T) {
+	ledger := NewLedger(0, 0)
+	tr := NewTracker(Config{Forensics: ledger})
+	plain := PeerID("10.0.0.9:4747")
+	v6 := PeerID("[::1]:8333")
+	tr.Misbehaving(plain, true, AddrOversize)
+	tr.Misbehaving(v6, true, AddrOversize)
+	h := ledger.Handler(tr.IsBanned)
+
+	get := func(path string) (*httptest.ResponseRecorder, []byte) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s: Content-Type = %q, want application/json", path, ct)
+		}
+		return rec, rec.Body.Bytes()
+	}
+
+	// Clients that percent-escape the peer's path segment (":" → %3A, and
+	// the IPv6 brackets) must resolve the same peer as the literal form.
+	for _, path := range []string{
+		"/debug/bans/" + string(plain),
+		"/debug/bans/10.0.0.9%3A4747",
+		"/debug/bans/" + string(v6),
+		"/debug/bans/%5B%3A%3A1%5D%3A8333",
+	} {
+		rec, body := get(path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s: HTTP %d, want 200", path, rec.Code)
+			continue
+		}
+		var doc peerResponse
+		if err := json.Unmarshal(body, &doc); err != nil || len(doc.Records) != 1 {
+			t.Errorf("GET %s: %s (%v)", path, body, err)
+		}
+	}
+
+	// Unknown peers stay 404 with a JSON error body — never 200-with-empty.
+	rec, body := get("/debug/bans/203.0.113.1%3A5")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown escaped peer: HTTP %d, want 404", rec.Code)
+	}
+	var errDoc map[string]string
+	if err := json.Unmarshal(body, &errDoc); err != nil || errDoc["error"] == "" {
+		t.Errorf("unknown peer error body: %s (%v)", body, err)
+	}
+}
+
 func TestLedgerHandlerEvictionCounters(t *testing.T) {
 	ledger := NewLedger(1, 2)
 	for i := 0; i < 3; i++ {

@@ -1,0 +1,359 @@
+// Package fleet launches and observes multi-node btcnode testbeds on real
+// loopback TCP. It is the driver half of the fleet observer: it builds the
+// btcnode binary, starts N processes with per-node banstore directories and
+// telemetry/trace/debug endpoints, points an observer at every node's
+// journal and debug surfaces, and replays the paper's Defamation (Fig. 6)
+// and Sybil (Fig. 8) attacks against the whole fleet at once — the same
+// attacker identity presented to every node via SO_REUSEPORT — so the
+// cross-node ban-propagation spread is measurable from the aggregated
+// store.
+//
+// The package deliberately lives outside the determinism-scoped packages:
+// it manages OS processes, real sockets, and wall-clock deadlines, none of
+// which replay under a virtual clock.
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"banscore/internal/observer"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultNodes        = 3
+	DefaultMode         = "standard"
+	DefaultPollInterval = 50 * time.Millisecond
+	DefaultReadyTimeout = 15 * time.Second
+)
+
+// Config sizes and shapes a fleet launch.
+type Config struct {
+	// Nodes is the number of btcnode processes to launch (default 3).
+	Nodes int
+
+	// Mode is each node's tracker mode (default "standard").
+	Mode string
+
+	// Bin is a prebuilt btcnode binary. Empty builds one with the go
+	// toolchain into Dir.
+	Bin string
+
+	// Dir is the fleet's working directory: per-node banstore dirs, logs,
+	// and the observer store live under it. Empty creates a temp dir that
+	// Close removes.
+	Dir string
+
+	// PollInterval is the observer's background poll cadence (default
+	// 50ms).
+	PollInterval time.Duration
+
+	// ReadyTimeout bounds how long Launch waits for each node's /healthz
+	// to answer (default 15s).
+	ReadyTimeout time.Duration
+
+	// ExtraArgs are appended to every node's command line (e.g.
+	// "-reputation").
+	ExtraArgs []string
+}
+
+// Node is one launched btcnode process.
+type Node struct {
+	// ID is the fleet-unique identifier passed as -node-id.
+	ID string
+	// Addr is the node's P2P listen address.
+	Addr string
+	// TelemetryURL is the node's debug/telemetry base URL.
+	TelemetryURL string
+	// BanstoreDir holds the node's crash-safe ban state.
+	BanstoreDir string
+
+	cmd *exec.Cmd
+	log *os.File
+}
+
+// Cluster is a running fleet: the node processes, the observer polling
+// them, and the aggregated ban-intelligence store.
+type Cluster struct {
+	Nodes []*Node
+	Store *observer.Store
+	Obs   *observer.Observer
+
+	dir    string
+	ownDir bool
+}
+
+// ModuleRoot walks up from the working directory to the enclosing go.mod —
+// the directory `go build ./cmd/btcnode` must run from.
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("fleet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// BuildBtcnode compiles cmd/btcnode into dir and returns the binary path.
+func BuildBtcnode(dir string) (string, error) {
+	root, err := ModuleRoot()
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "btcnode")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/btcnode")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("fleet: build btcnode: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// freePorts reserves n distinct loopback TCP ports by binding and releasing
+// listeners. The fleet claims staggered port pairs from this pool — listen
+// and telemetry per node — before any process starts, so flag wiring is
+// explicit rather than parsed back out of child stdout.
+func freePorts(n int) ([]int, error) {
+	ports := make([]int, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for len(ports) < n {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("fleet: reserve port: %w", err)
+		}
+		listeners = append(listeners, l)
+		ports = append(ports, l.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+// Launch builds (if needed) and starts the fleet: N btcnode processes on
+// staggered loopback ports, each with -telemetry, -trace, -banstore-dir,
+// and -node-id n<i>, then an observer polling every node into a crash-safe
+// store at <dir>/observer. It blocks until every node's /healthz answers.
+func Launch(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = DefaultNodes
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = DefaultMode
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	if cfg.ReadyTimeout <= 0 {
+		cfg.ReadyTimeout = DefaultReadyTimeout
+	}
+
+	c := &Cluster{dir: cfg.Dir}
+	if c.dir == "" {
+		dir, err := os.MkdirTemp("", "fleet-*")
+		if err != nil {
+			return nil, err
+		}
+		c.dir = dir
+		c.ownDir = true
+	} else if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	bin := cfg.Bin
+	if bin == "" {
+		var err error
+		if bin, err = BuildBtcnode(c.dir); err != nil {
+			c.cleanup()
+			return nil, err
+		}
+	}
+
+	ports, err := freePorts(2 * cfg.Nodes)
+	if err != nil {
+		c.cleanup()
+		return nil, err
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			ID:           fmt.Sprintf("n%d", i+1),
+			Addr:         fmt.Sprintf("127.0.0.1:%d", ports[2*i]),
+			TelemetryURL: fmt.Sprintf("http://127.0.0.1:%d", ports[2*i+1]),
+			BanstoreDir:  filepath.Join(c.dir, fmt.Sprintf("n%d", i+1), "banstore"),
+		}
+		args := []string{
+			"-listen", n.Addr,
+			"-telemetry", fmt.Sprintf("127.0.0.1:%d", ports[2*i+1]),
+			"-node-id", n.ID,
+			"-trace",
+			"-banstore-dir", n.BanstoreDir,
+			"-mode", cfg.Mode,
+			"-stats", "0",
+		}
+		args = append(args, cfg.ExtraArgs...)
+		logf, err := os.Create(filepath.Join(c.dir, n.ID+".log"))
+		if err != nil {
+			c.cleanup()
+			return nil, err
+		}
+		n.log = logf
+		n.cmd = exec.Command(bin, args...)
+		n.cmd.Stdout = logf
+		n.cmd.Stderr = logf
+		if err := n.cmd.Start(); err != nil {
+			logf.Close()
+			c.cleanup()
+			return nil, fmt.Errorf("fleet: start %s: %w", n.ID, err)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	for _, n := range c.Nodes {
+		if err := waitReady(n, cfg.ReadyTimeout); err != nil {
+			c.cleanup()
+			return nil, err
+		}
+	}
+
+	store, err := observer.OpenStore(observer.Options{Dir: filepath.Join(c.dir, "observer")})
+	if err != nil {
+		c.cleanup()
+		return nil, err
+	}
+	c.Store = store
+	targets := make([]observer.NodeTarget, len(c.Nodes))
+	for i, n := range c.Nodes {
+		targets[i] = observer.NodeTarget{ID: n.ID, BaseURL: n.TelemetryURL}
+	}
+	c.Obs = observer.New(observer.Config{
+		Store:    store,
+		Targets:  targets,
+		Interval: cfg.PollInterval,
+	})
+	c.Obs.Start()
+	return c, nil
+}
+
+// waitReady polls the node's /healthz until it answers any HTTP status, or
+// fails with the node's log tail when the deadline passes or the process
+// already exited.
+func waitReady(n *Node, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	url := n.TelemetryURL + "/healthz"
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if n.cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("fleet: %s never became ready at %s\n%s", n.ID, url, logTail(n, 20))
+}
+
+// logTail returns the node's last lines of output for error context.
+func logTail(n *Node, lines int) string {
+	data, err := os.ReadFile(n.log.Name())
+	if err != nil {
+		return ""
+	}
+	all := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(all) > lines {
+		all = all[len(all)-lines:]
+	}
+	return strings.Join(all, "\n")
+}
+
+// Targets returns every node's P2P address, in node order.
+func (c *Cluster) Targets() []string {
+	out := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Addr
+	}
+	return out
+}
+
+// NodeIDs returns every node's -node-id, in node order.
+func (c *Cluster) NodeIDs() []string {
+	out := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// Close stops the observer, terminates every node (SIGTERM, then SIGKILL
+// after a grace period), closes the store, and removes the working
+// directory when Launch created it.
+func (c *Cluster) Close() error {
+	var firstErr error
+	if c.Obs != nil {
+		c.Obs.Stop()
+		c.Obs = nil
+	}
+	if c.Store != nil {
+		if err := c.Store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.Store = nil
+	}
+	c.cleanup()
+	return firstErr
+}
+
+// cleanup kills node processes and removes the owned directory.
+func (c *Cluster) cleanup() {
+	for _, n := range c.Nodes {
+		if n.cmd != nil && n.cmd.Process != nil {
+			_ = n.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.cmd == nil || n.cmd.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(n *Node) {
+			_ = n.cmd.Wait()
+			close(done)
+		}(n)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = n.cmd.Process.Kill()
+			<-done
+		}
+		if n.log != nil {
+			n.log.Close()
+		}
+	}
+	c.Nodes = nil
+	if c.ownDir {
+		os.RemoveAll(c.dir)
+	}
+}
+
+// Dir returns the fleet's working directory.
+func (c *Cluster) Dir() string { return c.dir }

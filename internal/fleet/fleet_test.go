@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"testing"
+
+	"banscore/internal/observer"
+)
+
+// TestFleetDefamationPropagation is the end-to-end fleet path: build the
+// real btcnode binary, launch two processes on loopback TCP with banstores
+// and telemetry, defame one identity against both at once, and read the
+// cross-node ban propagation back out of the observer's store and the
+// /fleet query API.
+func TestFleetDefamationPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real node processes")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+
+	c, err := Launch(Config{Nodes: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer c.Close()
+
+	rep, err := c.ReplayDefamation(0)
+	if err != nil {
+		t.Fatalf("ReplayDefamation: %v", err)
+	}
+	if len(rep.Identities) != 1 || len(rep.Propagation) != 1 {
+		t.Fatalf("replay shape: %+v", rep)
+	}
+	row := rep.Propagation[0]
+	if row.Peer != rep.Identities[0].Identity {
+		t.Errorf("propagation row for %s, attacked as %s", row.Peer, rep.Identities[0].Identity)
+	}
+	if row.NodesBanned != 2 {
+		t.Errorf("NodesBanned = %d, want 2", row.NodesBanned)
+	}
+	if row.Spread < 0 || row.Spread > 30 {
+		t.Errorf("spread = %vs, not a plausible loopback propagation window", row.Spread)
+	}
+	for _, f := range rep.Identities[0].Flood {
+		if !f.Banned {
+			t.Errorf("node %s never banned the identity (sent %d)", f.Target, f.MessagesSent)
+		}
+		// Duplicate VERSION scores +1 and bans at 100: the victim must have
+		// accepted at least the banning hundred.
+		if f.MessagesSent < 100 {
+			t.Errorf("node %s: only %d messages before the ban, want >= 100", f.Target, f.MessagesSent)
+		}
+	}
+
+	// The same rows through the /fleet HTTP surface.
+	rec := httptest.NewRecorder()
+	c.Store.QueryHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/fleet/propagation", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/fleet/propagation: HTTP %d", rec.Code)
+	}
+	var rows []observer.Propagation
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil || len(rows) != 1 {
+		t.Fatalf("/fleet/propagation body: %s (%v)", rec.Body.Bytes(), err)
+	}
+
+	// Both nodes' journals were consumed and attributed.
+	sums := c.Store.Nodes()
+	if len(sums) != 2 {
+		t.Fatalf("node summaries: %+v", sums)
+	}
+	for _, s := range sums {
+		if s.Bans != 1 {
+			t.Errorf("node %s: %d observed bans, want 1", s.Node, s.Bans)
+		}
+		if s.Info == "" {
+			t.Errorf("node %s: node_info never scraped", s.Node)
+		}
+	}
+}

@@ -23,8 +23,10 @@ import (
 )
 
 // DefaultScope lists the import-path segments of the packages whose
-// goroutines must be supervised.
-var DefaultScope = []string{"node", "peer", "banstore"}
+// goroutines must be supervised. observer is in scope because its pollers
+// are long-lived per-node goroutines whose shutdown the fleet driver must
+// be able to await.
+var DefaultScope = []string{"node", "peer", "banstore", "observer"}
 
 // spawnHelpers names the functions allowed to contain go statements: the
 // WaitGroup-registering helpers everything else must route through.

@@ -34,8 +34,10 @@ import (
 // banstore is in scope because recovery replay must reproduce the exact
 // state the live process held: fsync pacing and latency measurement run
 // off the injected clock, and record timestamps come from the callers'
-// clocks, never the ambient one.
-var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation", "banstore"}
+// clocks, never the ambient one. observer is in scope because the fleet
+// store's synthesized event stamps and poll pacing must be injectable for
+// the crash/restart chaos suite to replay deterministically.
+var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation", "banstore", "observer"}
 
 // bannedTime is the set of time-package functions that read or schedule
 // against the ambient clock. Constructors of values (time.Date, time.Unix,

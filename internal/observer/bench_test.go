@@ -1,0 +1,55 @@
+package observer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkObserverIngest measures the store's hot path: dedup check, table
+// insert, WAL framing, and the periodic auto-snapshot amortized in. This is
+// the rate ceiling on how fast a fleet's pollers can land events.
+func BenchmarkObserverIngest(b *testing.B) {
+	s, err := OpenStore(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	at := time.Unix(1700000000, 0)
+	peers := make([]string, 64)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("10.0.%d.%d:8333", i/250, i%250)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Ingest(Event{
+			Node:   "n1",
+			Stream: StreamJournal,
+			Seq:    uint64(i + 1),
+			At:     at,
+			Kind:   "score",
+			Peer:   peers[i&63],
+			Rule:   "duplicate-version",
+			Value:  1,
+		})
+	}
+}
+
+// BenchmarkObserverIngestDuplicate measures the dedup fast path — what a
+// re-poll after a crash costs per already-stored event.
+func BenchmarkObserverIngestDuplicate(b *testing.B) {
+	s, err := OpenStore(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ev := Event{Node: "n1", Stream: StreamJournal, Seq: 1, Kind: "ban", Peer: "10.0.0.1:8333", Value: 100}
+	s.Ingest(ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Ingest(ev)
+	}
+}

@@ -1,0 +1,151 @@
+package observer
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+)
+
+// crashTransport kills the store from inside a poll pass: after serving the
+// n-th HTTP request of its lifetime it calls Store.Crash(), which drops the
+// pending buffer and closes the segment unsynced — the loss profile of a
+// SIGKILL landing between a journal fetch and its cursor acknowledgment.
+type crashTransport struct {
+	base  http.RoundTripper
+	store *Store
+	after int32
+	count int32
+}
+
+func (ct *crashTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := ct.base.RoundTrip(r)
+	if atomic.AddInt32(&ct.count, 1) == ct.after {
+		ct.store.Crash()
+	}
+	return resp, err
+}
+
+// TestObserverCrashRestartNoDupNoLoss is the observer's kill/restart chaos
+// scenario: the store is crashed mid-poll at a different request offset
+// each cycle — during the journal fetch, during evidence enrichment, during
+// the health sweep — then reopened and polling resumes from the recovered
+// cursor. At the end, every ban the fleet's journal ever carried must
+// appear in the store exactly once: the crash-ordering invariant (cursor
+// records append after the events they acknowledge) forbids loss, and the
+// (node, stream, seq) dedup key forbids duplication, no matter where the
+// kill landed.
+func TestObserverCrashRestartNoDupNoLoss(t *testing.T) {
+	fn := newFakeNode(t, "n1")
+	dir := t.TempDir()
+
+	peerN := 0
+	var banned []string
+	banOne := func() {
+		peerN++
+		p := fmt.Sprintf("10.0.%d.%d:4444", peerN/250, peerN%250)
+		fn.ban(p)
+		banned = append(banned, p)
+	}
+
+	// Each cycle: open the store, ban a few fresh peers, poll with a
+	// transport armed to crash the store after the k-th request, then
+	// restart. Tiny FlushBytes forces events onto disk mid-batch, so
+	// crashes land with events durable but their ack still pending — the
+	// dangerous half of the window.
+	for cycle, k := range []int32{1, 2, 3, 5, 2, 4, 1, 3} {
+		store, err := OpenStore(Options{Dir: dir, FlushBytes: 64})
+		if err != nil {
+			t.Fatalf("cycle %d: OpenStore: %v", cycle, err)
+		}
+		ct := &crashTransport{base: http.DefaultTransport, store: store, after: k}
+		o := New(Config{
+			Store:   store,
+			Targets: []NodeTarget{fn.target()},
+			Client:  &http.Client{Transport: ct},
+		})
+		for i := 0; i <= cycle%3; i++ {
+			banOne()
+		}
+		for i := 0; i < 4; i++ {
+			_ = o.PollNode("n1") // keeps running into the crashed store; all no-ops
+		}
+		store.Crash() // idempotent when the transport already fired
+	}
+
+	// Final clean run: recover and drain.
+	store, err := OpenStore(Options{Dir: dir, FlushBytes: 64})
+	if err != nil {
+		t.Fatalf("final OpenStore: %v", err)
+	}
+	defer store.Close()
+	o := New(Config{Store: store, Targets: []NodeTarget{fn.target()}})
+	for i := 0; i < 3; i++ {
+		if err := o.PollNode("n1"); err != nil {
+			t.Fatalf("final poll: %v", err)
+		}
+	}
+
+	// Exactly-once: every banned peer has exactly one ban event.
+	for _, p := range banned {
+		bans := 0
+		for _, ev := range store.PeerEvents(p) {
+			if isBan(&ev) {
+				bans++
+			}
+		}
+		if bans != 1 {
+			t.Errorf("peer %s: %d ban events, want exactly 1", p, bans)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("exactly-once violated across %d bans and 8 crash cycles", len(banned))
+	}
+
+	// The cursor caught up to the node's journal frontier.
+	fn.mu.Lock()
+	total := fn.journal.Total()
+	fn.mu.Unlock()
+	cur, ok := store.Cursor("n1")
+	if !ok || cur.Next != total {
+		t.Fatalf("final cursor = %+v ok=%v, want next %d", cur, ok, total)
+	}
+
+	// Propagation sees every ban exactly once too.
+	if got := len(store.Propagation()); got != len(banned) {
+		t.Fatalf("propagation rows = %d, want %d", got, len(banned))
+	}
+}
+
+// TestObserverCrashBeforeAnyAck: a crash before the first cursor ack leaves
+// an empty (or partial) store that recovers to a consistent state and
+// re-fetches everything.
+func TestObserverCrashBeforeAnyAck(t *testing.T) {
+	fn := newFakeNode(t, "n1")
+	dir := t.TempDir()
+	fn.ban("10.7.7.7:7777")
+
+	store, err := OpenStore(Options{Dir: dir, FlushBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := &crashTransport{base: http.DefaultTransport, store: store, after: 1}
+	o := New(Config{Store: store, Targets: []NodeTarget{fn.target()}, Client: &http.Client{Transport: ct}})
+	_ = o.PollNode("n1") // crashes during the journal fetch; nothing acked
+
+	store2, err := OpenStore(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if _, ok := store2.Cursor("n1"); ok {
+		t.Fatal("cursor survived a crash that preceded any ack")
+	}
+	o2 := New(Config{Store: store2, Targets: []NodeTarget{fn.target()}})
+	if err := o2.PollNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(store2.Bans()); got != 1 {
+		t.Fatalf("Bans after recovery = %d, want 1", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package observer is the fleet's ban-intelligence layer: a poller that
+// follows every node's telemetry surface (/debug/journal, /healthz,
+// /debug/reputation, /debug/banstore, /debug/bans, /metrics) and a
+// crash-safe embedded store that dedups what the pollers bring home into
+// one queryable, durable timeline — which peers were banned where, on what
+// evidence, and how long a ban took to spread across the fleet.
+//
+// The store reuses internal/banstore's WAL/snapshot framing (CRC32C
+// length-prefixed frames, magic+startLSN segments, atomic tmp→rename
+// snapshots, truncate-at-first-corruption recovery that never refuses to
+// open) and layers typed tables over the log: an append-only event table
+// with by-peer and by-node indexes, plus a per-node cursor table recording
+// how far each node's journal feed has been consumed. Ordering makes the
+// acknowledgment crash-safe: a cursor-advance record is appended after the
+// events it acknowledges, so any cursor that survives a crash implies its
+// events survived too — on restart the poller resumes from the recovered
+// cursor and the dedup key (node, stream, seq) swallows whatever the crash
+// made it fetch twice.
+//
+// The package is in the banlint wallclock and gospawn scopes: time comes
+// from an injected vclock.Clock and goroutines start only through the
+// audited spawn helper.
+package observer
+
+import "time"
+
+// Stream names partition each node's event space. Journal events carry the
+// node's own sequence numbers; the other streams are observer-synthesized
+// transitions numbered per (node, stream).
+const (
+	// StreamJournal mirrors the node's telemetry journal: score hits,
+	// bans, peer lifecycle, refused connections, detection alarms.
+	StreamJournal = "journal"
+
+	// StreamHealth records /healthz status transitions (ok <-> degraded,
+	// with reasons).
+	StreamHealth = "health"
+
+	// StreamBanstore records /debug/banstore durability transitions.
+	StreamBanstore = "banstore"
+
+	// StreamNetgroup records netgroup verdict transitions from
+	// /debug/reputation (ok -> probation -> banned and back).
+	StreamNetgroup = "netgroup"
+
+	// StreamEvidence carries forensic enrichment fetched from
+	// /debug/bans/<peer> after a ban event, keyed by the ban's journal
+	// sequence so evidence and verdict stay joined.
+	StreamEvidence = "evidence"
+
+	// StreamNode carries node-level facts: node_info identity, restart
+	// detections.
+	StreamNode = "node"
+)
+
+// Synthesized event kinds (journal-stream kinds are the node's own
+// telemetry.EventType strings).
+const (
+	KindJournalGap      = "journal_gap"      // ring overwrote events before the poller caught up
+	KindHealth          = "health"           // /healthz status transition
+	KindBanstoreHealth  = "banstore_health"  // /debug/banstore healthy flip
+	KindNetgroupVerdict = "netgroup_verdict" // netgroup status transition
+	KindBanEvidence     = "ban_evidence"     // forensic chain summary for a ban
+	KindNodeInfo        = "node_info"        // node_info{...} identity labels
+	KindNodeRestart     = "node_restart"     // journal sequence space went backwards
+)
+
+// Event is one row of the fleet event table. Its identity — the dedup key
+// and the idempotent-replay key — is (Node, Stream, Seq).
+type Event struct {
+	// Node is the reporting node's ID (its -node-id).
+	Node string `json:"node"`
+
+	// Stream partitions the node's sequence space.
+	Stream string `json:"stream"`
+
+	// Seq is unique within (Node, Stream): the node's own journal
+	// sequence for StreamJournal, an observer-assigned counter for
+	// synthesized streams, and the referenced journal sequence for
+	// StreamEvidence.
+	Seq uint64 `json:"seq"`
+
+	// At is the event time: the node's stamp for journal events, the
+	// observation time for synthesized ones.
+	At time.Time `json:"at"`
+
+	// Kind is the event type (telemetry.EventType string or a Kind*
+	// constant).
+	Kind string `json:"kind"`
+
+	// Peer is the [IP:Port] identifier involved, or the netgroup key for
+	// netgroup verdicts.
+	Peer string `json:"peer,omitempty"`
+
+	// Rule is the Table I rule name for score events.
+	Rule string `json:"rule,omitempty"`
+
+	// Value carries the magnitude: score delta, ban-time total score,
+	// netgroup pressure, dropped count for gaps.
+	Value float64 `json:"value,omitempty"`
+
+	// Detail is free-form context (health status, verdict, evidence
+	// summary).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Key is an event's identity in the dedup table.
+type Key struct {
+	Node   string
+	Stream string
+	Seq    uint64
+}
+
+// Key returns the event's identity.
+func (ev *Event) Key() Key { return Key{Node: ev.Node, Stream: ev.Stream, Seq: ev.Seq} }
+
+// Cursor is one node's journal-consumption state: the next_cursor the node
+// handed back last, the cumulative events its ring dropped before the
+// poller could read them, and the generation base. The base maps the node's
+// raw journal sequence space into the store's: stored Seq = Base + raw Seq.
+// When a node restarts its journal restarts at 1, so the poller bumps Base
+// past every sequence already stored — and because the base rides in the
+// durable cursor record, the mapping stays stable across observer crashes
+// and the dedup key keeps meaning the same event.
+type Cursor struct {
+	Next    uint64 `json:"next"`
+	Dropped uint64 `json:"dropped"`
+	Base    uint64 `json:"base,omitempty"`
+}

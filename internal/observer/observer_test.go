@@ -1,0 +1,302 @@
+package observer
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"banscore/internal/telemetry"
+)
+
+// fakeNode is a real telemetry surface (registry + journal + server mux)
+// behind one stable httptest URL. reset() swaps in a fresh journal and
+// registry, which is exactly what a node restart looks like to a poller:
+// same address, sequence space back at 1.
+type fakeNode struct {
+	id   string
+	http *httptest.Server
+
+	mu       sync.Mutex
+	reg      *telemetry.Registry
+	journal  *telemetry.Journal
+	srv      *telemetry.Server
+	healthy  bool
+	evidence map[string][]map[string]any // peer -> forensic records
+}
+
+func newFakeNode(t *testing.T, id string) *fakeNode {
+	t.Helper()
+	fn := &fakeNode{id: id, healthy: true, evidence: make(map[string][]map[string]any)}
+	fn.reset()
+	fn.http = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fn.mu.Lock()
+		h := fn.srv.Handler()
+		fn.mu.Unlock()
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(fn.http.Close)
+	return fn
+}
+
+// reset builds a fresh telemetry stack — construction state, or a restart.
+func (fn *fakeNode) reset() {
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	fn.reg = telemetry.NewRegistry()
+	fn.journal = telemetry.NewJournal(4096)
+	fn.srv = telemetry.NewServer(fn.reg, fn.journal)
+	fn.srv.SetNodeID(fn.id)
+	telemetry.RegisterNodeInfo(fn.reg, fn.id, "test-0.0.1")
+	fn.srv.SetHealth(func() (bool, map[string]any) {
+		fn.mu.Lock()
+		defer fn.mu.Unlock()
+		if fn.healthy {
+			return true, nil
+		}
+		return false, map[string]any{"degraded": []string{"test-reason"}}
+	})
+	fn.srv.Handle("/debug/bans/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peer := r.URL.Path[len("/debug/bans/"):]
+		fn.mu.Lock()
+		records := fn.evidence[peer]
+		fn.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if records == nil {
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "no forensics records for peer " + peer})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"peer": peer, "records": records})
+	}))
+}
+
+func (fn *fakeNode) record(ev telemetry.Event) {
+	fn.mu.Lock()
+	j := fn.journal
+	fn.mu.Unlock()
+	j.Record(ev)
+}
+
+func (fn *fakeNode) ban(peer string) {
+	fn.mu.Lock()
+	fn.evidence[peer] = []map[string]any{
+		{"rule": "duplicate-version", "delta": 100, "score": 100},
+	}
+	j := fn.journal
+	fn.mu.Unlock()
+	j.Record(telemetry.Event{Type: telemetry.EventScore, Peer: peer, Rule: "duplicate-version", Value: 100})
+	j.Record(telemetry.Event{Type: telemetry.EventBan, Peer: peer, Value: 100})
+}
+
+func (fn *fakeNode) setHealthy(ok bool) {
+	fn.mu.Lock()
+	fn.healthy = ok
+	fn.mu.Unlock()
+}
+
+func (fn *fakeNode) target() NodeTarget {
+	return NodeTarget{ID: fn.id, BaseURL: fn.http.URL}
+}
+
+// TestObserverPollIngestsJournal: one poll pass lands journal events,
+// evidence enrichment, node_info, and an acknowledged cursor in the store;
+// a second pass ingests nothing new.
+func TestObserverPollIngestsJournal(t *testing.T) {
+	fn := newFakeNode(t, "n1")
+	store := mustOpen(t, t.TempDir())
+	defer store.Close()
+
+	attacker := "10.9.9.9:4444"
+	fn.record(telemetry.Event{Type: telemetry.EventPeerConnect, Peer: attacker, Detail: "inbound"})
+	fn.ban(attacker)
+
+	o := New(Config{Store: store, Targets: []NodeTarget{fn.target()}})
+	if err := o.PollNode("n1"); err != nil {
+		t.Fatalf("PollNode: %v", err)
+	}
+
+	if got := len(store.PeerEvents(attacker)); got != 4 { // connect, score, ban, evidence
+		t.Fatalf("peer events = %d, want 4: %+v", got, store.PeerEvents(attacker))
+	}
+	cur, ok := store.Cursor("n1")
+	if !ok || cur.Next != 3 {
+		t.Fatalf("cursor = %+v ok=%v, want next 3", cur, ok)
+	}
+	bans := store.Bans()
+	if len(bans) != 1 || len(bans[0].Sightings) != 1 {
+		t.Fatalf("Bans = %+v", bans)
+	}
+	if bans[0].Sightings[0].Evidence == "" {
+		t.Fatal("ban sighting missing evidence summary")
+	}
+	var info bool
+	for _, ev := range store.LatestByStream("n1", StreamNode) {
+		if ev.Kind == KindNodeInfo {
+			info = true
+		}
+	}
+	if !info {
+		t.Fatal("node_info not recorded")
+	}
+
+	before := store.Status().Events
+	if err := o.PollNode("n1"); err != nil {
+		t.Fatalf("second PollNode: %v", err)
+	}
+	if after := store.Status().Events; after != before {
+		t.Fatalf("idle re-poll grew the store: %d -> %d", before, after)
+	}
+}
+
+// TestObserverHealthTransitions: only status CHANGES become events, and the
+// initial "ok" is not one.
+func TestObserverHealthTransitions(t *testing.T) {
+	fn := newFakeNode(t, "n1")
+	store := mustOpen(t, t.TempDir())
+	defer store.Close()
+	o := New(Config{Store: store, Targets: []NodeTarget{fn.target()}})
+
+	o.PollNode("n1")
+	o.PollNode("n1")
+	if got := len(store.LatestByStream("n1", StreamHealth)); got != 0 {
+		t.Fatalf("healthy start emitted %d events, want 0", got)
+	}
+
+	fn.setHealthy(false)
+	o.PollNode("n1")
+	o.PollNode("n1") // unchanged degraded state: no second event
+	fn.setHealthy(true)
+	o.PollNode("n1")
+
+	if got := store.LastSeq("n1", StreamHealth); got != 2 {
+		t.Fatalf("health transitions = %d, want 2 (degraded, ok)", got)
+	}
+}
+
+// TestObserverNodeRestartNewGeneration: when the node's journal restarts,
+// the poller records a node_restart, commits a new generation base, and the
+// new generation's events coexist with the old ones instead of being
+// swallowed by dedup.
+func TestObserverNodeRestartNewGeneration(t *testing.T) {
+	fn := newFakeNode(t, "n1")
+	store := mustOpen(t, t.TempDir())
+	defer store.Close()
+	o := New(Config{Store: store, Targets: []NodeTarget{fn.target()}})
+
+	first := "10.1.1.1:1111"
+	fn.record(telemetry.Event{Type: telemetry.EventPeerConnect, Peer: first, Detail: "inbound"})
+	fn.ban(first)
+	if err := o.PollNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node restart: journal sequence space begins again, producing fewer
+	// events than the old cursor (restart detection's precondition).
+	fn.reset()
+	second := "10.2.2.2:2222"
+	fn.ban(second)
+
+	// First pass detects the restart and rebases; second pass drains the
+	// new generation.
+	if err := o.PollNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PollNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(store.LatestByStream("n1", StreamNode)); got == 0 {
+		t.Fatal("no StreamNode events after restart")
+	}
+	restarts := 0
+	for _, pb := range store.Bans() {
+		switch pb.Peer {
+		case first, second:
+		default:
+			t.Fatalf("unexpected banned peer %q", pb.Peer)
+		}
+	}
+	if got := len(store.Bans()); got != 2 {
+		t.Fatalf("Bans = %d peers, want both generations' bans", got)
+	}
+	for _, ev := range store.LatestByStream("n1", StreamNode) {
+		if ev.Kind == KindNodeRestart {
+			restarts++
+		}
+	}
+	if restarts != 1 {
+		t.Fatalf("node_restart events = %d, want 1", restarts)
+	}
+	cur, _ := store.Cursor("n1")
+	if cur.Base == 0 {
+		t.Fatalf("cursor base not bumped: %+v", cur)
+	}
+}
+
+// TestObserverJournalGap: a poller that falls behind a small ring records a
+// journal_gap event carrying the dropped count.
+func TestObserverJournalGap(t *testing.T) {
+	fn := newFakeNode(t, "n1")
+	fn.mu.Lock()
+	fn.journal = telemetry.NewJournal(8) // tiny ring
+	fn.srv = telemetry.NewServer(fn.reg, fn.journal)
+	fn.srv.SetNodeID("n1")
+	fn.mu.Unlock()
+
+	store := mustOpen(t, t.TempDir())
+	defer store.Close()
+	o := New(Config{Store: store, Targets: []NodeTarget{fn.target()}})
+
+	for i := 0; i < 20; i++ {
+		fn.record(telemetry.Event{Type: telemetry.EventScore, Peer: "10.0.0.1:1", Rule: "r", Value: 1})
+	}
+	if err := o.PollNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var gap *Event
+	evs := store.LatestByStream("n1", StreamJournal)
+	for _, ev := range evs {
+		if ev.Kind == KindJournalGap {
+			g := ev
+			gap = &g
+		}
+	}
+	if gap == nil {
+		// LatestByStream keys by Peer; the gap event has Peer "".
+		t.Fatalf("no journal_gap event recorded; streams: %+v", evs)
+	}
+	if gap.Value != 12 {
+		t.Fatalf("gap dropped = %v, want 12", gap.Value)
+	}
+	cur, _ := store.Cursor("n1")
+	if cur.Dropped != 12 {
+		t.Fatalf("cursor dropped = %d, want 12", cur.Dropped)
+	}
+}
+
+// TestObserverStartStop: the background pollers run and shut down cleanly.
+func TestObserverStartStop(t *testing.T) {
+	fn := newFakeNode(t, "n1")
+	store := mustOpen(t, t.TempDir())
+	defer store.Close()
+
+	fn.ban("10.3.3.3:3333")
+	o := New(Config{Store: store, Targets: []NodeTarget{fn.target()}, Interval: 5 * time.Millisecond})
+	o.Start()
+	defer o.Stop()
+
+	for i := 0; i < 200; i++ {
+		if len(store.Bans()) == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(store.Bans()) != 1 {
+		t.Fatalf("background poller never ingested the ban; errs: %v", o.Errs())
+	}
+	o.Stop() // second Stop is a no-op
+}

@@ -1,0 +1,69 @@
+package observer
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFleetQueryAPI exercises the /fleet endpoints: JSON Content-Type
+// everywhere, 404 (not 200-with-empty) for unknown peers, and escaped peer
+// identifiers resolving.
+func TestFleetQueryAPI(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	attacker := "10.9.9.9:4444"
+	at := time.Unix(1700000000, 0)
+	s.Ingest(Event{Node: "n1", Stream: StreamJournal, Seq: 1, At: at, Kind: "ban", Peer: attacker, Value: 100})
+	s.Ingest(Event{Node: "n2", Stream: StreamJournal, Seq: 1, At: at.Add(time.Second), Kind: "ban", Peer: attacker, Value: 100})
+
+	h := s.QueryHandler()
+	get := func(path string) (*httptest.ResponseRecorder, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s: Content-Type = %q, want application/json", path, ct)
+		}
+		return rec, rec.Body.String()
+	}
+
+	rec, body := get("/fleet/bans")
+	if rec.Code != http.StatusOK || !strings.Contains(body, attacker) {
+		t.Fatalf("/fleet/bans: %d %s", rec.Code, body)
+	}
+
+	rec, body = get("/fleet/propagation")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/fleet/propagation: %d", rec.Code)
+	}
+	var props []Propagation
+	if err := json.Unmarshal([]byte(body), &props); err != nil {
+		t.Fatalf("propagation decode: %v", err)
+	}
+	if len(props) != 1 || props[0].NodesBanned != 2 || props[0].Spread != 1 {
+		t.Fatalf("propagation = %+v", props)
+	}
+
+	rec, _ = get("/fleet/peers/" + strings.ReplaceAll(attacker, ":", "%3A"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/fleet/peers escaped lookup: %d", rec.Code)
+	}
+
+	rec, body = get("/fleet/peers/1.2.3.4:5")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown peer: %d %s, want 404", rec.Code, body)
+	}
+
+	rec, _ = get("/fleet/nodes")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/fleet/nodes: %d", rec.Code)
+	}
+	rec, _ = get("/fleet/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/fleet/status: %d", rec.Code)
+	}
+}

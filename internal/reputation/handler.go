@@ -3,6 +3,7 @@ package reputation
 import (
 	"encoding/json"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"time"
@@ -130,6 +131,11 @@ func (e *Engine) Handler() http.Handler {
 		if rest == "" {
 			_ = json.NewEncoder(w).Encode(e.Snapshot())
 			return
+		}
+		// Peer identifiers contain ":" and, for IPv6, "[]" — clients that
+		// escape the path segment must still resolve the same peer.
+		if unescaped, err := url.PathUnescape(rest); err == nil {
+			rest = unescaped
 		}
 		id := core.PeerID(rest)
 		s := e.peerShard(id)

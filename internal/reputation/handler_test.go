@@ -1,0 +1,76 @@
+package reputation
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"banscore/internal/core"
+)
+
+// TestHandlerEscapedPeerAndContentType pins the /debug/reputation HTTP
+// contract: application/json on every response, percent-escaped peer path
+// segments resolving to the same identity, and 404 (never 200-with-empty)
+// for unknown peers.
+func TestHandlerEscapedPeerAndContentType(t *testing.T) {
+	e := New(Config{Clock: newVirtualClock()})
+	plain := core.PeerID("203.0.113.7:8333")
+	v6 := core.PeerID("[2001:db8::1]:8333")
+	e.Penalize(plain, 40)
+	e.Penalize(v6, 25)
+	h := e.Handler()
+
+	get := func(path string) (*httptest.ResponseRecorder, []byte) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s: Content-Type = %q, want application/json", path, ct)
+		}
+		return rec, rec.Body.Bytes()
+	}
+
+	// The index snapshot serves both identities.
+	rec, body := get("/debug/reputation")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index: HTTP %d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil || len(snap.Peers) != 2 {
+		t.Fatalf("index snapshot: %s (%v)", body, err)
+	}
+
+	// Literal and escaped path segments must resolve the same peer.
+	for _, tc := range []struct {
+		path string
+		want core.PeerID
+	}{
+		{"/debug/reputation/" + string(plain), plain},
+		{"/debug/reputation/203.0.113.7%3A8333", plain},
+		{"/debug/reputation/%5B2001%3Adb8%3A%3A1%5D%3A8333", v6},
+	} {
+		rec, body := get(tc.path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s: HTTP %d, want 200", tc.path, rec.Code)
+			continue
+		}
+		var doc peerDoc
+		if err := json.Unmarshal(body, &doc); err != nil || doc.Peer != tc.want {
+			t.Errorf("GET %s: peer = %q (%v), want %q", tc.path, doc.Peer, err, tc.want)
+		}
+		if doc.Misbehavior <= 0 {
+			t.Errorf("GET %s: misbehavior = %v, want > 0", tc.path, doc.Misbehavior)
+		}
+	}
+
+	// Unknown peers 404 with a JSON error body.
+	rec, body = get("/debug/reputation/198.51.100.1%3A1")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown peer: HTTP %d, want 404", rec.Code)
+	}
+	var errDoc map[string]string
+	if err := json.Unmarshal(body, &errDoc); err != nil || errDoc["error"] == "" {
+		t.Errorf("unknown peer error body: %s (%v)", body, err)
+	}
+}

@@ -117,6 +117,48 @@ func (j *Journal) Events() []Event {
 	return append(out, j.buf[:j.next]...)
 }
 
+// EventsSince returns the retained events with Seq > cursor, oldest first,
+// plus the cursor a caller should resume from (the newest sequence number at
+// the time of the call) and how many requested events the ring had already
+// overwritten — the gap between cursor and the oldest retained sequence.
+// Sequence numbers are global and monotonic (Record stamps them), so a
+// poller that stores next and passes it back sees every event exactly once
+// and can detect loss whenever dropped is non-zero. A cursor ahead of the
+// journal (a restarted process reset the sequence) returns no events; the
+// caller compares next against its cursor to detect the restart. Nil
+// journals return (nil, cursor, 0).
+func (j *Journal) EventsSince(cursor uint64) (events []Event, next uint64, dropped uint64) {
+	if j == nil {
+		return nil, cursor, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	next = j.total
+	n := len(j.buf)
+	if n == 0 || cursor >= j.total {
+		return nil, next, 0
+	}
+	firstRetained := j.total - uint64(n) + 1
+	if cursor+1 < firstRetained {
+		dropped = firstRetained - 1 - cursor
+	}
+	events = make([]Event, 0, n)
+	appendSince := func(evs []Event) {
+		for _, ev := range evs {
+			if ev.Seq > cursor {
+				events = append(events, ev)
+			}
+		}
+	}
+	if n < cap(j.buf) {
+		appendSince(j.buf)
+		return events, next, dropped
+	}
+	appendSince(j.buf[j.next:])
+	appendSince(j.buf[:j.next])
+	return events, next, dropped
+}
+
 // Total returns how many events were ever recorded (including overwritten
 // ones).
 func (j *Journal) Total() uint64 {

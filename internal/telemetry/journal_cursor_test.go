@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func recordN(j *Journal, n int) {
+	for i := 0; i < n; i++ {
+		j.Record(Event{Type: EventScore, Peer: "p", Value: float64(i)})
+	}
+}
+
+func TestEventsSinceMonotonicCursor(t *testing.T) {
+	j := NewJournal(16)
+	recordN(j, 5)
+
+	events, next, dropped := j.EventsSince(0)
+	if len(events) != 5 || next != 5 || dropped != 0 {
+		t.Fatalf("full read: got %d events, next=%d, dropped=%d", len(events), next, dropped)
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	// Resuming from the returned cursor sees only what came after.
+	recordN(j, 3)
+	events, next2, dropped := j.EventsSince(next)
+	if len(events) != 3 || next2 != 8 || dropped != 0 {
+		t.Fatalf("resume: got %d events, next=%d, dropped=%d", len(events), next2, dropped)
+	}
+	if events[0].Seq != 6 {
+		t.Fatalf("resume started at seq %d, want 6", events[0].Seq)
+	}
+
+	// A caught-up cursor yields nothing and keeps its position.
+	events, next3, dropped := j.EventsSince(next2)
+	if len(events) != 0 || next3 != next2 || dropped != 0 {
+		t.Fatalf("caught up: got %d events, next=%d, dropped=%d", len(events), next3, dropped)
+	}
+}
+
+func TestEventsSinceReportsRingGaps(t *testing.T) {
+	j := NewJournal(4)
+	recordN(j, 10) // seqs 1..10; ring retains 7..10
+
+	events, next, dropped := j.EventsSince(0)
+	if next != 10 {
+		t.Fatalf("next = %d, want 10", next)
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6 (seqs 1..6 overwritten)", dropped)
+	}
+	if len(events) != 4 || events[0].Seq != 7 || events[3].Seq != 10 {
+		t.Fatalf("retained events wrong: %+v", events)
+	}
+
+	// A cursor inside the retained window sees no gap.
+	events, _, dropped = j.EventsSince(8)
+	if dropped != 0 || len(events) != 2 || events[0].Seq != 9 {
+		t.Fatalf("windowed read: events=%+v dropped=%d", events, dropped)
+	}
+
+	// A cursor exactly at the retention edge sees no gap either.
+	_, _, dropped = j.EventsSince(6)
+	if dropped != 0 {
+		t.Fatalf("edge cursor dropped = %d, want 0", dropped)
+	}
+}
+
+func TestEventsSinceCursorAheadOfJournal(t *testing.T) {
+	j := NewJournal(8)
+	recordN(j, 3)
+	// A poller holding a cursor from a previous incarnation (sequence
+	// space reset) gets no events and a frontier below its cursor — the
+	// restart signal.
+	events, next, dropped := j.EventsSince(100)
+	if len(events) != 0 || next != 3 || dropped != 0 {
+		t.Fatalf("ahead cursor: events=%d next=%d dropped=%d", len(events), next, dropped)
+	}
+	var nilJournal *Journal
+	if evs, n, d := nilJournal.EventsSince(7); evs != nil || n != 7 || d != 0 {
+		t.Fatalf("nil journal: %v %d %d", evs, n, d)
+	}
+}
+
+func TestDebugJournalEndpoint(t *testing.T) {
+	s, _, j := newTestServer(t)
+	s.SetNodeID("node-7")
+	recordN(j, 6)
+
+	req := func(url string) (int, string, JournalResponse) {
+		code, body := get(t, s.Handler(), url)
+		var resp JournalResponse
+		if code == http.StatusOK {
+			if err := json.Unmarshal([]byte(body), &resp); err != nil {
+				t.Fatalf("bad json from %s: %v\n%s", url, err, body)
+			}
+		}
+		return code, body, resp
+	}
+
+	code, _, resp := req("/debug/journal")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.NodeID != "node-7" || resp.NextCursor != 6 || len(resp.Events) != 6 {
+		t.Fatalf("full feed: %+v", resp)
+	}
+
+	// Incremental resume.
+	_, _, resp = req("/debug/journal?since=4")
+	if resp.NextCursor != 6 || len(resp.Events) != 2 || resp.Events[0].Seq != 5 {
+		t.Fatalf("since=4: %+v", resp)
+	}
+
+	// Paging: a truncated page's next_cursor points at its own last event.
+	_, _, resp = req("/debug/journal?since=0&limit=2")
+	if len(resp.Events) != 2 || resp.NextCursor != 2 {
+		t.Fatalf("limit page: %+v", resp)
+	}
+	_, _, resp = req("/debug/journal?since=2&limit=100")
+	if len(resp.Events) != 4 || resp.NextCursor != 6 {
+		t.Fatalf("oversized limit: %+v", resp)
+	}
+
+	// Bad cursor is a 400, not a silent full replay.
+	code, body, _ := req("/debug/journal?since=banana")
+	if code != http.StatusBadRequest || !strings.Contains(body, "bad since cursor") {
+		t.Fatalf("bad cursor: %d %s", code, body)
+	}
+}
+
+func TestDebugJournalReportsDroppedToPoller(t *testing.T) {
+	s, _, j := newTestServer(t) // journal capacity 8
+	recordN(j, 20)              // retains 13..20
+
+	code, body := get(t, s.Handler(), "/debug/journal?since=5")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var resp JournalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if resp.Dropped != 7 { // seqs 6..12 lost
+		t.Fatalf("dropped = %d, want 7", resp.Dropped)
+	}
+	if len(resp.Events) != 8 || resp.Events[0].Seq != 13 {
+		t.Fatalf("events: %+v", resp.Events)
+	}
+}
+
+func TestRegisterNodeInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterNodeInfo(reg, "fleet-3", "0.8.0")
+	var found bool
+	for _, sample := range reg.Gather() {
+		if sample.Name != "node_info" {
+			continue
+		}
+		found = true
+		labels := map[string]string{}
+		for _, l := range sample.Labels {
+			labels[l.Key] = l.Value
+		}
+		if labels["node_id"] != "fleet-3" || labels["version"] != "0.8.0" || labels["go_version"] == "" {
+			t.Fatalf("node_info labels: %v", labels)
+		}
+		if sample.Value != 1 {
+			t.Fatalf("node_info value = %v, want 1", sample.Value)
+		}
+	}
+	if !found {
+		t.Fatal("node_info series not registered")
+	}
+}

@@ -1,0 +1,23 @@
+package telemetry
+
+import "runtime"
+
+// RegisterNodeInfo publishes the node's identity as a constant-1 gauge
+//
+//	node_info{node_id="...",version="...",go_version="..."}
+//
+// the Prometheus info-metric convention: the value carries nothing, the
+// labels carry everything, and fleet-level aggregations join per-node
+// series on node_id. cmd/btcnode wires its -node-id flag through here so
+// every scrape in a multi-node run is attributable.
+func RegisterNodeInfo(reg *Registry, nodeID, version string) {
+	if reg == nil {
+		return
+	}
+	reg.Describe("node_info", "Node identity: constant 1 with node_id/version/go_version labels.")
+	reg.Gauge("node_info",
+		L("node_id", nodeID),
+		L("version", version),
+		L("go_version", runtime.Version()),
+	).Set(1)
+}

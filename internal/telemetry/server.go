@@ -13,9 +13,12 @@ import (
 
 // Server exposes a Registry and Journal over HTTP:
 //
-//	/metrics  — Prometheus v0.0.4 text, or JSON with ?format=json
-//	/healthz  — liveness plus series/event totals
-//	/events   — the journal as JSON (?n=N tails, ?type=T filters)
+//	/metrics        — Prometheus v0.0.4 text, or JSON with ?format=json
+//	/healthz        — liveness plus series/event totals
+//	/events         — the journal as JSON (?n=N tails, ?type=T filters)
+//	/debug/journal  — incremental journal feed (?since=cursor resumes,
+//	                  ?limit=N pages; the response carries next_cursor and
+//	                  a dropped count so pollers detect ring-buffer gaps)
 //
 // It is the exposition endpoint cmd/btcnode's -telemetry flag serves.
 type Server struct {
@@ -29,6 +32,7 @@ type Server struct {
 	ln     net.Listener
 	done   chan struct{}
 	health func() (bool, map[string]any)
+	nodeID string
 }
 
 // NewServer builds a server over reg and an optional journal.
@@ -42,7 +46,23 @@ func NewServer(reg *Registry, journal *Journal) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/journal", s.handleJournal)
 	return s
+}
+
+// SetNodeID stamps the server's responses (/healthz, /debug/journal) with a
+// fleet-unique node identifier so aggregators can attribute what they poll.
+func (s *Server) SetNodeID(id string) {
+	s.mu.Lock()
+	s.nodeID = id
+	s.mu.Unlock()
+}
+
+// NodeID returns the identifier set by SetNodeID ("" when unset).
+func (s *Server) NodeID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeID
 }
 
 // Handler returns the route mux — handy for tests and for embedding into an
@@ -145,6 +165,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"events_total":   s.journal.Total(),
 		"events_dropped": s.journal.Dropped(),
 	}
+	if id := s.NodeID(); id != "" {
+		doc["node_id"] = id
+	}
 	code := http.StatusOK
 	if probe != nil {
 		healthy, fields := probe()
@@ -193,6 +216,59 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Events == nil {
 		resp.Events = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// JournalResponse is the /debug/journal document: one incremental page of
+// the journal. A poller stores NextCursor and passes it back as ?since= on
+// the next request; a non-zero Dropped means the ring overwrote that many
+// events between the poller's cursor and the oldest retained entry — a
+// detectable gap, not a silent one. NextCursor < the requested cursor means
+// the process restarted and its sequence space began again.
+type JournalResponse struct {
+	NodeID     string  `json:"node_id,omitempty"`
+	NextCursor uint64  `json:"next_cursor"`
+	Dropped    uint64  `json:"dropped"`
+	Total      uint64  `json:"total"`
+	Events     []Event `json:"events"`
+}
+
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "bad since cursor: " + v})
+			return
+		}
+		since = n
+	}
+	events, next, dropped := s.journal.EventsSince(since)
+	if v := r.URL.Query().Get("limit"); v != "" {
+		// A truncated page must hand back the cursor of its last event,
+		// not the journal frontier, or the poller would skip the rest.
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(events) {
+			events = events[:n]
+			if n > 0 {
+				next = events[n-1].Seq
+			} else {
+				next = since
+			}
+		}
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	resp := JournalResponse{
+		NodeID:     s.NodeID(),
+		NextCursor: next,
+		Dropped:    dropped,
+		Total:      s.journal.Total(),
+		Events:     events,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
