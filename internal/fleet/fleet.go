@@ -76,8 +76,9 @@ type Node struct {
 	// BanstoreDir holds the node's crash-safe ban state.
 	BanstoreDir string
 
-	cmd *exec.Cmd
-	log *os.File
+	cmd    *exec.Cmd
+	log    *os.File
+	exited chan struct{} // closed once the reaper goroutine's cmd.Wait returns
 }
 
 // Cluster is a running fleet: the node processes, the observer polling
@@ -224,6 +225,11 @@ func Launch(cfg Config) (*Cluster, error) {
 			c.cleanup()
 			return nil, fmt.Errorf("fleet: start %s: %w", n.ID, err)
 		}
+		n.exited = make(chan struct{})
+		go func(n *Node) {
+			_ = n.cmd.Wait()
+			close(n.exited)
+		}(n)
 		c.Nodes = append(c.Nodes, n)
 	}
 
@@ -265,10 +271,12 @@ func waitReady(n *Node, timeout time.Duration) error {
 			resp.Body.Close()
 			return nil
 		}
-		if n.cmd.ProcessState != nil {
-			break
+		select {
+		case <-n.exited:
+			return fmt.Errorf("fleet: %s exited before becoming ready at %s\n%s",
+				n.ID, url, logTail(n, 20))
+		case <-time.After(25 * time.Millisecond):
 		}
-		time.Sleep(25 * time.Millisecond)
 	}
 	return fmt.Errorf("fleet: %s never became ready at %s\n%s", n.ID, url, logTail(n, 20))
 }
@@ -331,19 +339,17 @@ func (c *Cluster) cleanup() {
 		}
 	}
 	for _, n := range c.Nodes {
-		if n.cmd == nil || n.cmd.Process == nil {
+		if n.cmd == nil || n.cmd.Process == nil || n.exited == nil {
+			if n.log != nil {
+				n.log.Close()
+			}
 			continue
 		}
-		done := make(chan struct{})
-		go func(n *Node) {
-			_ = n.cmd.Wait()
-			close(done)
-		}(n)
 		select {
-		case <-done:
+		case <-n.exited:
 		case <-time.After(5 * time.Second):
 			_ = n.cmd.Process.Kill()
-			<-done
+			<-n.exited
 		}
 		if n.log != nil {
 			n.log.Close()

@@ -82,8 +82,12 @@ type Config struct {
 	Client *http.Client
 }
 
-// pollState is one target's in-memory tracking between polls.
+// pollState is one target's in-memory tracking between polls. mu serializes
+// whole poll passes, so a direct PollNode/PollAll caller (the fleet replay's
+// waitForBans, tests) is safe alongside the background poll loop that Start
+// runs for the same node.
 type pollState struct {
+	mu        sync.Mutex
 	target    NodeTarget
 	cursor    Cursor
 	health    string            // last /healthz status ("" unknown)
@@ -93,8 +97,9 @@ type pollState struct {
 }
 
 // New builds an observer over cfg.Store. Call Start to begin polling, or
-// PollNode/PollAll directly for single-threaded use (tests, the fleet
-// experiment's deterministic replay).
+// PollNode/PollAll directly (tests, the fleet experiment's replay). Direct
+// polls are safe concurrently with the background loops: each node's poll
+// pass holds that node's pollState lock for its duration.
 func New(cfg Config) *Observer {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 250 * time.Millisecond
@@ -241,7 +246,9 @@ func (o *Observer) PollAll() error {
 	return first
 }
 
-// PollNode runs one full poll pass against one target.
+// PollNode runs one full poll pass against one target. Passes for the same
+// node are mutually exclusive — concurrent callers (a background poll loop
+// plus a direct caller) serialize rather than tearing the cursor.
 func (o *Observer) PollNode(nodeID string) error {
 	o.mu.Lock()
 	st := o.polls[nodeID]
@@ -249,6 +256,8 @@ func (o *Observer) PollNode(nodeID string) error {
 	if st == nil {
 		return fmt.Errorf("observer: unknown node %q", nodeID)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if err := o.pollJournal(st); err != nil {
 		return err
 	}
