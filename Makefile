@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-json build test race bench bench-telemetry bench-trace bench-gate bench-baseline test-poolpoison chaos chaos-short chaos-crash fleet-short
+.PHONY: check vet lint lint-json lint-sarif alloc-gate alloc-baseline build test race bench bench-telemetry bench-trace bench-gate bench-baseline test-poolpoison chaos chaos-short chaos-crash fleet-short
 
-check: vet lint build race test-poolpoison bench-telemetry bench-trace
+check: vet lint alloc-gate build race test-poolpoison bench-telemetry bench-trace
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,22 @@ lint:
 
 lint-json:
 	$(GO) run ./cmd/banlint -json ./...
+
+lint-sarif:
+	$(GO) run ./cmd/banlint -sarif banlint.sarif ./...
+
+# Escape-analysis half of the hot-path allocation budget: compile every
+# package containing //banlint:hotpath annotations with -gcflags=-m and
+# diff the heap-escape diagnostics inside annotated functions against the
+# committed ALLOC_BUDGET.json. The syntactic half (no make/new/closures on
+# hot paths) is the allocbudget analyzer inside `make lint`.
+alloc-gate:
+	$(GO) run ./cmd/allocgate
+
+# Refresh the committed escape budget (after reviewing an intentional
+# change; commit the resulting ALLOC_BUDGET.json).
+alloc-baseline:
+	$(GO) run ./cmd/allocgate -update
 
 build:
 	$(GO) build ./...

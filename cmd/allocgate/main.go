@@ -1,0 +1,335 @@
+// Command allocgate enforces the escape-analysis half of the hot-path
+// allocation budget (the syntactic half is the allocbudget analyzer in
+// internal/lint/analyzers/allocbudget).
+//
+// It scans the repository for functions annotated //banlint:hotpath,
+// compiles each annotated package with `go build -gcflags=<pkg>=-m`, and
+// collects the compiler's "escapes to heap" / "moved to heap" diagnostics
+// that land inside an annotated function. The result is diffed against the
+// committed budget, ALLOC_BUDGET.json:
+//
+//	go run ./cmd/allocgate           # fail if the escape set drifted
+//	go run ./cmd/allocgate -update   # rewrite the budget after review
+//
+// The budget maps each annotated function to the sorted multiset of escape
+// messages the compiler reports for it — message text only, not positions,
+// so unrelated line churn in the same file does not invalidate the budget.
+// A new escape on a hot path (a parameter boxed for an interface, a value
+// the compiler decides to heap-allocate) changes the set and fails the
+// gate; so does an annotation added or removed without refreshing the
+// budget. Exit status: 0 budget holds, 1 drift, 2 usage or build error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"banscore/internal/lint/analyzers/allocbudget"
+	"banscore/internal/lint/loader"
+)
+
+// hotFunc is one //banlint:hotpath annotation site.
+type hotFunc struct {
+	key     string // "<import path>.<func>" budget key
+	file    string // absolute path of the declaring file
+	line0   int    // first line of the declaration (doc comment excluded)
+	line1   int    // last line of the body
+	pkgPath string
+	pkgDir  string
+}
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the budget file instead of diffing against it")
+	budgetPath := flag.String("budget", "ALLOC_BUDGET.json", "path of the committed escape budget")
+	root := flag.String("root", ".", "repository root to scan for //banlint:hotpath annotations")
+	flag.Parse()
+
+	code, err := run(*root, *budgetPath, *update)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(root, budgetPath string, update bool) (int, error) {
+	pkgs, err := loader.LoadTree(root, loader.Config{})
+	if err != nil {
+		return 0, err
+	}
+	hot := collectHotpaths(pkgs)
+	if len(hot) == 0 {
+		return 0, fmt.Errorf("no //banlint:hotpath annotations found under %s", root)
+	}
+
+	got, err := escapeDiagnostics(root, hot)
+	if err != nil {
+		return 0, err
+	}
+
+	if update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(filepath.Join(root, budgetPath), append(data, '\n'), 0o644); err != nil {
+			return 0, err
+		}
+		fmt.Printf("allocgate: wrote %s (%d annotated functions)\n", budgetPath, len(got))
+		return 0, nil
+	}
+
+	data, err := os.ReadFile(filepath.Join(root, budgetPath))
+	if err != nil {
+		return 0, fmt.Errorf("reading budget (run with -update to create it): %w", err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", budgetPath, err)
+	}
+	return diff(want, got, budgetPath), nil
+}
+
+// collectHotpaths walks the parsed tree for annotated functions.
+func collectHotpaths(pkgs []*loader.Package) []hotFunc {
+	var out []hotFunc
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !allocbudget.IsHotpath(fn) {
+					continue
+				}
+				start := pkg.Fset.Position(fn.Pos())
+				end := pkg.Fset.Position(fn.End())
+				abs, err := filepath.Abs(start.Filename)
+				if err != nil {
+					abs = start.Filename
+				}
+				out = append(out, hotFunc{
+					key:     pkg.Path + "." + funcName(fn),
+					file:    abs,
+					line0:   start.Line,
+					line1:   end.Line,
+					pkgPath: pkg.Path,
+					pkgDir:  pkg.Dir,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// funcName renders a declaration as it is spelled in code: EncodeMessage
+// for a free function, (*Tracker).MisbehavingCtx for a pointer method.
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		if id, ok := baseIdent(star.X); ok {
+			return "(*" + id + ")." + fn.Name.Name
+		}
+	}
+	if id, ok := baseIdent(recv); ok {
+		return "(" + id + ")." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+func baseIdent(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.IndexExpr: // generic receiver T[P]
+		return baseIdent(e.X)
+	}
+	return "", false
+}
+
+// escapeDiagnostics compiles each annotated package with -gcflags=-m and
+// attributes heap-escape lines to the annotated function containing them.
+// The Go build cache replays compiler diagnostics on cache hits, so repeat
+// runs are fast and still produce the full output.
+func escapeDiagnostics(root string, hot []hotFunc) (map[string][]string, error) {
+	got := make(map[string][]string, len(hot))
+	for _, h := range hot {
+		got[h.key] = []string{}
+	}
+
+	dirs := map[string]string{} // pkgPath -> dir, deduplicated
+	for _, h := range hot {
+		dirs[h.pkgPath] = h.pkgDir
+	}
+	pkgPaths := make([]string, 0, len(dirs))
+	for p := range dirs {
+		pkgPaths = append(pkgPaths, p)
+	}
+	sort.Strings(pkgPaths)
+
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkgPath := range pkgPaths {
+		cmd := exec.Command("go", "build", "-gcflags="+pkgPath+"=-m", dirs[pkgPath])
+		cmd.Dir = absRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go build %s: %v\n%s", pkgPath, err, out)
+		}
+		attribute(string(out), absRoot, hot, got)
+	}
+	for k := range got {
+		sort.Strings(got[k])
+	}
+	return got, nil
+}
+
+// attribute maps "file:line:col: msg" escape lines onto annotated spans.
+func attribute(output, root string, hot []hotFunc, got map[string][]string) {
+	for _, line := range strings.Split(output, "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, lineNo, msg, ok := splitDiag(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		for i := range hot {
+			h := &hot[i]
+			if file == h.file && lineNo >= h.line0 && lineNo <= h.line1 {
+				got[h.key] = append(got[h.key], msg)
+				break
+			}
+		}
+	}
+}
+
+// splitDiag parses one compiler diagnostic line into (file, line, message).
+func splitDiag(line string) (string, int, string, bool) {
+	// file.go:12:34: message — the message may itself contain colons, so
+	// split from the left, expecting two numeric fields after the path.
+	rest := line
+	file, rest, ok := cutPath(rest)
+	if !ok {
+		return "", 0, "", false
+	}
+	lineStr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return "", 0, "", false
+	}
+	_, msg, ok := strings.Cut(rest, ": ")
+	if !ok {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(lineStr)
+	if err != nil {
+		return "", 0, "", false
+	}
+	return file, n, msg, true
+}
+
+// cutPath splits "path.go:rest" at the colon following the .go suffix,
+// tolerating colons inside the path itself.
+func cutPath(s string) (string, string, bool) {
+	i := strings.Index(s, ".go:")
+	if i < 0 {
+		return "", "", false
+	}
+	return s[:i+3], s[i+4:], true
+}
+
+// diff reports drift between the committed budget and the current escape
+// set, returning the process exit code.
+func diff(want, got map[string][]string, budgetPath string) int {
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	drift := 0
+	for _, k := range sorted {
+		w, inBudget := want[k]
+		g, annotated := got[k]
+		switch {
+		case !annotated:
+			fmt.Fprintf(os.Stderr, "allocgate: %s is in %s but no longer annotated //banlint:hotpath; refresh with -update\n", k, budgetPath)
+			drift++
+		case !inBudget:
+			fmt.Fprintf(os.Stderr, "allocgate: %s is annotated //banlint:hotpath but missing from %s; refresh with -update\n", k, budgetPath)
+			drift++
+		case !equal(w, g):
+			fmt.Fprintf(os.Stderr, "allocgate: escape set drifted for %s\n", k)
+			for _, m := range diffLines(w, g) {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
+			drift++
+		}
+	}
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "allocgate: %d function(s) drifted from %s; review, then refresh with -update\n", drift, budgetPath)
+		return 1
+	}
+	fmt.Printf("allocgate: budget holds for %d annotated function(s)\n", len(got))
+	return 0
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffLines renders a sorted-multiset diff as +new / -gone lines.
+func diffLines(want, got []string) []string {
+	count := map[string]int{}
+	for _, m := range want {
+		count[m]--
+	}
+	for _, m := range got {
+		count[m]++
+	}
+	msgs := make([]string, 0, len(count))
+	for m := range count {
+		msgs = append(msgs, m)
+	}
+	sort.Strings(msgs)
+	var out []string
+	for _, m := range msgs {
+		for i := 0; i < count[m]; i++ {
+			out = append(out, "+ "+m+" (new escape)")
+		}
+		for i := 0; i < -count[m]; i++ {
+			out = append(out, "- "+m+" (no longer escapes)")
+		}
+	}
+	return out
+}

@@ -53,6 +53,7 @@ func main() {
 			{Name: "json", Bool: true, Usage: "emit findings as a JSON array on stdout"},
 			{Name: "tests", Bool: true, Usage: "also lint _test.go files (standalone mode)"},
 			{Name: "only", Bool: false, Usage: "comma-separated analyzer names to run (default: all)"},
+			{Name: "sarif", Bool: false, Usage: "write findings as SARIF 2.1.0 to the named file (standalone mode)"},
 		}
 		if err := json.NewEncoder(os.Stdout).Encode(defs); err != nil {
 			fmt.Fprintf(os.Stderr, "banlint: %v\n", err)
@@ -64,6 +65,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	tests := flag.Bool("tests", false, "also lint _test.go files (standalone mode)")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to the named file (standalone mode)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -77,7 +79,7 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vetMode(args[0], analyzers, *jsonOut, *tests))
 	}
-	os.Exit(standalone(args, analyzers, loader.Config{IncludeTests: *tests}, *jsonOut))
+	os.Exit(standalone(args, analyzers, loader.Config{IncludeTests: *tests}, *jsonOut, *sarifOut))
 }
 
 func usage() {
@@ -108,7 +110,10 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 }
 
 // standalone lints directory trees named by args (default "./...").
-func standalone(args []string, analyzers []*analysis.Analyzer, cfg loader.Config, jsonOut bool) int {
+// All loaded packages are analyzed as ONE tree: repo-level analyzers
+// (evidenceflow, lockorder) need the whole unit set to resolve calls and
+// lock classes across package boundaries.
+func standalone(args []string, analyzers []*analysis.Analyzer, cfg loader.Config, jsonOut bool, sarifOut string) int {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -137,14 +142,20 @@ func standalone(args []string, analyzers []*analysis.Analyzer, cfg loader.Config
 		pkgs = append(pkgs, loaded...)
 	}
 
+	perPkg, err := runner.RunTree(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "banlint: %v\n", err)
+		return 2
+	}
 	var findings []runner.Finding
-	for _, pkg := range pkgs {
-		diags, err := runner.RunPackage(pkg, analyzers)
-		if err != nil {
+	for i, pkg := range pkgs {
+		findings = append(findings, runner.Resolve(pkg, perPkg[i])...)
+	}
+	if sarifOut != "" {
+		if err := writeSARIF(sarifOut, findings, analyzers); err != nil {
 			fmt.Fprintf(os.Stderr, "banlint: %v\n", err)
 			return 2
 		}
-		findings = append(findings, runner.Resolve(pkg, diags)...)
 	}
 	return report(findings, jsonOut, os.Stdout)
 }

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"banscore/internal/lint/analysis"
+	"banscore/internal/lint/runner"
+)
+
+// SARIF 2.1.0 output, the static-analysis interchange format GitHub code
+// scanning ingests. Only the subset banlint produces is modeled: one run,
+// one rule per analyzer (its doc summary as the description), one result
+// per finding with a single physical location. Paths are emitted relative
+// to the working directory under the standard %SRCROOT% base so the viewer
+// anchors them at the repository root.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription,omitempty"`
+	DefaultConfig    sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders findings as a SARIF 2.1.0 log at path. Every
+// configured analyzer appears as a rule even when it reported nothing, so
+// code scanning can show the full gate, not just the failing checks.
+func writeSARIF(path string, findings []runner.Finding, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	ruleIndex := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		summary, rest, _ := strings.Cut(a.Doc, "\n")
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: summary},
+			FullDescription:  sarifMessage{Text: strings.TrimSpace(rest)},
+			DefaultConfig:    sarifConfig{Level: "error"},
+		})
+		ruleIndex[a.Name] = i
+	}
+	// The directive layer (waiver syntax errors, stale-waiver audit)
+	// reports under its own name without being a registered analyzer.
+	if _, ok := ruleIndex[analysis.DirectiveAnalyzerName]; !ok {
+		ruleIndex[analysis.DirectiveAnalyzerName] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               analysis.DirectiveAnalyzerName,
+			ShortDescription: sarifMessage{Text: "malformed or stale //lint:allow directives"},
+			DefaultConfig:    sarifConfig{Level: "error"},
+		})
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = ""
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.File
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		idx, ok := ruleIndex[f.Analyzer]
+		if !ok {
+			// A diagnostic from an analyzer outside the configured set
+			// (defensive; Filter attributes stale-waiver audits to the
+			// lintdirective analyzer, which is always registered).
+			idx = 0
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "banlint", Rules: rules}}, Results: results}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

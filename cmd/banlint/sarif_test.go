@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"banscore/internal/lint/banlint"
+	"banscore/internal/lint/runner"
+)
+
+// TestWriteSARIF checks the emitted log is valid JSON in the shape code
+// scanning expects: schema'd 2.1.0, one rule per analyzer plus the
+// directive layer, results pointing at repo-relative URIs.
+func TestWriteSARIF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := []runner.Finding{
+		{File: filepath.Join(cwd, "testpkg", "a.go"), Line: 7, Column: 3, Analyzer: "wallclock", Message: "time.Now in scoped package"},
+		{File: filepath.Join(cwd, "testpkg", "b.go"), Line: 1, Column: 1, Analyzer: "lintdirective", Message: "stale lint:allow directive"},
+	}
+	if err := writeSARIF(path, findings, banlint.Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	wantRules := len(banlint.Analyzers()) + 1 // + lintdirective
+	if len(run.Tool.Driver.Rules) != wantRules {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), wantRules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	for i, res := range run.Results {
+		if res.RuleID != findings[i].Analyzer {
+			t.Errorf("result %d ruleId = %q, want %q", i, res.RuleID, findings[i].Analyzer)
+		}
+		ri := res.RuleIndex
+		if ri < 0 || ri >= len(run.Tool.Driver.Rules) || run.Tool.Driver.Rules[ri].ID != res.RuleID {
+			t.Errorf("result %d ruleIndex %d does not point at rule %q", i, ri, res.RuleID)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("result %d uri = %q, want repo-relative", i, loc.ArtifactLocation.URI)
+		}
+	}
+	if got := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; got != "testpkg/a.go" {
+		t.Errorf("uri = %q, want testpkg/a.go", got)
+	}
+	if got := run.Results[0].Locations[0].PhysicalLocation.Region.StartLine; got != 7 {
+		t.Errorf("startLine = %d, want 7", got)
+	}
+}

@@ -86,7 +86,7 @@ func run() error {
 	}
 
 	res := fleet.ExperimentResult{Nodes: len(c.Nodes), NodeIDs: c.NodeIDs()}
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock(CLI progress display: human-facing elapsed time for one interactive run, not a replayed schedule)
 	if res.Defamation, err = c.ReplayDefamation(*delay); err != nil {
 		return fmt.Errorf("defamation replay: %w", err)
 	}
@@ -96,7 +96,7 @@ func run() error {
 		}
 	}
 	res.Summaries = c.Store.Nodes()
-	fmt.Printf("\n%s\nreplays finished in %s\n", res.Render(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\n%s\nreplays finished in %s\n", res.Render(), time.Since(start).Round(time.Millisecond)) //lint:allow wallclock(CLI progress display: human-facing elapsed time for one interactive run, not a replayed schedule)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(res, "", " ")
@@ -111,7 +111,7 @@ func run() error {
 
 	if *serve != "" {
 		srv := &http.Server{Addr: *serve, Handler: c.Store.QueryHandler()}
-		go func() {
+		go func() { //lint:allow gospawn(the query server outlives this function by design: main blocks on SIGINT below, then srv.Close unblocks ListenAndServe before the process exits)
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "fleet: serve:", err)
 			}

@@ -39,17 +39,17 @@ func PreConnectionDefame(dial Dialer, innocent, target string, magic wire.Bitcoi
 		return res, err
 	}
 
-	start := time.Now()
+	start := clk.Now()
 	for {
 		if err := s.Send(s.Version()); err != nil {
 			break // the identifier is banned and the connection dropped
 		}
 		res.MessagesSent++
 		if delay > 0 {
-			time.Sleep(delay)
+			clk.Sleep(delay)
 		}
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Since(start)
 	return res, nil
 }
 
@@ -105,7 +105,7 @@ func (d *PostConnectionDefamer) frameVersion(n uint64) []byte {
 // injection point disappears) or count messages are in.
 func (d *PostConnectionDefamer) Run(count int, delay time.Duration) (DefamationResult, error) {
 	res := DefamationResult{Innocent: d.innocent}
-	start := time.Now()
+	start := clk.Now()
 	for i := 0; i < count; i++ {
 		frame := d.frameVersion(uint64(i))
 		// Step 3 of Algorithm 1: learn the current stream state.
@@ -121,17 +121,17 @@ func (d *PostConnectionDefamer) Run(count int, delay time.Duration) (DefamationR
 			if errors.Is(err, simnet.ErrConnNotFound) {
 				// The target banned the innocent peer and tore the
 				// connection down: the attack has succeeded.
-				res.Elapsed = time.Since(start)
+				res.Elapsed = clk.Since(start)
 				return res, nil
 			}
-			res.Elapsed = time.Since(start)
+			res.Elapsed = clk.Since(start)
 			return res, err
 		}
 		res.MessagesSent++
 		if delay > 0 {
-			time.Sleep(delay)
+			clk.Sleep(delay)
 		}
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Since(start)
 	return res, nil
 }

@@ -58,14 +58,14 @@ func (o FloodOptions) pause(sent uint64) {
 	if o.Burst > 1 && sent%o.Burst != 0 {
 		return
 	}
-	time.Sleep(o.Delay)
+	clk.Sleep(o.Delay)
 }
 
 // Flood repeatedly sends messages produced by next over the session. It
 // models the paper's BM-DoS sender: a tight loop with an optional
 // inter-message delay.
 func Flood(s *Session, next func() wire.Message, opts FloodOptions) FloodResult {
-	start := time.Now()
+	start := clk.Now()
 	var res FloodResult
 	deadline := time.Time{}
 	if opts.Duration > 0 {
@@ -75,13 +75,13 @@ func Flood(s *Session, next func() wire.Message, opts FloodOptions) FloodResult 
 		if opts.Count > 0 && res.Sent >= opts.Count {
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !deadline.IsZero() && clk.Now().After(deadline) {
 			break
 		}
 		if opts.Stop != nil {
 			select {
 			case <-opts.Stop:
-				res.Elapsed = time.Since(start)
+				res.Elapsed = clk.Since(start)
 				return res
 			default:
 			}
@@ -93,7 +93,7 @@ func Flood(s *Session, next func() wire.Message, opts FloodOptions) FloodResult 
 		res.Sent++
 		opts.pause(res.Sent)
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Since(start)
 	return res
 }
 
@@ -103,7 +103,7 @@ func Flood(s *Session, next func() wire.Message, opts FloodOptions) FloodResult 
 // only, which is what makes the attack so cheap on the sender side.
 func FloodRaw(s *Session, command string, payload []byte, opts FloodOptions) FloodResult {
 	checksum := bogusChecksumFor(payload)
-	start := time.Now()
+	start := clk.Now()
 	var res FloodResult
 	deadline := time.Time{}
 	if opts.Duration > 0 {
@@ -113,13 +113,13 @@ func FloodRaw(s *Session, command string, payload []byte, opts FloodOptions) Flo
 		if opts.Count > 0 && res.Sent >= opts.Count {
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !deadline.IsZero() && clk.Now().After(deadline) {
 			break
 		}
 		if opts.Stop != nil {
 			select {
 			case <-opts.Stop:
-				res.Elapsed = time.Since(start)
+				res.Elapsed = clk.Since(start)
 				return res
 			default:
 			}
@@ -131,6 +131,6 @@ func FloodRaw(s *Session, command string, payload []byte, opts FloodOptions) Flo
 		res.Sent++
 		opts.pause(res.Sent)
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Since(start)
 	return res
 }

@@ -94,16 +94,15 @@ func DialFleet(localIP string, targets []string, magic wire.BitcoinNet, timeout 
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i := 1; i < len(targets); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		i := i
+		spawn(&wg, func() {
 			conn, err := ReuseDialer(laddr, timeout).Dial("tcp", targets[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("fleet dial %s from %s: %w", targets[i], laddr, err)
 				return
 			}
 			fi.Sessions[i] = NewSession(conn, magic)
-		}(i)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -114,13 +113,12 @@ func DialFleet(localIP string, targets []string, magic wire.BitcoinNet, timeout 
 	}
 
 	for i, s := range fi.Sessions {
-		wg.Add(1)
-		go func(i int, s *Session) {
-			defer wg.Done()
+		i, s := i, s
+		spawn(&wg, func() {
 			if err := s.Handshake(timeout); err != nil {
 				errs[i] = fmt.Errorf("fleet handshake %s: %w", targets[i], err)
 			}
-		}(i, s)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -153,12 +151,11 @@ func (fi *FleetIdentity) FloodAll(targets []string, next func() wire.Message, de
 	results := make([]FleetFloodResult, len(fi.Sessions))
 	var wg sync.WaitGroup
 	for i, s := range fi.Sessions {
-		wg.Add(1)
-		go func(i int, s *Session) {
-			defer wg.Done()
+		i, s := i, s
+		spawn(&wg, func() {
 			defer s.Close()
 			res := FleetFloodResult{Target: targets[i]}
-			start := time.Now()
+			start := clk.Now()
 			for maxMsgs <= 0 || res.MessagesSent < uint64(maxMsgs) {
 				if err := s.Send(next()); err != nil {
 					res.Banned = true
@@ -166,12 +163,12 @@ func (fi *FleetIdentity) FloodAll(targets []string, next func() wire.Message, de
 				}
 				res.MessagesSent++
 				if delay > 0 {
-					time.Sleep(delay)
+					clk.Sleep(delay)
 				}
 			}
-			res.Elapsed = time.Since(start)
+			res.Elapsed = clk.Since(start)
 			results[i] = res
-		}(i, s)
+		})
 	}
 	wg.Wait()
 	return results

@@ -45,10 +45,10 @@ func (s *Session) Handshake(timeout time.Duration) error {
 	if err := s.Send(s.versionMsg()); err != nil {
 		return fmt.Errorf("%w: send version: %v", ErrHandshakeFailed, err)
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := clk.Now().Add(timeout)
 	sawVersion, sawVerack := false, false
 	for !sawVersion || !sawVerack {
-		msg, err := s.Recv(time.Until(deadline))
+		msg, err := s.Recv(clk.Until(deadline))
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrHandshakeFailed, err)
 		}
@@ -69,7 +69,7 @@ func (s *Session) Handshake(timeout time.Duration) error {
 func (s *Session) versionMsg() *wire.MsgVersion {
 	me := wire.NewNetAddressIPPort(net.IPv4zero, 0, wire.SFNodeNetwork)
 	you := wire.NewNetAddressIPPort(net.IPv4zero, 0, 0)
-	nonce := uint64(time.Now().UnixNano())
+	nonce := uint64(time.Now().UnixNano()) //lint:allow wallclock(the VERSION nonce is an entropy source, not a schedule: it must differ across real runs and has no deterministic replay meaning)
 	return wire.NewMsgVersion(me, you, nonce, 0)
 }
 
@@ -123,7 +123,7 @@ func (s *Session) sendRawChecksum(command string, payload []byte, checksum [4]by
 
 // Recv reads the next message with the given timeout.
 func (s *Session) Recv(timeout time.Duration) (wire.Message, error) {
-	if err := s.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+	if err := s.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil { //lint:allow wallclock(net.Conn deadlines are compared against the OS clock by the runtime poller; a virtual timestamp here would be meaningless)
 		return nil, err
 	}
 	msg, _, err := wire.ReadMessage(s.conn, wire.ProtocolVersion, s.net)

@@ -98,14 +98,14 @@ type SerialResult struct {
 func (m *SybilManager) RunSerial(identifiers int, next func() wire.Message, delay time.Duration) ([]SerialResult, error) {
 	results := make([]SerialResult, 0, identifiers)
 	for i := 0; i < identifiers; i++ {
-		connStart := time.Now()
+		connStart := clk.Now()
 		s, err := m.NextSession(5 * time.Second)
 		if err != nil {
 			return results, err
 		}
-		connectLatency := time.Since(connStart)
+		connectLatency := clk.Since(connStart)
 
-		attackStart := time.Now()
+		attackStart := clk.Now()
 		var sent uint64
 		for {
 			if err := s.Send(next()); err != nil {
@@ -113,13 +113,13 @@ func (m *SybilManager) RunSerial(identifiers int, next func() wire.Message, dela
 			}
 			sent++
 			if delay > 0 {
-				time.Sleep(delay)
+				clk.Sleep(delay)
 			}
 		}
 		results = append(results, SerialResult{
 			Identifier:     s.LocalAddr(),
 			MessagesSent:   sent,
-			TimeToBan:      time.Since(attackStart),
+			TimeToBan:      clk.Since(attackStart),
 			ConnectLatency: connectLatency,
 		})
 		s.Close()
@@ -144,12 +144,11 @@ func (m *SybilManager) RunParallel(n int, attackFn func(*Session)) error {
 	}
 	var wg sync.WaitGroup
 	for _, s := range sessions {
-		wg.Add(1)
-		go func(s *Session) {
-			defer wg.Done()
+		s := s
+		spawn(&wg, func() {
 			defer s.Close()
 			attackFn(s)
-		}(s)
+		})
 	}
 	wg.Wait()
 	return nil

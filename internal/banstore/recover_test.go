@@ -41,6 +41,13 @@ func (c *virtualClock) AfterFunc(d time.Duration, f func()) vclock.Timer {
 	return vclock.System().AfterFunc(0, f)
 }
 
+func (c *virtualClock) After(d time.Duration) <-chan time.Time {
+	c.Advance(d)
+	ch := make(chan time.Time, 1)
+	ch <- c.Now()
+	return ch
+}
+
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
 	segs, _, err := scanDir(dir)

@@ -223,12 +223,15 @@ type MisbehaviorContext struct {
 // PeerManager::Misbehaving. inbound tells the tracker the peer's role so
 // role-restricted rules (Table I "Object of Ban") apply correctly.
 func (t *Tracker) Misbehaving(id PeerID, inbound bool, rule RuleID) Result {
+	//lint:allow evidenceflow(compatibility entry point: callers predating the forensics chain score without evidence by design; node.misbehave is the evidenced path)
 	return t.MisbehavingCtx(id, inbound, rule, MisbehaviorContext{})
 }
 
 // MisbehavingCtx is Misbehaving with forensic context: when the tracker has
 // a Ledger, every scoring call appends a BanRecord carrying mctx so the ban
 // chain names the triggering command and trace.
+//
+//banlint:hotpath per-hit score path under the shard lock: value structs only, no per-call allocation
 func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx MisbehaviorContext) Result {
 	if t.cfg.Mode == ModeDisabled || t.cfg.Mode == ModeGoodScore {
 		// Checking/tracking omitted entirely (§VIII "Disabling the

@@ -8,9 +8,12 @@
 // cross-node ban-propagation spread is measurable from the aggregated
 // store.
 //
-// The package deliberately lives outside the determinism-scoped packages:
-// it manages OS processes, real sockets, and wall-clock deadlines, none of
-// which replay under a virtual clock.
+// The package manages OS processes and real sockets, but its time
+// dependence — readiness deadlines, the ban-propagation wait, process-reap
+// timeouts — flows through one injectable vclock seam (clock.go), and its
+// goroutines route through the cluster's supervised spawn helper, so the
+// banlint wallclock and gospawn analyzers police it like the in-process
+// packages.
 package fleet
 
 import (
@@ -21,6 +24,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -90,6 +94,18 @@ type Cluster struct {
 
 	dir    string
 	ownDir bool
+	wg     sync.WaitGroup // reaper goroutines; collected by cleanup
+}
+
+// spawn runs f on a goroutine registered with the cluster's WaitGroup so
+// cleanup can collect it — the supervised form the gospawn analyzer
+// requires in this package.
+func (c *Cluster) spawn(f func()) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		f()
+	}()
 }
 
 // ModuleRoot walks up from the working directory to the enclosing go.mod —
@@ -226,10 +242,11 @@ func Launch(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("fleet: start %s: %w", n.ID, err)
 		}
 		n.exited = make(chan struct{})
-		go func(n *Node) {
-			_ = n.cmd.Wait()
-			close(n.exited)
-		}(n)
+		reap := n
+		c.spawn(func() {
+			_ = reap.cmd.Wait()
+			close(reap.exited)
+		})
 		c.Nodes = append(c.Nodes, n)
 	}
 
@@ -263,9 +280,9 @@ func Launch(cfg Config) (*Cluster, error) {
 // fails with the node's log tail when the deadline passes or the process
 // already exited.
 func waitReady(n *Node, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := clk.Now().Add(timeout)
 	url := n.TelemetryURL + "/healthz"
-	for time.Now().Before(deadline) {
+	for clk.Now().Before(deadline) {
 		resp, err := http.Get(url)
 		if err == nil {
 			resp.Body.Close()
@@ -275,7 +292,7 @@ func waitReady(n *Node, timeout time.Duration) error {
 		case <-n.exited:
 			return fmt.Errorf("fleet: %s exited before becoming ready at %s\n%s",
 				n.ID, url, logTail(n, 20))
-		case <-time.After(25 * time.Millisecond):
+		case <-clk.After(25 * time.Millisecond):
 		}
 	}
 	return fmt.Errorf("fleet: %s never became ready at %s\n%s", n.ID, url, logTail(n, 20))
@@ -347,7 +364,7 @@ func (c *Cluster) cleanup() {
 		}
 		select {
 		case <-n.exited:
-		case <-time.After(5 * time.Second):
+		case <-clk.After(5 * time.Second):
 			_ = n.cmd.Process.Kill()
 			<-n.exited
 		}
@@ -355,6 +372,7 @@ func (c *Cluster) cleanup() {
 			n.log.Close()
 		}
 	}
+	c.wg.Wait()
 	c.Nodes = nil
 	if c.ownDir {
 		os.RemoveAll(c.dir)

@@ -89,7 +89,7 @@ func (c *Cluster) waitForBans(ids []IdentityOutcome, timeout time.Duration) ([]o
 	for _, id := range ids {
 		want[id.Identity] = true
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := clk.Now().Add(timeout)
 	for {
 		_ = c.Obs.PollAll()
 		byPeer := make(map[string]observer.Propagation)
@@ -110,7 +110,7 @@ func (c *Cluster) waitForBans(ids []IdentityOutcome, timeout time.Duration) ([]o
 			}
 			return out, nil
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			missing := make([]string, 0, len(want))
 			for peer := range want {
 				if byPeer[peer].NodesBanned != len(c.Nodes) {
@@ -120,7 +120,7 @@ func (c *Cluster) waitForBans(ids []IdentityOutcome, timeout time.Duration) ([]o
 			}
 			return nil, fmt.Errorf("fleet: bans never propagated for %s", strings.Join(missing, ", "))
 		}
-		time.Sleep(50 * time.Millisecond)
+		clk.Sleep(50 * time.Millisecond)
 	}
 }
 

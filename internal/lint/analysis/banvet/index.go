@@ -1,0 +1,517 @@
+package banvet
+
+import (
+	"go/ast"
+	"strings"
+
+	"banscore/internal/lint/analysis"
+)
+
+// A TypeRef names a defined type: the import path of the package that
+// declares it plus the type's name. The zero TypeRef means "unknown" —
+// every inference in this package degrades to it rather than guessing.
+// Builtins and external (non-repo) types carry their spelled package
+// ("" for builtins, the literal import path otherwise), which is enough
+// for analyzers to match well-known types like sync.Mutex.
+type TypeRef struct {
+	Pkg  string
+	Name string
+}
+
+// IsZero reports whether the reference is the unknown type.
+func (t TypeRef) IsZero() bool { return t == TypeRef{} }
+
+// String renders "lastPkgSegment.Name" for diagnostics.
+func (t TypeRef) String() string {
+	if t.IsZero() {
+		return "<unknown>"
+	}
+	if t.Pkg == "" {
+		return t.Name
+	}
+	pkg := t.Pkg
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	return pkg + "." + t.Name
+}
+
+// A Func is one function or method declaration in the indexed repo.
+type Func struct {
+	// Unit is the package the declaration lives in.
+	Unit *analysis.RepoUnit
+
+	// File is the declaring file (for import resolution).
+	File *ast.File
+
+	// Decl is the declaration itself.
+	Decl *ast.FuncDecl
+
+	// Recv is the receiver's base type; zero for plain functions.
+	Recv TypeRef
+
+	// Name is the declared name.
+	Name string
+
+	cfg *CFG
+	env map[string]TypeRef
+}
+
+// QName renders the function for diagnostics: "pkg.Name" or
+// "pkg.(Recv).Name".
+func (f *Func) QName() string {
+	pkg := f.Unit.PkgPath
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if f.Recv.IsZero() {
+		return pkg + "." + f.Name
+	}
+	return pkg + ".(" + f.Recv.Name + ")." + f.Name
+}
+
+// CFG returns the function's control-flow graph, built on first use.
+func (f *Func) CFG() *CFG {
+	if f.cfg == nil {
+		f.cfg = BuildCFG(f.Decl.Body)
+	}
+	return f.cfg
+}
+
+// funcKey identifies a declaration: package path, receiver type name
+// ("" for plain functions), declared name.
+type funcKey struct {
+	pkg  string
+	recv string
+	name string
+}
+
+// An Index is the whole-repo view the banvet analyzers share: every
+// function declaration, every struct's field types, and per-file import
+// tables, with call-site resolution layered on top.
+type Index struct {
+	// Units are the indexed packages, in load order.
+	Units []*analysis.RepoUnit
+
+	// Funcs is every indexed declaration, in deterministic (unit, file,
+	// decl) order.
+	Funcs []*Func
+
+	byKey  map[funcKey]*Func
+	byName map[string][]*Func
+
+	// structs maps a struct type to its field-name → field-type table.
+	// Field types are element-unwrapped: a field []peerShard indexes as
+	// peerShard, so `t.shards[i].mu` resolves through the slice.
+	structs map[TypeRef]map[string]TypeRef
+
+	// imports caches each file's local-name → import-path table.
+	imports map[*ast.File]map[string]string
+
+	// unitPaths are the loaded import paths, for suffix-resolving
+	// fixture imports (a fixture's `import "a"` matches the loaded
+	// module-qualified path ".../testdata/x/a").
+	unitPaths []string
+}
+
+// NewIndex builds the repo index over units.
+func NewIndex(units []*analysis.RepoUnit) *Index {
+	ix := &Index{
+		Units:   units,
+		byKey:   make(map[funcKey]*Func),
+		byName:  make(map[string][]*Func),
+		structs: make(map[TypeRef]map[string]TypeRef),
+		imports: make(map[*ast.File]map[string]string),
+	}
+	for _, u := range units {
+		ix.unitPaths = append(ix.unitPaths, u.PkgPath)
+	}
+	for _, u := range units {
+		for _, file := range u.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					ix.indexTypes(u, file, d)
+				case *ast.FuncDecl:
+					ix.indexFunc(u, file, d)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *Index) indexTypes(u *analysis.RepoUnit, file *ast.File, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		owner := TypeRef{Pkg: u.PkgPath, Name: ts.Name.Name}
+		fields := make(map[string]TypeRef)
+		for _, field := range st.Fields.List {
+			ft := ix.resolveTypeExpr(u, file, field.Type)
+			if len(field.Names) == 0 {
+				// Embedded field: named by the base type name.
+				if !ft.IsZero() {
+					fields[ft.Name] = ft
+				}
+				continue
+			}
+			for _, name := range field.Names {
+				fields[name.Name] = ft
+			}
+		}
+		ix.structs[owner] = fields
+	}
+}
+
+func (ix *Index) indexFunc(u *analysis.RepoUnit, file *ast.File, d *ast.FuncDecl) {
+	f := &Func{Unit: u, File: file, Decl: d, Name: d.Name.Name}
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		f.Recv = ix.resolveTypeExpr(u, file, d.Recv.List[0].Type)
+	}
+	ix.Funcs = append(ix.Funcs, f)
+	ix.byKey[funcKey{pkg: u.PkgPath, recv: f.Recv.Name, name: f.Name}] = f
+	ix.byName[f.Name] = append(ix.byName[f.Name], f)
+}
+
+// Struct returns the field-type table of the named struct, nil if the
+// type is not an indexed struct.
+func (ix *Index) Struct(t TypeRef) map[string]TypeRef { return ix.structs[t] }
+
+// Lookup finds the declaration for (pkg, recv, name); nil if absent.
+func (ix *Index) Lookup(pkg, recv, name string) *Func {
+	return ix.byKey[funcKey{pkg: pkg, recv: recv, name: name}]
+}
+
+// FileImports returns file's local-name → import-path table, with import
+// paths resolved against the loaded units (suffix matching, so fixture
+// packages that import by short path find their module-qualified unit).
+func (ix *Index) FileImports(file *ast.File) map[string]string {
+	if m, ok := ix.imports[file]; ok {
+		return m
+	}
+	m := make(map[string]string)
+	for _, imp := range file.Imports {
+		if imp.Path == nil || len(imp.Path.Value) < 2 {
+			continue
+		}
+		path := ix.resolveImportPath(imp.Path.Value[1 : len(imp.Path.Value)-1])
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		m[name] = path
+	}
+	ix.imports[file] = m
+	return m
+}
+
+// resolveImportPath maps a spelled import path to the loaded unit path
+// it denotes: an exact match, else the unique loaded path ending in
+// "/"+path, else the spelled path itself (an external package).
+func (ix *Index) resolveImportPath(path string) string {
+	var suffix string
+	for _, up := range ix.unitPaths {
+		if up == path {
+			return up
+		}
+		if strings.HasSuffix(up, "/"+path) {
+			if suffix != "" && suffix != up {
+				return path // ambiguous; keep the spelled path
+			}
+			suffix = up
+		}
+	}
+	if suffix != "" {
+		return suffix
+	}
+	return path
+}
+
+// elemType unwraps pointers, slices, arrays, maps (to the value type),
+// channels, parens, and variadic markers down to the named element type
+// expression. This is the right shape for field and variable typing: the
+// interesting selectors (`x.mu`, `shards[i].mu`) address the element.
+func elemType(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ArrayType:
+			e = t.Elt
+		case *ast.MapType:
+			e = t.Value
+		case *ast.ChanType:
+			e = t.Value
+		case *ast.Ellipsis:
+			e = t.Elt
+		case *ast.IndexExpr: // generic instantiation Type[T]
+			e = t.X
+		default:
+			return e
+		}
+	}
+}
+
+// resolveTypeExpr resolves a type expression appearing in unit/file to a
+// TypeRef, element-unwrapping composites. Unresolvable shapes (anonymous
+// structs, interfaces, func types) come back zero.
+func (ix *Index) resolveTypeExpr(u *analysis.RepoUnit, file *ast.File, e ast.Expr) TypeRef {
+	switch t := elemType(e).(type) {
+	case *ast.Ident:
+		if isBuiltinType(t.Name) {
+			return TypeRef{Pkg: "", Name: t.Name}
+		}
+		return TypeRef{Pkg: u.PkgPath, Name: t.Name}
+	case *ast.SelectorExpr:
+		base, ok := t.X.(*ast.Ident)
+		if !ok {
+			return TypeRef{}
+		}
+		path, ok := ix.FileImports(file)[base.Name]
+		if !ok {
+			return TypeRef{}
+		}
+		return TypeRef{Pkg: path, Name: t.Sel.Name}
+	default:
+		return TypeRef{}
+	}
+}
+
+// builtinTypes is the set of predeclared type names, kept so a builtin
+// is never attributed to the declaring package.
+var builtinTypes = map[string]bool{
+	"bool": true, "byte": true, "complex64": true, "complex128": true,
+	"error": true, "float32": true, "float64": true, "int": true,
+	"int8": true, "int16": true, "int32": true, "int64": true,
+	"rune": true, "string": true, "uint": true, "uint8": true,
+	"uint16": true, "uint32": true, "uint64": true, "uintptr": true,
+	"any": true,
+}
+
+func isBuiltinType(name string) bool { return builtinTypes[name] }
+
+// Env returns the function's local variable-name → type table: the
+// receiver, the parameters, and every local whose type a single
+// flow-insensitive pass can infer (typed var declarations, composite
+// literals, address-of composites, calls to indexed constructors with
+// one result, range over a typed collection). Later bindings shadow
+// earlier ones; flow-sensitivity is deliberately out of scope — the
+// repo style does not reuse a name at two types within one function.
+func (ix *Index) Env(f *Func) map[string]TypeRef {
+	if f.env != nil {
+		return f.env
+	}
+	env := make(map[string]TypeRef)
+	if f.Decl.Recv != nil && len(f.Decl.Recv.List) == 1 {
+		for _, name := range f.Decl.Recv.List[0].Names {
+			env[name.Name] = f.Recv
+		}
+	}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := ix.resolveTypeExpr(f.Unit, f.File, field.Type)
+			for _, name := range field.Names {
+				env[name.Name] = t
+			}
+		}
+	}
+	addFields(f.Decl.Type.Params)
+	addFields(f.Decl.Type.Results)
+
+	if f.Decl.Body != nil {
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeclStmt:
+				gd, ok := n.Decl.(*ast.GenDecl)
+				if !ok {
+					return true
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || vs.Type == nil {
+						continue
+					}
+					t := ix.resolveTypeExpr(f.Unit, f.File, vs.Type)
+					for _, name := range vs.Names {
+						env[name.Name] = t
+					}
+				}
+			case *ast.AssignStmt:
+				ix.bindAssign(f, env, n)
+			case *ast.RangeStmt:
+				if v, ok := n.Value.(*ast.Ident); ok {
+					if t := ix.TypeOf(f, env, n.X); !t.IsZero() {
+						env[v.Name] = t
+					}
+				}
+			}
+			return true
+		})
+	}
+	f.env = env
+	return env
+}
+
+// bindAssign records the types the assignment gives its identifier
+// targets, when inferable.
+func (ix *Index) bindAssign(f *Func, env map[string]TypeRef, a *ast.AssignStmt) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if t := ix.TypeOf(f, env, a.Rhs[i]); !t.IsZero() {
+				env[id.Name] = t
+			}
+		}
+		return
+	}
+	// Multi-value form: x, y := call(). Bind from the callee's result
+	// list when the call resolves uniquely.
+	if len(a.Rhs) != 1 {
+		return
+	}
+	call, ok := a.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callees, exact := ix.Callees(f, env, call)
+	if !exact || len(callees) != 1 {
+		return
+	}
+	results := callees[0].Decl.Type.Results
+	if results == nil {
+		return
+	}
+	var types []TypeRef
+	for _, field := range results.List {
+		t := ix.resolveTypeExpr(callees[0].Unit, callees[0].File, field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			types = append(types, t)
+		}
+	}
+	if len(types) != len(a.Lhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			env[id.Name] = types[i]
+		}
+	}
+}
+
+// TypeOf infers the type of an expression inside f given the local env.
+// Zero when no syntactic rule applies.
+func (ix *Index) TypeOf(f *Func, env map[string]TypeRef, e ast.Expr) TypeRef {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return env[e.Name]
+	case *ast.ParenExpr:
+		return ix.TypeOf(f, env, e.X)
+	case *ast.StarExpr:
+		return ix.TypeOf(f, env, e.X)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return ix.TypeOf(f, env, e.X)
+		}
+	case *ast.IndexExpr:
+		// Field types are element-unwrapped at index time, so the
+		// container expression's type already names the element.
+		return ix.TypeOf(f, env, e.X)
+	case *ast.SelectorExpr:
+		base := ix.TypeOf(f, env, e.X)
+		if !base.IsZero() {
+			if fields := ix.structs[base]; fields != nil {
+				return fields[e.Sel.Name]
+			}
+			return TypeRef{}
+		}
+		return TypeRef{}
+	case *ast.CompositeLit:
+		if e.Type != nil {
+			return ix.resolveTypeExpr(f.Unit, f.File, e.Type)
+		}
+	case *ast.TypeAssertExpr:
+		if e.Type != nil {
+			return ix.resolveTypeExpr(f.Unit, f.File, e.Type)
+		}
+	case *ast.CallExpr:
+		callees, exact := ix.Callees(f, env, e)
+		if exact && len(callees) == 1 {
+			results := callees[0].Decl.Type.Results
+			if results != nil && len(results.List) == 1 && len(results.List[0].Names) <= 1 {
+				return ix.resolveTypeExpr(callees[0].Unit, callees[0].File, results.List[0].Type)
+			}
+		}
+	}
+	return TypeRef{}
+}
+
+// Callees resolves a call site to the indexed declarations it may reach.
+// exact reports confidence: true when the resolution followed a typed
+// receiver, an import-qualified name, or a same-package function name;
+// false when it fell back to matching every indexed method of that name
+// (the caller should treat the result as a may-set). An empty result
+// with exact=true means the callee is definitively outside the index
+// (stdlib, builtin); empty with exact=false means nothing matched at
+// all.
+func (ix *Index) Callees(f *Func, env map[string]TypeRef, call *ast.CallExpr) ([]*Func, bool) {
+	switch fun := elemType(call.Fun).(type) {
+	case *ast.Ident:
+		// Same-package function (or builtin/conversion — those simply
+		// miss the index).
+		if g := ix.Lookup(f.Unit.PkgPath, "", fun.Name); g != nil {
+			return []*Func{g}, true
+		}
+		return nil, true
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			if _, isLocal := env[base.Name]; !isLocal {
+				if path, isImport := ix.FileImports(f.File)[base.Name]; isImport {
+					if g := ix.Lookup(path, "", fun.Sel.Name); g != nil {
+						return []*Func{g}, true
+					}
+					return nil, true // external package call
+				}
+			}
+		}
+		// Method call: type the receiver expression.
+		recv := ix.TypeOf(f, env, fun.X)
+		if !recv.IsZero() {
+			if g := ix.Lookup(recv.Pkg, recv.Name, fun.Sel.Name); g != nil {
+				return []*Func{g}, true
+			}
+			return nil, true // method on an external/unindexed type
+		}
+		// Unknown receiver: fall back to every indexed method of this
+		// name — the conservative may-set.
+		var out []*Func
+		for _, g := range ix.byName[fun.Sel.Name] {
+			if !g.Recv.IsZero() {
+				out = append(out, g)
+			}
+		}
+		return out, false
+	}
+	return nil, false
+}

@@ -1,0 +1,186 @@
+package banvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"banscore/internal/lint/analysis"
+)
+
+// unit parses one source file into a RepoUnit for index tests.
+func unit(t *testing.T, path, src string) *analysis.RepoUnit {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path+"/t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return &analysis.RepoUnit{
+		Fset:    fset,
+		Files:   []*ast.File{file},
+		PkgName: file.Name.Name,
+		PkgPath: path,
+	}
+}
+
+func TestIndexStructFieldsElementUnwrapped(t *testing.T) {
+	u := unit(t, "repo/core", `package core
+import "sync"
+type shard struct{ mu sync.Mutex }
+type Tracker struct {
+	shards []shard
+	byID   map[int]*shard
+}
+`)
+	ix := NewIndex([]*analysis.RepoUnit{u})
+	fields := ix.Struct(TypeRef{Pkg: "repo/core", Name: "Tracker"})
+	if fields == nil {
+		t.Fatal("Tracker not indexed")
+	}
+	want := TypeRef{Pkg: "repo/core", Name: "shard"}
+	if fields["shards"] != want {
+		t.Errorf("shards field = %v, want %v (slice elem-unwrapped)", fields["shards"], want)
+	}
+	if fields["byID"] != want {
+		t.Errorf("byID field = %v, want %v (map value, pointer-unwrapped)", fields["byID"], want)
+	}
+	sf := ix.Struct(TypeRef{Pkg: "repo/core", Name: "shard"})
+	if got := sf["mu"]; got != (TypeRef{Pkg: "sync", Name: "Mutex"}) {
+		t.Errorf("shard.mu = %v, want sync.Mutex", got)
+	}
+}
+
+func TestIndexMethodLookupAndQName(t *testing.T) {
+	u := unit(t, "repo/core", `package core
+type Tracker struct{}
+func (t *Tracker) Misbehaving(id int) {}
+func New() *Tracker { return &Tracker{} }
+`)
+	ix := NewIndex([]*analysis.RepoUnit{u})
+	m := ix.Lookup("repo/core", "Tracker", "Misbehaving")
+	if m == nil {
+		t.Fatal("method not indexed")
+	}
+	if got := m.QName(); got != "core.(Tracker).Misbehaving" {
+		t.Errorf("QName = %q", got)
+	}
+	if f := ix.Lookup("repo/core", "", "New"); f == nil || f.QName() != "core.New" {
+		t.Errorf("plain function lookup failed: %v", f)
+	}
+}
+
+func TestEnvTypesReceiverParamsAndLocals(t *testing.T) {
+	u := unit(t, "repo/core", `package core
+type shard struct{}
+type Tracker struct{ shards []shard }
+func New() *Tracker { return &Tracker{} }
+func (t *Tracker) use(other *Tracker) {
+	s := t.shards[0]
+	lit := Tracker{}
+	fresh := New()
+	_ = s; _ = lit; _ = fresh
+}
+`)
+	ix := NewIndex([]*analysis.RepoUnit{u})
+	f := ix.Lookup("repo/core", "Tracker", "use")
+	env := ix.Env(f)
+	tracker := TypeRef{Pkg: "repo/core", Name: "Tracker"}
+	cases := map[string]TypeRef{
+		"t":     tracker,
+		"other": tracker,
+		"s":     {Pkg: "repo/core", Name: "shard"},
+		"lit":   tracker,
+		"fresh": tracker, // constructor result
+	}
+	for name, want := range cases {
+		if env[name] != want {
+			t.Errorf("env[%q] = %v, want %v", name, env[name], want)
+		}
+	}
+}
+
+func TestCalleesCrossPackage(t *testing.T) {
+	core := unit(t, "repo/internal/core", `package core
+type Tracker struct{}
+func (t *Tracker) Misbehaving(id int) {}
+`)
+	node := unit(t, "repo/internal/node", `package node
+import "repo/internal/core"
+type Node struct{ tracker *core.Tracker }
+func (n *Node) handle() {
+	n.tracker.Misbehaving(7)
+}
+`)
+	ix := NewIndex([]*analysis.RepoUnit{core, node})
+	f := ix.Lookup("repo/internal/node", "Node", "handle")
+	var call *ast.CallExpr
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	callees, exact := ix.Callees(f, ix.Env(f), call)
+	if !exact || len(callees) != 1 {
+		t.Fatalf("Callees = %v (exact=%v), want the one Tracker method", callees, exact)
+	}
+	if callees[0].QName() != "core.(Tracker).Misbehaving" {
+		t.Errorf("resolved %s", callees[0].QName())
+	}
+}
+
+func TestCalleesSuffixImportResolution(t *testing.T) {
+	// Fixture packages import by short path ("a") while the loader derives
+	// module-qualified unit paths (".../testdata/tree/a"); resolution must
+	// bridge them.
+	a := unit(t, "repo/lint/testdata/tree/a", `package a
+func Helper() {}
+`)
+	b := unit(t, "repo/lint/testdata/tree/b", `package b
+import "a"
+func Use() { a.Helper() }
+`)
+	ix := NewIndex([]*analysis.RepoUnit{a, b})
+	f := ix.Lookup("repo/lint/testdata/tree/b", "", "Use")
+	var call *ast.CallExpr
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	callees, exact := ix.Callees(f, ix.Env(f), call)
+	if !exact || len(callees) != 1 || callees[0].Name != "Helper" {
+		t.Fatalf("suffix import resolution failed: %v exact=%v", callees, exact)
+	}
+}
+
+func TestCalleesUnknownReceiverFallsBack(t *testing.T) {
+	core := unit(t, "repo/internal/core", `package core
+type Tracker struct{}
+func (t *Tracker) Penalize(id int) {}
+`)
+	other := unit(t, "repo/internal/other", `package other
+func Use(x interface{ Penalize(int) }) {
+	x.Penalize(1)
+}
+`)
+	ix := NewIndex([]*analysis.RepoUnit{core, other})
+	f := ix.Lookup("repo/internal/other", "", "Use")
+	var call *ast.CallExpr
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	callees, exact := ix.Callees(f, ix.Env(f), call)
+	if exact {
+		t.Fatal("interface receiver should not resolve exactly")
+	}
+	if len(callees) != 1 || callees[0].QName() != "core.(Tracker).Penalize" {
+		t.Fatalf("fallback may-set = %v", callees)
+	}
+}

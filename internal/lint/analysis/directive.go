@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -28,7 +29,7 @@ type allowDirective struct {
 // back as diagnostics so an unreasoned waiver can never silently disable a
 // check.
 func ParseDirectives(fset *token.FileSet, files []*ast.File) (*Suppressions, []Diagnostic) {
-	sup := &Suppressions{index: make(map[suppressionKey]bool)}
+	sup := &Suppressions{index: make(map[suppressionKey]bool), used: make(map[suppressionKey]bool)}
 	var diags []Diagnostic
 	for _, f := range files {
 		// Lines that hold any non-comment tokens: a directive on such a
@@ -76,7 +77,9 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) (*Suppressions, []D
 				if !codeLines[pos.Line] {
 					target = pos.Line + 1
 				}
-				sup.index[suppressionKey{file: pos.Filename, line: target, analyzer: name}] = true
+				key := suppressionKey{file: pos.Filename, line: target, analyzer: name}
+				sup.index[key] = true
+				sup.entries = append(sup.entries, directiveEntry{key: key, pos: c.Pos()})
 			}
 		}
 	}
@@ -118,20 +121,35 @@ type suppressionKey struct {
 	analyzer string
 }
 
-// Suppressions indexes the well-formed //lint:allow directives of a
-// package.
-type Suppressions struct {
-	index map[suppressionKey]bool
+// directiveEntry records one well-formed directive for the stale-waiver
+// audit: its suppression key plus the directive comment's own position.
+type directiveEntry struct {
+	key suppressionKey
+	pos token.Pos
 }
 
-// Suppressed reports whether the diagnostic is waived by a directive.
-// Directive-parser diagnostics are never suppressible.
+// Suppressions indexes the well-formed //lint:allow directives of a
+// package and tracks which of them actually fired.
+type Suppressions struct {
+	index   map[suppressionKey]bool
+	used    map[suppressionKey]bool
+	entries []directiveEntry
+}
+
+// Suppressed reports whether the diagnostic is waived by a directive,
+// marking the directive as used when it is. Directive-parser diagnostics
+// are never suppressible.
 func (s *Suppressions) Suppressed(fset *token.FileSet, d Diagnostic) bool {
 	if d.Analyzer == DirectiveAnalyzerName {
 		return false
 	}
 	pos := fset.Position(d.Pos)
-	return s.index[suppressionKey{file: pos.Filename, line: pos.Line, analyzer: d.Analyzer}]
+	key := suppressionKey{file: pos.Filename, line: pos.Line, analyzer: d.Analyzer}
+	if !s.index[key] {
+		return false
+	}
+	s.used[key] = true
+	return true
 }
 
 // Filter returns diags with suppressed findings removed.
@@ -141,6 +159,27 @@ func (s *Suppressions) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnos
 		if !s.Suppressed(fset, d) {
 			out = append(out, d)
 		}
+	}
+	return out
+}
+
+// Stale returns one diagnostic per directive that waives an analyzer in
+// ran but suppressed nothing this run — the waiver outlived the finding
+// it once excused, so the audit trail is rot. Call after Filter. The ran
+// set keeps a partial run (banlint -only) from flagging waivers whose
+// analyzer never executed.
+func (s *Suppressions) Stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if !ran[e.key.analyzer] || s.used[e.key] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: DirectiveAnalyzerName,
+			Message: fmt.Sprintf("stale lint:allow directive: %s reports no diagnostic on its target line; remove the waiver",
+				e.key.analyzer),
+		})
 	}
 	return out
 }

@@ -1,0 +1,206 @@
+// Package allocbudget defines the banlint analyzer that keeps annotated
+// hot paths free of allocating constructs.
+//
+// The BM-DoS experiments drive the wire codec, the tracker's score path,
+// the observer's ingest, and the detection window at flood rates; their
+// throughput numbers (EXPERIMENTS.md) assume those paths stay off the
+// allocator — pooled buffers in, fixed scratch, value structs through
+// registers. An innocent fmt.Sprintf or a closure introduced on one of
+// them moves the benchmark and, worse, hands the attacker a per-message
+// allocation to amplify.
+//
+// A function opts in with the annotation, placed in its doc comment:
+//
+//	//banlint:hotpath
+//	func (c *Codec) DecodeMessage(...) ...
+//
+// Inside an annotated function the analyzer reports the constructs that
+// always (or almost always) allocate: make, new, map and slice literals,
+// pointer composite literals (&T{}), function literals, go statements,
+// fmt.* calls, and string/[]byte conversions. Plain value struct
+// literals stay legal — they live in registers or on the stack, and the
+// escape-analysis half of the budget (cmd/allocgate, `make alloc-gate`,
+// which diffs go build -gcflags=-m output against ALLOC_BUDGET.json)
+// catches the ones the compiler decides to heap-allocate anyway. The two
+// layers are complementary: this analyzer is stable, syntactic, and
+// position-precise; the gate is exact about what actually escapes but
+// tied to the compiler's diagnostics.
+//
+// Error paths are exempt: any block (other than the function body
+// itself) whose final statement is a return or a panic is cold — the
+// flood shape never takes it repeatedly — so wrapping an error with
+// fmt.Errorf before returning stays idiomatic.
+package allocbudget
+
+import (
+	"go/ast"
+	"strings"
+
+	"banscore/internal/lint/analysis"
+)
+
+// HotpathDirective is the doc-comment annotation that opts a function
+// into the allocation budget. cmd/allocgate scans for the same marker.
+const HotpathDirective = "//banlint:hotpath"
+
+// Analyzer is the allocbudget check.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocbudget",
+	Doc: "functions annotated //banlint:hotpath must not allocate\n\n" +
+		"Reports make/new, map and slice literals, &T{} literals, func " +
+		"literals, go statements, fmt.* calls, and string/[]byte conversions " +
+		"inside annotated functions, except on error paths (blocks ending in " +
+		"return or panic). Complemented by `make alloc-gate`, which diffs the " +
+		"compiler's escape diagnostics against ALLOC_BUDGET.json.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		fmtName := analysis.ImportName(file, "fmt")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !IsHotpath(fn) {
+				continue
+			}
+			checkFunc(pass, fn, fmtName)
+		}
+	}
+	return nil
+}
+
+// IsHotpath reports whether the function carries the hotpath annotation
+// in its doc comment.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if IsHotpathComment(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsHotpathComment reports whether one comment line is the hotpath
+// directive (optionally followed by whitespace and an explanation).
+func IsHotpathComment(text string) bool {
+	if !strings.HasPrefix(text, HotpathDirective) {
+		return false
+	}
+	rest := text[len(HotpathDirective):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, fmtName string) {
+	cold := coldRanges(fn)
+	isCold := func(n ast.Node) bool {
+		for _, r := range cold {
+			if int(n.Pos()) >= r[0] && int(n.End()) <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if isCold(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement on //banlint:hotpath function %s allocates a goroutine per call; hoist the worker out of the hot path", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal on //banlint:hotpath function %s allocates a closure per call; hoist it to a named function or method value", name)
+			return false // don't descend: the closure body runs elsewhere
+		case *ast.CompositeLit:
+			switch n.Type.(type) {
+			case *ast.MapType:
+				pass.Reportf(n.Pos(), "map literal on //banlint:hotpath function %s allocates per call; preallocate it outside the hot path", name)
+			case *ast.ArrayType:
+				if n.Type.(*ast.ArrayType).Len == nil {
+					pass.Reportf(n.Pos(), "slice literal on //banlint:hotpath function %s allocates per call; preallocate it outside the hot path", name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(), "&composite literal on //banlint:hotpath function %s heap-allocates per call; reuse a pooled or scratch value", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, name, fmtName)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, name, fmtName string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			pass.Reportf(call.Pos(), "make on //banlint:hotpath function %s allocates per call; preallocate or pool the value", name)
+		case "new":
+			pass.Reportf(call.Pos(), "new on //banlint:hotpath function %s allocates per call; preallocate or pool the value", name)
+		case "string":
+			pass.Reportf(call.Pos(), "string conversion on //banlint:hotpath function %s copies and allocates per call; keep the bytes", name)
+		}
+	case *ast.ArrayType:
+		// []byte(s) / []rune(s) conversion.
+		if fun.Len == nil {
+			pass.Reportf(call.Pos(), "slice conversion on //banlint:hotpath function %s copies and allocates per call; keep the original representation", name)
+		}
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok && fmtName != "" && base.Name == fmtName {
+			pass.Reportf(call.Pos(), "%s.%s on //banlint:hotpath function %s boxes arguments and allocates per call; move formatting to the cold path", fmtName, fun.Sel.Name, name)
+		}
+	}
+}
+
+// coldRanges collects the position spans of error-path blocks: any block
+// or case/comm clause body (other than the function body itself) whose
+// final statement is a return or a panic call. Statements in those spans
+// are exempt — a path that ends the function is not the flood path.
+func coldRanges(fn *ast.FuncDecl) [][2]int {
+	var out [][2]int
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if n != fn.Body && endsColdly(n.List) {
+				out = append(out, [2]int{int(n.Pos()), int(n.End())})
+			}
+		case *ast.CaseClause:
+			if endsColdly(n.Body) {
+				out = append(out, [2]int{int(n.Pos()), int(n.End())})
+			}
+		case *ast.CommClause:
+			if endsColdly(n.Body) {
+				out = append(out, [2]int{int(n.Pos()), int(n.End())})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func endsColdly(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package allocbudget
+
+import (
+	"path/filepath"
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+)
+
+func TestAllocBudget(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "hot"), Analyzer)
+}

@@ -1,0 +1,58 @@
+// Package hot exercises the allocbudget analyzer: annotated functions
+// are checked, unannotated ones are not, and error-path blocks are cold.
+package hot
+
+import "fmt"
+
+type ring struct {
+	buf  []byte
+	head int
+}
+
+// ingest is the seeded allocating hotpath: every banned construct fires.
+//
+//banlint:hotpath
+func (r *ring) ingest(b []byte) error {
+	scratch := make([]byte, 64) // want `make on //banlint:hotpath function ingest`
+	_ = scratch
+	m := map[string]int{} // want `map literal on //banlint:hotpath function ingest`
+	_ = m
+	s := []int{1, 2, 3} // want `slice literal on //banlint:hotpath function ingest`
+	_ = s
+	p := &ring{} // want `&composite literal on //banlint:hotpath function ingest`
+	_ = p
+	q := new(ring) // want `new on //banlint:hotpath function ingest`
+	_ = q
+	go r.drain() // want `go statement on //banlint:hotpath function ingest`
+	f := func() {} // want `function literal on //banlint:hotpath function ingest`
+	_ = f
+	name := string(b) // want `string conversion on //banlint:hotpath function ingest`
+	_ = name
+	bs := []byte("x") // want `slice conversion on //banlint:hotpath function ingest`
+	_ = bs
+	fmt.Println(r.head) // want `fmt.Println on //banlint:hotpath function ingest`
+	return nil
+}
+
+// clean is annotated and allocation-free in the hot region; the fmt call
+// sits on the error path, whose block ends in return.
+//
+//banlint:hotpath
+func (r *ring) clean(b []byte) error {
+	if len(b) > len(r.buf) {
+		return fmt.Errorf("payload %d exceeds ring %d", len(b), len(r.buf))
+	}
+	n := copy(r.buf[r.head:], b)
+	r.head += n
+	v := ring{head: n} // value struct literal: stack, allowed
+	_ = v
+	return nil
+}
+
+// unannotated allocates freely; no annotation, no findings.
+func (r *ring) unannotated() {
+	_ = make([]byte, 1)
+	_ = fmt.Sprintf("%d", r.head)
+}
+
+func (r *ring) drain() {}

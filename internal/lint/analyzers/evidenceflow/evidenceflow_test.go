@@ -1,0 +1,12 @@
+package evidenceflow
+
+import (
+	"path/filepath"
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+)
+
+func TestEvidenceFlow(t *testing.T) {
+	analysistest.RunTree(t, filepath.Join("testdata", "repo"), Analyzer)
+}

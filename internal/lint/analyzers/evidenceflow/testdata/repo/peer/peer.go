@@ -1,0 +1,15 @@
+// Package peer mirrors the evidence-snapshot surface for fixtures.
+package peer
+
+type Peer struct {
+	evidence uint32
+	plen     int
+}
+
+func (p *Peer) ID() string { return "peer" }
+
+func (p *Peer) Inbound() bool { return true }
+
+// LastEvidence is the wire-evidence source: the digest and length of the
+// last decoded payload.
+func (p *Peer) LastEvidence() (uint32, int) { return p.evidence, p.plen }

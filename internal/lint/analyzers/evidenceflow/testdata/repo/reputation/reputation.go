@@ -1,0 +1,13 @@
+// Package reputation mirrors the penalty surface for fixtures.
+package reputation
+
+type PenaltyResult struct {
+	GroupBanned bool
+}
+
+type Engine struct{}
+
+func (e *Engine) Penalize(id string, weight int) PenaltyResult {
+	_ = weight
+	return PenaltyResult{}
+}

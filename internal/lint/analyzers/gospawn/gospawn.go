@@ -25,8 +25,11 @@ import (
 // DefaultScope lists the import-path segments of the packages whose
 // goroutines must be supervised. observer is in scope because its pollers
 // are long-lived per-node goroutines whose shutdown the fleet driver must
-// be able to await.
-var DefaultScope = []string{"node", "peer", "banstore", "observer"}
+// be able to await. fleet and attack are in scope because the harness
+// reaps child processes and the attack sessions drain connection reads;
+// an orphan goroutine there survives Shutdown and flakes the fleet smoke
+// run's exit.
+var DefaultScope = []string{"node", "peer", "banstore", "observer", "fleet", "attack"}
 
 // spawnHelpers names the functions allowed to contain go statements: the
 // WaitGroup-registering helpers everything else must route through.

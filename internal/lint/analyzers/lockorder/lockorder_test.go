@@ -1,0 +1,12 @@
+package lockorder
+
+import (
+	"path/filepath"
+	"testing"
+
+	"banscore/internal/lint/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.RunTree(t, filepath.Join("testdata", "repo"), Analyzer)
+}

@@ -1,0 +1,35 @@
+// Package banstore seeds the interprocedural ABBA: the reverse edge only
+// exists through a helper call.
+package banstore
+
+import "sync"
+
+type Store struct{ mu sync.Mutex }
+
+type Journal struct{ mu sync.Mutex }
+
+type DB struct {
+	s Store
+	j Journal
+}
+
+// flush takes store then journal.
+func (d *DB) flush() {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	d.j.mu.Lock() // want `lock order cycle`
+	d.j.mu.Unlock()
+}
+
+// compact takes the journal lock, then calls a helper that acquires the
+// store lock — the reverse edge is visible only interprocedurally.
+func (d *DB) compact() {
+	d.j.mu.Lock()
+	defer d.j.mu.Unlock()
+	d.lockStore() // want `lock order cycle`
+}
+
+func (d *DB) lockStore() {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+}

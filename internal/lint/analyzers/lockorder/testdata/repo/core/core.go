@@ -1,0 +1,31 @@
+// Package core seeds the direct ABBA pair: two lock classes taken in
+// both orders within one package.
+package core
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type Sys struct {
+	a A
+	b B
+}
+
+// ab locks a.mu then b.mu.
+func (s *Sys) ab() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock() // want `lock order cycle`
+	s.b.mu.Unlock()
+}
+
+// ba locks b.mu then a.mu — the reverse order; together with ab this is
+// the ABBA deadlock pair.
+func (s *Sys) ba() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	s.a.mu.Lock() // want `lock order cycle`
+	s.a.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+// Package observer is the negative fixture: consistent one-directional
+// nesting and same-class sharded locks stay silent.
+package observer
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+type Store struct {
+	mu     sync.Mutex
+	shards []shard
+}
+
+// rebalance holds the store lock over every shard — one direction only.
+func (s *Store) rebalance() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// merge nests two locks of the same class: sharded locks are index-
+// ordered by convention and exempt from the cycle graph.
+func (s *Store) merge(i, j int) {
+	s.shards[i].mu.Lock()
+	defer s.shards[i].mu.Unlock()
+	s.shards[j].mu.Lock()
+	s.shards[j].mu.Unlock()
+}
+
+// scoped release: taking the store lock after dropping a shard lock is
+// not a nesting at all.
+func (s *Store) sequential(i int) {
+	s.shards[i].mu.Lock()
+	s.shards[i].mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}

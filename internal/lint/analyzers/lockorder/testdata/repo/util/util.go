@@ -1,0 +1,29 @@
+// Package util sits outside the lockorder scope: an ABBA pair here is
+// deliberately not reported — only the scoped packages' locks join the
+// graph.
+package util
+
+import "sync"
+
+type X struct{ mu sync.Mutex }
+
+type Y struct{ mu sync.Mutex }
+
+type Pair struct {
+	x X
+	y Y
+}
+
+func (p *Pair) xy() {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	p.y.mu.Lock()
+	p.y.mu.Unlock()
+}
+
+func (p *Pair) yx() {
+	p.y.mu.Lock()
+	defer p.y.mu.Unlock()
+	p.x.mu.Lock()
+	p.x.mu.Unlock()
+}

@@ -36,8 +36,13 @@ import (
 // off the injected clock, and record timestamps come from the callers'
 // clocks, never the ambient one. observer is in scope because the fleet
 // store's synthesized event stamps and poll pacing must be injectable for
-// the crash/restart chaos suite to replay deterministically.
-var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation", "banstore", "observer"}
+// the crash/restart chaos suite to replay deterministically. fleet and
+// attack are in scope because the multi-process harness and the attack
+// replayers time their pacing, ban waits, and session stamps off clocks
+// that the tests fake; an ambient read there makes the fleet artifacts
+// non-reproducible (wall-clock seeds and deadlines carry explicit
+// waivers).
+var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation", "banstore", "observer", "fleet", "attack"}
 
 // bannedTime is the set of time-package functions that read or schedule
 // against the ambient clock. Constructors of values (time.Date, time.Unix,

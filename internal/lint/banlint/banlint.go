@@ -19,10 +19,13 @@ package banlint
 
 import (
 	"banscore/internal/lint/analysis"
+	"banscore/internal/lint/analyzers/allocbudget"
 	"banscore/internal/lint/analyzers/bufrelease"
 	"banscore/internal/lint/analyzers/errsentinel"
+	"banscore/internal/lint/analyzers/evidenceflow"
 	"banscore/internal/lint/analyzers/gospawn"
 	"banscore/internal/lint/analyzers/lockhold"
+	"banscore/internal/lint/analyzers/lockorder"
 	"banscore/internal/lint/analyzers/metriclabel"
 	"banscore/internal/lint/analyzers/wallclock"
 )
@@ -30,10 +33,13 @@ import (
 // Analyzers returns the full banlint suite, sorted by name.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		allocbudget.Analyzer,
 		bufrelease.Analyzer,
 		errsentinel.Analyzer,
+		evidenceflow.Analyzer,
 		gospawn.Analyzer,
 		lockhold.Analyzer,
+		lockorder.Analyzer,
 		metriclabel.Analyzer,
 		wallclock.Analyzer,
 	}

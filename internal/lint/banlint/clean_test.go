@@ -26,13 +26,12 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages under module root")
 	}
-	analyzers := Analyzers()
-	for _, pkg := range pkgs {
-		diags, err := runner.RunPackage(pkg, analyzers)
-		if err != nil {
-			t.Fatalf("run analyzers on %s: %v", pkg.Path, err)
-		}
-		for _, f := range runner.Resolve(pkg, diags) {
+	per, err := runner.RunTree(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for i, pkg := range pkgs {
+		for _, f := range runner.Resolve(pkg, per[i]) {
 			t.Errorf("%s", f)
 		}
 	}

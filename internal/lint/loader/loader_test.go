@@ -97,3 +97,77 @@ func TestLoadTreeSkipsTestdata(t *testing.T) {
 		t.Error("LoadTree missed banscore/internal/lint/loader")
 	}
 }
+
+// TestLoadTreeMultiPackage loads a synthetic module with nested packages
+// and checks each surfaces once with its module-qualified import path —
+// the property the repo-level analyzers' cross-package resolution relies
+// on.
+func TestLoadTreeMultiPackage(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod":           "module example.com/tm\n\ngo 1.22\n",
+		"top.go":           "package tm\n",
+		"a/a.go":           "package a\n",
+		"a/deep/deep.go":   "package deep\n",
+		"b/b.go":           "package b\n",
+		"b/b_test.go":      "package b\n\nimport \"testing\"\n\nfunc TestB(t *testing.T) {}\n",
+		"b/testdata/f.go":  "package fixture\n",
+		"vendor/v/v.go":    "package v\n",
+		"_attic/old.go":    "package old\n",
+		".hidden/h.go":     "package h\n",
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pkgs, err := LoadTree(root, Config{})
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	got := map[string]int{}
+	for _, pkg := range pkgs {
+		got[pkg.Path]++
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("package %s includes test file %s without IncludeTests", pkg.Path, name)
+			}
+		}
+	}
+	want := []string{
+		"example.com/tm",
+		"example.com/tm/a",
+		"example.com/tm/a/deep",
+		"example.com/tm/b",
+	}
+	for _, path := range want {
+		if got[path] != 1 {
+			t.Errorf("package %s loaded %d times, want 1 (all: %v)", path, got[path], got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("loaded %v; testdata/vendor/underscore/hidden dirs must not surface", got)
+	}
+
+	withTests, err := LoadTree(root, Config{IncludeTests: true})
+	if err != nil {
+		t.Fatalf("LoadTree with tests: %v", err)
+	}
+	sawTest := false
+	for _, pkg := range withTests {
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				sawTest = true
+			}
+		}
+	}
+	if !sawTest {
+		t.Error("IncludeTests did not surface b/b_test.go")
+	}
+}

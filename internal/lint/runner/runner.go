@@ -2,6 +2,14 @@
 // applies the //lint:allow suppression pass. It is the shared core of the
 // cmd/banlint standalone driver, the go vet -vettool mode, and the
 // analysistest harness, so all three agree exactly on what a finding is.
+//
+// Two granularities exist. Per-package analyzers (Analyzer.Run) see one
+// package at a time. Repo-level analyzers (Analyzer.RunRepo — the banvet
+// dataflow tier) see every loaded package at once, so cross-package
+// properties (interprocedural evidence taint, the whole-repo lock-order
+// graph) are provable. RunTree runs both kinds; RunPackage is the
+// single-package view the vet driver and single-directory fixtures use,
+// in which repo-level analyzers see a one-package repo.
 package runner
 
 import (
@@ -11,30 +19,83 @@ import (
 	"banscore/internal/lint/loader"
 )
 
-// RunPackage applies every analyzer to pkg and returns the surviving
-// diagnostics: analyzer findings not waived by a well-formed //lint:allow
-// directive, plus one diagnostic per malformed directive. The result is
-// sorted by position.
-func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			PkgName:  pkg.Name,
-			PkgPath:  pkg.Path,
-			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+// RunTree applies every analyzer to every package and returns the
+// surviving diagnostics per package, parallel to pkgs: per-package
+// analyzers run on each package, repo-level analyzers run once over the
+// whole set, then each package's //lint:allow suppression pass filters
+// its findings (repo-level ones included), audits its waivers for
+// staleness, and appends one diagnostic per malformed or stale
+// directive. Each package's slice is sorted by position.
+func RunTree(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([][]analysis.Diagnostic, error) {
+	diags := make([][]analysis.Diagnostic, len(pkgs))
+	units := make([]*analysis.RepoUnit, len(pkgs))
+	unitIndex := make(map[*analysis.RepoUnit]int, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = &analysis.RepoUnit{
+			Fset:    pkg.Fset,
+			Files:   pkg.Files,
+			PkgName: pkg.Name,
+			PkgPath: pkg.Path,
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		unitIndex[units[i]] = i
+	}
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.Run != nil {
+			for i, pkg := range pkgs {
+				i := i
+				pass := &analysis.Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					PkgName:  pkg.Name,
+					PkgPath:  pkg.Path,
+					Report:   func(d analysis.Diagnostic) { diags[i] = append(diags[i], d) },
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		}
+		if a.RunRepo != nil {
+			pass := &analysis.RepoPass{
+				Analyzer: a,
+				Units:    units,
+				Report: func(u *analysis.RepoUnit, d analysis.Diagnostic) {
+					i, ok := unitIndex[u]
+					if !ok {
+						return
+					}
+					diags[i] = append(diags[i], d)
+				},
+			}
+			if err := a.RunRepo(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			}
 		}
 	}
-	sup, directiveDiags := analysis.ParseDirectives(pkg.Fset, pkg.Files)
-	diags = sup.Filter(pkg.Fset, diags)
-	diags = append(diags, directiveDiags...)
-	analysis.SortDiagnostics(pkg.Fset, diags)
+
+	for i, pkg := range pkgs {
+		sup, directiveDiags := analysis.ParseDirectives(pkg.Fset, pkg.Files)
+		diags[i] = sup.Filter(pkg.Fset, diags[i])
+		diags[i] = append(diags[i], directiveDiags...)
+		diags[i] = append(diags[i], sup.Stale(ran)...)
+		analysis.SortDiagnostics(pkg.Fset, diags[i])
+	}
 	return diags, nil
+}
+
+// RunPackage applies every analyzer to the single package pkg — the
+// repo-of-one view. Repo-level analyzers therefore check only
+// intra-package properties here; whole-repo runs go through RunTree.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	per, err := RunTree([]*loader.Package{pkg}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return per[0], nil
 }
 
 // Finding is one diagnostic rendered against its file set — the

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"banscore/internal/lint/analysis"
@@ -88,5 +89,136 @@ func TestFindingString(t *testing.T) {
 	f := Finding{File: "a.go", Line: 3, Column: 7, Analyzer: "wallclock", Message: "m"}
 	if got, want := f.String(), "a.go:3:7: wallclock: m"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// writeModule materializes a multi-package module and loads its tree.
+func writeModule(t *testing.T, files map[string]string) []*loader.Package {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tm\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := loader.LoadTree(root, loader.Config{})
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	return pkgs
+}
+
+// crossCall is a repo-level analyzer that needs cross-package facts: it
+// flags selector calls resolving to a function DECLARED in another unit.
+// A per-package analyzer cannot see the remote declaration at all, so any
+// finding from this analyzer proves RunTree handed it the whole tree.
+var crossCall = &analysis.Analyzer{
+	Name: "crosscall",
+	Doc:  "flag cross-package calls (test analyzer)",
+	RunRepo: func(pass *analysis.RepoPass) error {
+		owner := map[string]*analysis.RepoUnit{}
+		for _, u := range pass.Units {
+			for _, f := range u.Files {
+				for _, d := range f.Decls {
+					if fn, ok := d.(*ast.FuncDecl); ok && fn.Recv == nil {
+						owner[fn.Name.Name] = u
+					}
+				}
+			}
+		}
+		for _, u := range pass.Units {
+			for _, f := range u.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if from, ok := owner[sel.Sel.Name]; ok && from != u {
+							pass.Reportf(u, call.Pos(), "cross-package call to %s declared in %s", sel.Sel.Name, from.PkgPath)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	},
+}
+
+// TestRunTreeCrossPackageFacts runs a repo-level analyzer over a
+// two-package module: the finding lands in the CALLING package (attributed
+// through the RepoUnit), and a //lint:allow directive there suppresses it.
+func TestRunTreeCrossPackageFacts(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nfunc Exported() {}\n",
+		"b/b.go": `package b
+
+import "tm/a"
+
+func use() {
+	a.Exported()
+	a.Exported() //lint:allow crosscall(sanctioned second call)
+}
+`,
+	})
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	perPkg, err := RunTree(pkgs, []*analysis.Analyzer{crossCall})
+	if err != nil {
+		t.Fatalf("RunTree: %v", err)
+	}
+	var all []Finding
+	for i, pkg := range pkgs {
+		all = append(all, Resolve(pkg, perPkg[i])...)
+	}
+	if len(all) != 1 {
+		t.Fatalf("findings = %v, want exactly the unwaived call in b", all)
+	}
+	f := all[0]
+	if filepath.Base(f.File) != "b.go" || f.Line != 6 || f.Analyzer != "crosscall" {
+		t.Errorf("finding = %v, want crosscall at b.go:6", f)
+	}
+	if !strings.Contains(f.Message, "tm/a") {
+		t.Errorf("message %q does not carry the remote unit's path", f.Message)
+	}
+}
+
+// TestRunTreeStaleWaiver checks the waiver audit: a directive naming an
+// analyzer that RAN but suppressed nothing on its line is itself reported.
+func TestRunTreeStaleWaiver(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"p/p.go": `package p
+
+func f() int {
+	return 1 //lint:allow callflag(nothing to waive here)
+}
+`,
+	})
+	perPkg, err := RunTree(pkgs, []*analysis.Analyzer{callFlagger})
+	if err != nil {
+		t.Fatalf("RunTree: %v", err)
+	}
+	var all []Finding
+	for i, pkg := range pkgs {
+		all = append(all, Resolve(pkg, perPkg[i])...)
+	}
+	if len(all) != 1 {
+		t.Fatalf("findings = %v, want exactly one stale-waiver report", all)
+	}
+	f := all[0]
+	if f.Analyzer != analysis.DirectiveAnalyzerName || !strings.Contains(f.Message, "stale") {
+		t.Errorf("finding = %v, want a stale lintdirective report", f)
+	}
+	if f.Line != 4 {
+		t.Errorf("stale report at line %d, want 4 (the waiver's line)", f.Line)
 	}
 }

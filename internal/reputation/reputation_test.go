@@ -40,6 +40,13 @@ func (c *virtualClock) AfterFunc(d time.Duration, f func()) vclock.Timer {
 	return vclock.System().AfterFunc(0, f)
 }
 
+func (c *virtualClock) After(d time.Duration) <-chan time.Time {
+	c.Advance(d)
+	ch := make(chan time.Time, 1)
+	ch <- c.Now()
+	return ch
+}
+
 func TestMisbehaviorDecaysTrustPersists(t *testing.T) {
 	clock := newVirtualClock()
 	e := New(Config{Clock: clock, HalfLife: 10 * time.Minute})

@@ -40,6 +40,10 @@ type Clock interface {
 
 	// AfterFunc schedules f to run on its own goroutine after d.
 	AfterFunc(d time.Duration, f func()) Timer
+
+	// After returns a channel that delivers the current time once d has
+	// elapsed — the select-friendly form of Sleep.
+	After(d time.Duration) <-chan time.Time
 }
 
 // System returns the process wall clock — the one sanctioned crossing
@@ -70,4 +74,8 @@ func (systemClock) Sleep(d time.Duration) {
 
 func (systemClock) AfterFunc(d time.Duration, f func()) Timer {
 	return time.AfterFunc(d, f) //lint:allow wallclock(vclock.System is the sanctioned wall-clock gateway)
+}
+
+func (systemClock) After(d time.Duration) <-chan time.Time {
+	return time.After(d) //lint:allow wallclock(vclock.System is the sanctioned wall-clock gateway)
 }

@@ -186,6 +186,8 @@ func (c *Codec) parseHeader() messageHeader {
 // buffer so the caller can distinguish malformed-payload errors, which are
 // scored, from framing errors, which are not; the buffer must still be
 // released. All other failures return a nil buffer.
+//
+//banlint:hotpath per-message flood path: header scratch + pooled payload, no per-call allocation
 func (c *Codec) DecodeMessage(r io.Reader, pver uint32, bnet BitcoinNet, pick func(command string) Message) (Message, *Buf, error) {
 	if _, err := io.ReadFull(r, c.hdr[:]); err != nil {
 		return nil, nil, err
@@ -259,6 +261,8 @@ func ReadMessage(r io.Reader, pver uint32, net BitcoinNet) (Message, []byte, err
 // EncodeMessage serializes msg with a full header into a pooled buffer for
 // the given network. The caller owns the returned buffer and MUST Release
 // (or Detach) it exactly once after writing it out.
+//
+//banlint:hotpath per-message send path: one pooled buffer, header written in place
 func EncodeMessage(msg Message, pver uint32, net BitcoinNet) (*Buf, error) {
 	command := msg.Command()
 	if len(command) > CommandSize {
