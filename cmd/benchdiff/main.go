@@ -20,6 +20,16 @@
 //   - allocs/op fails above baseline*(1+tolerance); a baseline of zero
 //     allocs fails on ANY allocation — zero-alloc paths are a hard
 //     invariant, not a statistic.
+//   - custom metrics (testing.B.ReportMetric) whose unit ends in "/s" —
+//     msgs/s, peers/s — are throughputs: HIGHER is better, repeats keep
+//     the maximum (the least-noisy estimate of achievable rate), and the
+//     gate fails below baseline*(1-tolerance). Other custom units gate
+//     like costs: repeats keep the minimum, fail above
+//     baseline*(1+tolerance).
+//   - benchmarks matching -scenario (default ^BenchmarkSwarm) gate ONLY
+//     on their custom metrics: their ns/op is the wall time of a whole
+//     multi-second simulation — polling sleeps included — so the rates
+//     they report are the signal and the wall time is informational.
 //
 // Exit status: 0 in-bounds, 1 regression detected, 2 usage/parse error.
 package main
@@ -31,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,7 +52,16 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// Custom holds testing.B.ReportMetric values keyed by unit
+	// (e.g. "msgs/s" -> 53591). Absent for benchmarks that report none.
+	Custom map[string]float64 `json:"custom,omitempty"`
 }
+
+// higherIsBetter reports whether a custom metric unit is a throughput —
+// a rate the gate must keep from FALLING. The convention is the unit
+// suffix: anything per second is a rate.
+func higherIsBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
 
 // baseline is the committed BENCH_baseline.json document.
 type baseline struct {
@@ -95,7 +115,7 @@ func parseBenchLine(line string) (name string, r result, ok bool) {
 		if err != nil {
 			return "", result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 			seen = true
@@ -103,6 +123,11 @@ func parseBenchLine(line string) (name string, r result, ok bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Custom == nil {
+				r.Custom = map[string]float64{}
+			}
+			r.Custom[unit] = v
 		}
 	}
 	return name, r, seen
@@ -129,6 +154,21 @@ func parseStream(r io.Reader) (map[string]result, error) {
 			}
 			if prev.BytesPerOp >= 0 && (res.BytesPerOp < 0 || prev.BytesPerOp < res.BytesPerOp) {
 				res.BytesPerOp = prev.BytesPerOp
+			}
+			// Custom metrics: keep the best repeat per the unit's
+			// direction — max for throughputs, min for costs.
+			for unit, pv := range prev.Custom {
+				gv, ok := res.Custom[unit]
+				if !ok {
+					if res.Custom == nil {
+						res.Custom = map[string]float64{}
+					}
+					res.Custom[unit] = pv
+					continue
+				}
+				if higherIsBetter(unit) == (pv > gv) {
+					res.Custom[unit] = pv
+				}
 			}
 		}
 		out[name] = res
@@ -189,7 +229,11 @@ func max(a, b float64) float64 {
 
 // compare checks got against base under the gate rules and returns every
 // regression plus the names of baseline benchmarks missing from got.
-func compare(base map[string]result, got map[string]result, tolerance, slackNs float64) (regs []regression, missing []string) {
+// scenario, when non-nil, marks whole-scenario benchmarks: for those only
+// the custom metrics gate — their ns/op is the wall time of a
+// multi-second simulation (polling sleeps included), which is
+// informational, not a cost invariant.
+func compare(base map[string]result, got map[string]result, tolerance, slackNs float64, scenario func(name string) bool) (regs []regression, missing []string) {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -202,14 +246,39 @@ func compare(base map[string]result, got map[string]result, tolerance, slackNs f
 			missing = append(missing, name)
 			continue
 		}
-		if g.NsPerOp > b.NsPerOp*(1+tolerance)+slackNs {
-			regs = append(regs, regression{name: name, metric: "ns/op", base: b.NsPerOp, got: g.NsPerOp})
+		isScenario := scenario != nil && scenario(name)
+		if !isScenario {
+			if g.NsPerOp > b.NsPerOp*(1+tolerance)+slackNs {
+				regs = append(regs, regression{name: name, metric: "ns/op", base: b.NsPerOp, got: g.NsPerOp})
+			}
+			if b.AllocsPerOp >= 0 && g.AllocsPerOp >= 0 {
+				if b.AllocsPerOp == 0 && g.AllocsPerOp > 0 {
+					regs = append(regs, regression{name: name, metric: "allocs/op (zero-alloc invariant)", base: 0, got: g.AllocsPerOp})
+				} else if g.AllocsPerOp > b.AllocsPerOp*(1+tolerance) {
+					regs = append(regs, regression{name: name, metric: "allocs/op", base: b.AllocsPerOp, got: g.AllocsPerOp})
+				}
+			}
 		}
-		if b.AllocsPerOp >= 0 && g.AllocsPerOp >= 0 {
-			if b.AllocsPerOp == 0 && g.AllocsPerOp > 0 {
-				regs = append(regs, regression{name: name, metric: "allocs/op (zero-alloc invariant)", base: 0, got: g.AllocsPerOp})
-			} else if g.AllocsPerOp > b.AllocsPerOp*(1+tolerance) {
-				regs = append(regs, regression{name: name, metric: "allocs/op", base: b.AllocsPerOp, got: g.AllocsPerOp})
+		units := make([]string, 0, len(b.Custom))
+		for unit := range b.Custom {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := b.Custom[unit]
+			gv, ok := g.Custom[unit]
+			if !ok {
+				// The benchmark ran but stopped reporting the metric —
+				// treat like a missing benchmark, not a silent pass.
+				missing = append(missing, name+" ["+unit+"]")
+				continue
+			}
+			if higherIsBetter(unit) {
+				if gv < bv*(1-tolerance) {
+					regs = append(regs, regression{name: name, metric: unit + " (higher is better)", base: bv, got: gv})
+				}
+			} else if gv > bv*(1+tolerance) {
+				regs = append(regs, regression{name: name, metric: unit, base: bv, got: gv})
 			}
 		}
 	}
@@ -232,6 +301,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	update := fs.Bool("update", false, "rewrite the baseline from the incoming results instead of comparing")
 	tolerance := fs.Float64("tolerance", 0.15, "relative regression tolerance")
 	slackNs := fs.Float64("slack-ns", 25, "absolute ns/op slack added on top of the tolerance")
+	scenarioRe := fs.String("scenario", "^BenchmarkSwarm", "regexp of whole-scenario benchmarks gated only on their custom rate metrics (empty disables)")
 	input := fs.String("input", "-", "benchmark output to read ('-' = stdin)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -278,7 +348,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	regs, missing := compare(doc.Benchmarks, got, *tolerance, *slackNs)
+	var scenario func(string) bool
+	if *scenarioRe != "" {
+		re, err := regexp.Compile(*scenarioRe)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: -scenario: %v\n", err)
+			return 2
+		}
+		scenario = re.MatchString
+	}
+	regs, missing := compare(doc.Benchmarks, got, *tolerance, *slackNs, scenario)
 	for _, name := range missing {
 		fmt.Fprintf(stderr, "benchdiff: WARNING: baseline benchmark %s missing from results\n", name)
 	}
@@ -293,6 +372,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		b, g := doc.Benchmarks[name], got[name]
 		fmt.Fprintf(stdout, "%-60s ns/op %9.4g -> %9.4g   allocs/op %4.4g -> %4.4g\n",
 			name, b.NsPerOp, g.NsPerOp, b.AllocsPerOp, g.AllocsPerOp)
+		units := make([]string, 0, len(b.Custom))
+		for unit := range b.Custom {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			fmt.Fprintf(stdout, "%-60s %s %9.4g -> %9.4g\n", "", unit, b.Custom[unit], g.Custom[unit])
+		}
 	}
 	if len(regs) > 0 {
 		for _, r := range regs {

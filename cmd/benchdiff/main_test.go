@@ -96,6 +96,101 @@ func TestParseStreamSplitEvents(t *testing.T) {
 	}
 }
 
+func TestParseCustomMetrics(t *testing.T) {
+	_, r, ok := parseBenchLine("BenchmarkSwarmAbsorb/peers=1000-8   3   401244100 ns/op   53591 msgs/s   957 peers/s   1024 B/op   9 allocs/op")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if r.Custom["msgs/s"] != 53591 || r.Custom["peers/s"] != 957 {
+		t.Fatalf("custom metrics not captured: %+v", r.Custom)
+	}
+	if r.NsPerOp != 401244100 || r.AllocsPerOp != 9 {
+		t.Fatalf("standard metrics mangled: %+v", r)
+	}
+}
+
+func TestParseStreamCustomRepeats(t *testing.T) {
+	// Repeats keep the max for throughputs ("/s") and the min for costs.
+	in := strings.Join([]string{
+		"BenchmarkSwarm-4   3   100.0 ns/op   5000 msgs/s   70 batch-span",
+		"BenchmarkSwarm-4   3   120.0 ns/op   8000 msgs/s   50 batch-span",
+	}, "\n")
+	got, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got["BenchmarkSwarm"]
+	if r.NsPerOp != 100.0 {
+		t.Fatalf("ns/op should keep min, got %v", r.NsPerOp)
+	}
+	if r.Custom["msgs/s"] != 8000 {
+		t.Fatalf("throughput should keep max, got %v", r.Custom["msgs/s"])
+	}
+	if r.Custom["batch-span"] != 50 {
+		t.Fatalf("cost metric should keep min, got %v", r.Custom["batch-span"])
+	}
+}
+
+func TestCompareCustomMetrics(t *testing.T) {
+	base := map[string]result{
+		"BenchmarkSwarm": {NsPerOp: 1000, AllocsPerOp: -1, Custom: map[string]float64{"msgs/s": 10000, "peers/s": 500}},
+	}
+
+	// Throughput within tolerance (−10%): passes.
+	got := map[string]result{
+		"BenchmarkSwarm": {NsPerOp: 1000, AllocsPerOp: -1, Custom: map[string]float64{"msgs/s": 9000, "peers/s": 600}},
+	}
+	regs, missing := compare(base, got, 0.15, 25, nil)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("unexpected: regs=%v missing=%v", regs, missing)
+	}
+
+	// Throughput down 30%: fails as higher-is-better.
+	got["BenchmarkSwarm"] = result{NsPerOp: 1000, AllocsPerOp: -1, Custom: map[string]float64{"msgs/s": 7000, "peers/s": 500}}
+	regs, _ = compare(base, got, 0.15, 25, nil)
+	if len(regs) != 1 || !strings.Contains(regs[0].metric, "msgs/s") || !strings.Contains(regs[0].metric, "higher is better") {
+		t.Fatalf("want one msgs/s higher-is-better regression, got %v", regs)
+	}
+
+	// A metric the benchmark stopped reporting is flagged as missing.
+	got["BenchmarkSwarm"] = result{NsPerOp: 1000, AllocsPerOp: -1, Custom: map[string]float64{"msgs/s": 10000}}
+	_, missing = compare(base, got, 0.15, 25, nil)
+	if len(missing) != 1 || !strings.Contains(missing[0], "peers/s") {
+		t.Fatalf("want peers/s reported missing, got %v", missing)
+	}
+}
+
+func TestCompareScenarioMode(t *testing.T) {
+	base := map[string]result{
+		"BenchmarkSwarmScale/peers=1000": {NsPerOp: 1e9, AllocsPerOp: 100, Custom: map[string]float64{"msgs/s": 10000}},
+	}
+	scenario := func(name string) bool { return strings.HasPrefix(name, "BenchmarkSwarm") }
+
+	// Wall time doubled, allocs doubled — but rates held: a scenario
+	// benchmark passes (its ns/op includes polling sleeps).
+	got := map[string]result{
+		"BenchmarkSwarmScale/peers=1000": {NsPerOp: 2e9, AllocsPerOp: 200, Custom: map[string]float64{"msgs/s": 9900}},
+	}
+	regs, _ := compare(base, got, 0.15, 25, scenario)
+	if len(regs) != 0 {
+		t.Fatalf("scenario ns/op should not gate: %v", regs)
+	}
+
+	// The rate regression still fails.
+	got["BenchmarkSwarmScale/peers=1000"] = result{NsPerOp: 1e9, AllocsPerOp: 100, Custom: map[string]float64{"msgs/s": 5000}}
+	regs, _ = compare(base, got, 0.15, 25, scenario)
+	if len(regs) != 1 || !strings.Contains(regs[0].metric, "msgs/s") {
+		t.Fatalf("want msgs/s regression, got %v", regs)
+	}
+
+	// Without the matcher the ns/op regression fires as usual.
+	got["BenchmarkSwarmScale/peers=1000"] = result{NsPerOp: 2e9, AllocsPerOp: 100, Custom: map[string]float64{"msgs/s": 10000}}
+	regs, _ = compare(base, got, 0.15, 25, nil)
+	if len(regs) != 1 || regs[0].metric != "ns/op" {
+		t.Fatalf("want ns/op regression without scenario matcher, got %v", regs)
+	}
+}
+
 func TestCompareRules(t *testing.T) {
 	base := map[string]result{
 		"BenchmarkFast":  {NsPerOp: 10, AllocsPerOp: 0},
@@ -111,7 +206,7 @@ func TestCompareRules(t *testing.T) {
 		"BenchmarkSlow":  {NsPerOp: 11000, AllocsPerOp: 4}, // +10%
 		"BenchmarkNoMem": {NsPerOp: 100, AllocsPerOp: 3},   // baseline has no alloc data
 	}
-	regs, missing := compare(base, got, 0.15, 25)
+	regs, missing := compare(base, got, 0.15, 25, nil)
 	if len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}
@@ -127,7 +222,7 @@ func TestCompareRules(t *testing.T) {
 		"BenchmarkGone":  {NsPerOp: 50, AllocsPerOp: 0},
 		"BenchmarkNoMem": {NsPerOp: 100, AllocsPerOp: 0},
 	}
-	regs, _ = compare(base, got, 0.15, 25)
+	regs, _ = compare(base, got, 0.15, 25, nil)
 	if len(regs) != 3 {
 		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
 	}

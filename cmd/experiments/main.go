@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures|reputation|restart|fleet]
+//	experiments [-scale quick|paper] [-only table1|table2|fig6|table3|fig7|fig8|fig10|fig11|countermeasures|reputation|restart|fleet|swarm]
 //	            [-loss 0.1] [-latency 5ms] [-jitter 2ms] [-fault-seed 1]
 //	            [-trace-out trace.json] [-trace-sample 64] [-bans-out bans.json]
 //	            [-reputation-out reputation.json] [-restart-out restart.json]
-//	            [-fleet-out propagation.json]
+//	            [-fleet-out propagation.json] [-swarm-out swarm.json] [-swarm-peers 10000]
 //
 // The fault flags degrade the simulation fabric every experiment runs on —
 // probabilistic payload loss, one-way latency, and jitter, all deterministic
@@ -38,6 +38,14 @@
 // node at once from shared SO_REUSEPORT identities, and prints the
 // cross-node ban-propagation table assembled by the fleet observer.
 // -fleet-out writes the full result as a JSON artifact.
+//
+// -only swarm runs the Sybil-swarm scale scenario on the event-loop
+// engine: 10k distinct attacker identities at quick scale (CI's smoke
+// gate), 100k at paper scale (the nightly run), every one flooding
+// duplicate VERSIONs until banned, with churn-heavy reconnects. The
+// printed result records peers/s admitted, msgs/s absorbed, and the exact
+// banned count; -swarm-out writes it as JSON and -swarm-peers overrides
+// the identity count.
 package main
 
 import (
@@ -62,7 +70,7 @@ func main() {
 
 func run() error {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures, reputation, restart, fleet)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig6, table3, fig7, fig8, fig10, fig11, countermeasures, reputation, restart, fleet, swarm)")
 	loss := flag.Float64("loss", 0, "fabric payload drop probability in [0,1]")
 	latency := flag.Duration("latency", 0, "fabric one-way latency")
 	jitter := flag.Duration("jitter", 0, "fabric per-payload jitter bound")
@@ -73,6 +81,8 @@ func run() error {
 	reputationOut := flag.String("reputation-out", "", "run the ban-score vs reputation comparison and write its table as JSON to this file")
 	restartOut := flag.String("restart-out", "", "run the restart ban-durability matrix and write its rows as JSON to this file")
 	fleetOut := flag.String("fleet-out", "", "with -only fleet: also write the ban-propagation result as JSON to this file")
+	swarmOut := flag.String("swarm-out", "", "with -only swarm: also write the swarm-scale result as JSON to this file")
+	swarmPeers := flag.Int("swarm-peers", 0, "with -only swarm: override the identity count (default 10000 quick, 100000 paper)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -116,6 +126,15 @@ func run() error {
 	}
 	if *fleetOut != "" {
 		return fmt.Errorf("-fleet-out requires -only fleet")
+	}
+
+	// The swarm experiment builds its own fabric sized for 10k–100k
+	// identities; it dispatches outside the suite for the same reason.
+	if *only == "swarm" {
+		return runSwarm(scale, *swarmPeers, *swarmOut)
+	}
+	if *swarmOut != "" || *swarmPeers != 0 {
+		return fmt.Errorf("-swarm-out and -swarm-peers require -only swarm")
 	}
 
 	runErr := dispatch(scale, *only)
@@ -187,6 +206,36 @@ func runFleet(scale experiments.Scale, outPath string) error {
 		}
 		fmt.Printf("wrote %s (identities=%d)\n", outPath,
 			len(res.Defamation.Identities)+len(res.Sybil.Identities))
+	}
+	return nil
+}
+
+// runSwarm runs the Sybil-swarm scale scenario on the event-loop engine:
+// 10k identities at quick scale, 100k at paper scale — the latter is the
+// "single process sustains 100k concurrent simulated peers" claim, run
+// nightly in CI.
+func runSwarm(scale experiments.Scale, peers int, outPath string) error {
+	cfg := experiments.SwarmConfig{Attackers: 10000, ChurnEvery: 7}
+	if scale.Name == "paper" {
+		cfg.Attackers = 100000
+	}
+	if peers > 0 {
+		cfg.Attackers = peers
+	}
+	res, err := experiments.Swarm(cfg)
+	if err != nil {
+		return fmt.Errorf("swarm: %w", err)
+	}
+	fmt.Print(res.Render())
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			return fmt.Errorf("swarm-out: %w", err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("swarm-out: %w", err)
+		}
+		fmt.Printf("wrote %s (banned=%d)\n", outPath, res.Banned)
 	}
 	return nil
 }

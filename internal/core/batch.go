@@ -1,0 +1,123 @@
+package core
+
+// BatchOp is one staged misbehavior application: the arguments of a
+// MisbehavingCtx call captured for deferred execution.
+type BatchOp struct {
+	ID      PeerID
+	Inbound bool
+	Rule    RuleID
+	Ctx     MisbehaviorContext
+}
+
+// Batch stages misbehavior applications so an event-loop shard can apply a
+// whole iteration's worth of scoring hits with one Tracker shard-lock
+// acquisition per touched shard, instead of one per hit. Flush preserves
+// staging order within each tracker shard — and a given peer always maps
+// to one shard — so the per-peer Seq/Score linearization the forensics
+// ledger guarantees is exactly that of the equivalent unbatched call
+// sequence: the batched and unbatched paths produce byte-identical
+// Tracker exports.
+//
+// A Batch is owned by a single event-loop shard and is not safe for
+// concurrent use. It holds no locks between calls; only Flush touches the
+// Tracker, one shard lock at a time (never nested).
+type Batch struct {
+	t   *Tracker
+	ops []BatchOp
+
+	// prepared carries the lock-free gate's verdict per staged op from
+	// the staging pass to the locked pass; applied carries the scoring
+	// outcome from the locked pass to the callback pass. Both are
+	// retained across flushes to avoid per-flush allocation.
+	prepared []preparedOp
+	applied  []appliedOp
+
+	// buckets groups staged op indices by tracker shard, preserving
+	// staging order within each shard.
+	buckets [][]int32
+}
+
+type preparedOp struct {
+	score int
+	rule  Rule
+	ok    bool
+}
+
+type appliedOp struct {
+	total  int
+	banned bool
+}
+
+// NewBatch returns an empty staging buffer against the tracker.
+func (t *Tracker) NewBatch() *Batch {
+	return &Batch{
+		t:       t,
+		buckets: make([][]int32, len(t.shards)),
+	}
+}
+
+// Add stages one misbehavior application. Nothing is scored until Flush.
+func (b *Batch) Add(id PeerID, inbound bool, rule RuleID, mctx MisbehaviorContext) {
+	b.ops = append(b.ops, BatchOp{ID: id, Inbound: inbound, Rule: rule, Ctx: mctx})
+}
+
+// Len reports how many applications are staged.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Flush applies every staged op and resets the buffer. Grouping is by
+// tracker shard: each touched shard's lock is taken exactly once and the
+// shard's ops run under it in staging order, through the same applyLocked
+// body the direct path uses. After all locks are released the post-lock
+// side effects (OnApplied, OnBan, ban-list insertion) run in staging
+// order; fn, if non-nil, is then invoked per op with its Result — ops
+// rejected by the mode/rule/role gate report the zero Result, exactly as
+// the direct call would have returned.
+func (b *Batch) Flush(fn func(op BatchOp, res Result)) {
+	if len(b.ops) == 0 {
+		return
+	}
+	t := b.t
+
+	// Pass 1 (lock-free): gate each op and bucket the survivors by shard.
+	b.prepared = b.prepared[:0]
+	b.applied = b.applied[:0]
+	for i := range b.ops {
+		score, r, ok := t.prepare(b.ops[i].Inbound, b.ops[i].Rule)
+		b.prepared = append(b.prepared, preparedOp{score: score, rule: r, ok: ok})
+		b.applied = append(b.applied, appliedOp{})
+		if ok {
+			sh := shardFor(b.ops[i].ID, t.mask)
+			b.buckets[sh] = append(b.buckets[sh], int32(i))
+		}
+	}
+
+	// Pass 2: one lock acquisition per touched shard, ops in staging
+	// order under it. Locks are strictly sequential, never held together.
+	for sh := range b.buckets {
+		idxs := b.buckets[sh]
+		if len(idxs) == 0 {
+			continue
+		}
+		s := &t.shards[sh]
+		s.mu.Lock()
+		for _, i := range idxs {
+			op, prep := &b.ops[i], &b.prepared[i]
+			total, banned := t.applyLocked(s, op.ID, op.Rule, prep.rule, prep.score, op.Ctx)
+			b.applied[i] = appliedOp{total: total, banned: banned}
+		}
+		s.mu.Unlock()
+		b.buckets[sh] = idxs[:0]
+	}
+
+	// Pass 3 (lock-free): side effects and results in staging order.
+	for i := range b.ops {
+		var res Result
+		if b.prepared[i].ok {
+			res = t.finish(b.ops[i].ID, b.ops[i].Rule, b.prepared[i].score, b.applied[i].total, b.applied[i].banned)
+		}
+		if fn != nil {
+			fn(b.ops[i], res)
+		}
+	}
+	b.ops = b.ops[:0]
+}

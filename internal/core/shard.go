@@ -36,10 +36,18 @@ func pickShardCount() int {
 // byte-at-a-time mixing spreads both the address and the ephemeral-port
 // tail — the part that actually varies during a Defamation port sweep.
 func shardFor(id PeerID, mask uint32) uint32 {
+	return ShardHash(id) & mask
+}
+
+// ShardHash exposes the raw FNV-1a hash of a peer identifier. External
+// sharded structures — the swarm engine's connection shards — key on it so
+// a peer's connection shard and its score shard derive from the same
+// bytes, keeping one peer's whole lifecycle on predictable lanes.
+func ShardHash(id PeerID) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return h & mask
+	return h
 }

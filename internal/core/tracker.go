@@ -233,29 +233,10 @@ func (t *Tracker) Misbehaving(id PeerID, inbound bool, rule RuleID) Result {
 //
 //banlint:hotpath per-hit score path under the shard lock: value structs only, no per-call allocation
 func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx MisbehaviorContext) Result {
-	if t.cfg.Mode == ModeDisabled || t.cfg.Mode == ModeGoodScore {
-		// Checking/tracking omitted entirely (§VIII "Disabling the
-		// checking"), or replaced by good-score reputation.
+	score, r, ok := t.prepare(inbound, rule)
+	if !ok {
 		return Result{}
 	}
-	// ModeCKB and ModeThresholdInfinity both keep scoring below but never
-	// cross into banning.
-	score, active := t.rules[rule]
-	if !active {
-		return Result{}
-	}
-	r, _ := LookupRule(rule)
-	switch r.Object {
-	case InboundPeer:
-		if !inbound {
-			return Result{}
-		}
-	case OutboundPeer:
-		if inbound {
-			return Result{}
-		}
-	}
-
 	// Score update, ban decision, and the forensics append all happen under
 	// the peer's shard lock: the ledger chain for a peer is therefore
 	// linearized against its score (records appear in exactly the order the
@@ -263,9 +244,52 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 	// race a concurrent hit into resurrecting a stale total.
 	s := t.shard(id)
 	s.mu.Lock()
+	total, banned := t.applyLocked(s, id, rule, r, score, mctx)
+	s.mu.Unlock()
+	return t.finish(id, rule, score, total, banned)
+}
+
+// prepare runs the lock-free gate of a misbehavior application: mode
+// checks, Table I rule lookup, and the role restriction. ok is false when
+// the call must be a no-op. Shared verbatim by the direct path and the
+// batched path so both reject exactly the same calls.
+func (t *Tracker) prepare(inbound bool, rule RuleID) (score int, r Rule, ok bool) {
+	if t.cfg.Mode == ModeDisabled || t.cfg.Mode == ModeGoodScore {
+		// Checking/tracking omitted entirely (§VIII "Disabling the
+		// checking"), or replaced by good-score reputation.
+		return 0, Rule{}, false
+	}
+	// ModeCKB and ModeThresholdInfinity both keep scoring below but never
+	// cross into banning.
+	score, active := t.rules[rule]
+	if !active {
+		return 0, Rule{}, false
+	}
+	r, _ = LookupRule(rule)
+	switch r.Object {
+	case InboundPeer:
+		if !inbound {
+			return 0, Rule{}, false
+		}
+	case OutboundPeer:
+		if inbound {
+			return 0, Rule{}, false
+		}
+	}
+	return score, r, true
+}
+
+// applyLocked is the scoring core: score accumulation, the ban decision,
+// and the linearized forensics append. The caller MUST hold s.mu, and s
+// must be id's shard. Both the direct MisbehavingCtx path and Batch.Flush
+// run this exact body, which is what makes the batched path's Tracker
+// exports byte-identical to the unbatched path's.
+//
+//banlint:hotpath runs under the shard lock for every scoring hit
+func (t *Tracker) applyLocked(s *trackerShard, id PeerID, rule RuleID, r Rule, score int, mctx MisbehaviorContext) (total int, banned bool) {
 	s.scores[id] += score
-	total := s.scores[id]
-	banned := t.cfg.Mode == ModeStandard && total >= t.cfg.BanThreshold
+	total = s.scores[id]
+	banned = t.cfg.Mode == ModeStandard && total >= t.cfg.BanThreshold
 	if banned {
 		delete(s.scores, id)
 	}
@@ -287,8 +311,12 @@ func (t *Tracker) MisbehavingCtx(id PeerID, inbound bool, rule RuleID, mctx Misb
 		rec.Seq = seq
 		t.cfg.OnRecord(rec)
 	}
-	s.mu.Unlock()
+	return total, banned
+}
 
+// finish runs the post-lock side effects of one scoring hit (telemetry
+// callbacks and the ban-list insertion) and assembles the Result.
+func (t *Tracker) finish(id PeerID, rule RuleID, score, total int, banned bool) Result {
 	if t.cfg.OnApplied != nil {
 		t.cfg.OnApplied(id, rule, score, total)
 	}

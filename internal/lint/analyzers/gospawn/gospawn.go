@@ -28,8 +28,10 @@ import (
 // be able to await. fleet and attack are in scope because the harness
 // reaps child processes and the attack sessions drain connection reads;
 // an orphan goroutine there survives Shutdown and flakes the fleet smoke
-// run's exit.
-var DefaultScope = []string{"node", "peer", "banstore", "observer", "fleet", "attack"}
+// run's exit. swarm is in scope because the event-loop engine's shard
+// workers are exactly the goroutines Stop must reap — an unsupervised
+// worker there leaks a busy loop per shard.
+var DefaultScope = []string{"node", "peer", "banstore", "observer", "fleet", "attack", "swarm"}
 
 // spawnHelpers names the functions allowed to contain go statements: the
 // WaitGroup-registering helpers everything else must route through.

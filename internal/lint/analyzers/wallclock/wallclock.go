@@ -41,8 +41,11 @@ import (
 // replayers time their pacing, ban waits, and session stamps off clocks
 // that the tests fake; an ambient read there makes the fleet artifacts
 // non-reproducible (wall-clock seeds and deadlines carry explicit
-// waivers).
-var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation", "banstore", "observer", "fleet", "attack"}
+// waivers). swarm is in scope because the event-loop engine schedules
+// purely off readiness edges and condition variables: a stray timer or
+// ambient clock read there would reintroduce the host-scheduling
+// dependence the engine exists to remove.
+var DefaultScope = []string{"simnet", "experiments", "vclock", "reputation", "banstore", "observer", "fleet", "attack", "swarm"}
 
 // bannedTime is the set of time-package functions that read or schedule
 // against the ambient clock. Constructors of values (time.Date, time.Unix,

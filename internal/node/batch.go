@@ -1,0 +1,67 @@
+package node
+
+import (
+	"banscore/internal/core"
+	"banscore/internal/peer"
+)
+
+// MisbehaviorBatch adapts the tracker's core.Batch to the node's misbehave
+// side effects: staged hits flush through the shared applyLocked body (one
+// tracker shard-lock acquisition per touched shard), and each result then
+// gets the same mirroring the inline path performs — reputation penalty
+// with netgroup teardown, and disconnection of peers the flush banned.
+//
+// One MisbehaviorBatch belongs to one event-loop shard: StageMisbehavior
+// runs on the shard's worker via the peer's MisbehaviorSink, and the shard
+// calls Flush once per loop iteration. It is not safe for concurrent use.
+type MisbehaviorBatch struct {
+	n *Node
+	b *core.Batch
+
+	// staged holds the reporting peers parallel to the core batch's ops,
+	// so a ban can disconnect the exact connection that earned it (the
+	// tracker deals in identifiers, not connections).
+	staged []*peer.Peer
+}
+
+var _ peer.MisbehaviorSink = (*MisbehaviorBatch)(nil)
+
+// NewMisbehaviorBatch returns an empty staging buffer bound to the node's
+// tracker.
+func (n *Node) NewMisbehaviorBatch() *MisbehaviorBatch {
+	return &MisbehaviorBatch{n: n, b: n.tracker.NewBatch()}
+}
+
+// StageMisbehavior implements peer.MisbehaviorSink.
+func (mb *MisbehaviorBatch) StageMisbehavior(p *peer.Peer, rule core.RuleID, mctx core.MisbehaviorContext) {
+	mb.b.Add(p.ID(), p.Inbound(), rule, mctx)
+	mb.staged = append(mb.staged, p)
+}
+
+// Len reports how many hits are staged.
+func (mb *MisbehaviorBatch) Len() int { return mb.b.Len() }
+
+// Flush applies every staged hit and runs the inline path's side effects
+// per result, in staging order.
+func (mb *MisbehaviorBatch) Flush() {
+	if mb.b.Len() == 0 {
+		return
+	}
+	n := mb.n
+	i := 0
+	mb.b.Flush(func(op core.BatchOp, res core.Result) {
+		p := mb.staged[i]
+		i++
+		if e := n.cfg.Reputation; e != nil && res.Applied {
+			//lint:allow evidenceflow(res is the callback Result of core.Batch.Flush, produced by the same evidenced applyLocked body as the inline path; the evidence-carrying MisbehaviorContext entered via StageMisbehavior — the analyzer cannot trace taint through the Flush callback parameter)
+			if r := e.Penalize(op.ID, res.Delta); r.GroupBanned {
+				n.disconnectNetgroup(e.GroupOf(op.ID))
+			}
+		}
+		if res.Banned {
+			p.Disconnect()
+		}
+	})
+	clear(mb.staged)
+	mb.staged = mb.staged[:0]
+}

@@ -194,12 +194,28 @@ func (n *Node) misbehave(p *peer.Peer, cmd string, rule core.RuleID) core.Result
 		start = time.Now()
 	}
 	digest, payloadLen := p.LastEvidence()
-	res := n.tracker.MisbehavingCtx(p.ID(), p.Inbound(), rule, core.MisbehaviorContext{
+	mctx := core.MisbehaviorContext{
 		Command:       cmd,
 		TraceID:       ctx.TraceID(),
 		PayloadDigest: digest,
 		PayloadLen:    payloadLen,
-	})
+	}
+	if sink := p.MisbehaviorSink(); sink != nil {
+		// Event-driven peer: stage for the shard's end-of-iteration
+		// flush instead of applying inline. The evidence is captured in
+		// mctx now — by flush time the dispatch (and its LastEvidence
+		// window) is long over. Scoring, reputation mirroring, and the
+		// ban disconnect all happen at flush.
+		sink.StageMisbehavior(p, rule, mctx)
+		if ctx != nil {
+			ctx.Add(trace.Span{
+				Stage: trace.StageMisbehave, Peer: string(p.ID()), Cmd: cmd,
+				Rule: rule.String(), Start: start, Duration: time.Since(start),
+			})
+		}
+		return core.Result{}
+	}
+	res := n.tracker.MisbehavingCtx(p.ID(), p.Inbound(), rule, mctx)
 	if ctx != nil {
 		ctx.Add(trace.Span{
 			Stage: trace.StageMisbehave, Peer: string(p.ID()), Cmd: cmd,

@@ -197,6 +197,20 @@ type Config struct {
 	// still be forced via WriteSnapshot).
 	SnapshotEvery time.Duration
 
+	// PeerRunner, when set, is installed as every peer's Runner: instead
+	// of the two-goroutine loop pair, peers are pumped by the runner's
+	// event loop (internal/swarm's sharded dispatcher). The runner is
+	// responsible for registering each peer's connection when peer.Start
+	// hands it over. Real-TCP deployments (cmd/btcnode, fleet) leave this
+	// nil and keep goroutine loops.
+	PeerRunner peer.Runner
+
+	// PeerSendQueue caps each peer's outbound message queue; zero keeps
+	// the peer default (1024). Swarm-scale simulations lower it — the
+	// queue is preallocated per peer, so its depth dominates per-peer
+	// memory at 100k connections.
+	PeerSendQueue int
+
 	// Reputation, if set, layers the netgroup reputation engine over the
 	// tracker: every applied rule hit also charges the peer's /16 (or
 	// IPv6 /32) budget, valid BLOCK/TX deliveries earn trust, admission
@@ -509,15 +523,30 @@ func (n *Node) refuseForSlots(conn net.Conn, remote core.PeerID) {
 	conn.Close()
 }
 
+// Eviction scan bounds. Up to evictExactScanLimit connected peers the
+// eviction decision examines every inbound peer (the exact CKB ranking);
+// past it, each decision examines a bounded random sample instead — map
+// iteration order is randomized per pass, so the sample is fresh every
+// time. Without the bound, a full accept queue at 100k peers turns each
+// admission into an O(n) scan and the accept path into O(n²).
+const (
+	evictExactScanLimit = 1024
+	evictSampleSize     = 64
+)
+
 // evictWorstInbound disconnects the inbound peer with the lowest negative
 // reputation (CKB-style "evict bad peers"). With the reputation engine
 // installed the ranking is its decayed trust−misbehavior; otherwise the
-// tracker's integer good−bad score. It returns false when no connected
+// tracker's integer good−bad score. It returns false when no examined
 // inbound peer has misbehaved on balance — honest peers are never evicted
-// for a stranger.
+// for a stranger. At swarm scale the scan is sampled (see
+// evictExactScanLimit), trading the globally worst peer for a
+// probably-bad one at O(1) cost per admission.
 func (n *Node) evictWorstInbound() bool {
 	e := n.cfg.Reputation
 	n.mu.Lock()
+	exact := len(n.peers) <= evictExactScanLimit
+	examined := 0
 	var worst *peer.Peer
 	worstRep := 0.0
 	for _, p := range n.peers {
@@ -533,6 +562,11 @@ func (n *Node) evictWorstInbound() bool {
 		if rep < worstRep {
 			worstRep = rep
 			worst = p
+		}
+		if !exact {
+			if examined++; examined >= evictSampleSize {
+				break
+			}
 		}
 	}
 	n.mu.Unlock()
@@ -725,10 +759,12 @@ func (n *Node) dial(addr string) (net.Conn, error) {
 // startPeer wires a connection into the dispatch pipeline.
 func (n *Node) startPeer(conn net.Conn, inbound bool) *peer.Peer {
 	pcfg := peer.Config{
-		Net:          n.cfg.ChainParams.Net,
-		IdleTimeout:  n.cfg.IdleTimeout,
-		WriteTimeout: n.cfg.WriteTimeout,
-		Tracer:       n.cfg.Tracer,
+		Net:            n.cfg.ChainParams.Net,
+		IdleTimeout:    n.cfg.IdleTimeout,
+		WriteTimeout:   n.cfg.WriteTimeout,
+		Tracer:         n.cfg.Tracer,
+		Runner:         n.cfg.PeerRunner,
+		SendQueueDepth: n.cfg.PeerSendQueue,
 		OnMessage:    n.handleMessage,
 		OnMalformed: func(p *peer.Peer, err error) {
 			// Malformed framing: dropped without scoring (the wire

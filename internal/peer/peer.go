@@ -44,6 +44,29 @@ const sendQueueSize = 1024
 // payload size on the wire.
 type MessageHandler func(p *Peer, msg wire.Message, rawLen int)
 
+// MisbehaviorSink receives misbehavior reports for deferred, batched
+// application. An event-loop runner installs its shard's staging buffer on
+// every peer it pumps (SetMisbehaviorSink); the node's misbehave path then
+// stages instead of applying inline, and the runner flushes the buffer once
+// per loop iteration. The sink is invoked on the worker goroutine currently
+// dispatching the peer, so implementations need no internal locking beyond
+// the flush itself.
+type MisbehaviorSink interface {
+	StageMisbehavior(p *Peer, rule core.RuleID, mctx core.MisbehaviorContext)
+}
+
+// Runner owns the execution of a peer's message loops. The default (nil)
+// runner is the goroutine pair readLoop/writeLoop — the right shape for a
+// real TCP socket, where the kernel parks blocked readers for free. An
+// event-loop dispatcher (internal/swarm) implements Runner to multiplex
+// tens of thousands of simulated peers onto a fixed worker pool, driving
+// the same per-message state machine through ReadStep/WriteStep.
+type Runner interface {
+	// Run is invoked by Start exactly once. The implementation assumes
+	// responsibility for pumping the peer until Disconnect.
+	Run(p *Peer)
+}
+
 // Config parameterizes a Peer.
 type Config struct {
 	// Net is the wire magic to speak.
@@ -91,6 +114,17 @@ type Config struct {
 	// spans through the write loop. Nil (or a disabled tracer) costs the
 	// loops one atomic load per message.
 	Tracer *trace.Tracer
+
+	// Runner, when set, takes over loop execution: Start hands the peer
+	// to it instead of spawning the goroutine pair. See Runner.
+	Runner Runner
+
+	// SendQueueDepth caps the outbound message queue. Zero selects
+	// sendQueueSize (1024), sized so a flooding victim's reply queue is
+	// never the bottleneck under test. Swarm-scale nodes lower it: the
+	// queue buffer is zeroed at allocation and scanned by the GC, so
+	// 1024 slots per peer at 100k peers is ~5 GB of dead weight.
+	SendQueueDepth int
 }
 
 // Peer wraps one connection.
@@ -139,6 +173,15 @@ type Peer struct {
 	quit      chan struct{}
 	quitOnce  sync.Once
 	wg        sync.WaitGroup
+
+	// onQueue, when set, fires after each successful QueueMessage — the
+	// event loop's wake signal for outbound work. Atomic because relay
+	// paths enqueue from goroutines other than the runner's workers.
+	onQueue atomic.Pointer[func()]
+
+	// misbSink, when set, diverts misbehavior application into a staging
+	// buffer (see MisbehaviorSink).
+	misbSink atomic.Pointer[MisbehaviorSink]
 }
 
 // queued is one send-queue entry: the message plus, when the enqueue was
@@ -163,12 +206,15 @@ func New(conn net.Conn, inbound bool, cfg Config) *Peer {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
 	}
+	if cfg.SendQueueDepth <= 0 {
+		cfg.SendQueueDepth = sendQueueSize
+	}
 	p := &Peer{
 		cfg:       cfg,
 		conn:      conn,
 		inbound:   inbound,
 		id:        core.PeerIDFromAddr(conn.RemoteAddr().String()),
-		sendQueue: make(chan queued, sendQueueSize),
+		sendQueue: make(chan queued, cfg.SendQueueDepth),
 		quit:      make(chan struct{}),
 	}
 	// Built once so the read loop does not allocate a method-value closure
@@ -186,11 +232,21 @@ func New(conn net.Conn, inbound bool, cfg Config) *Peer {
 	return p
 }
 
-// Start launches the read and write loops.
+// Start launches the peer's message processing: the read/write goroutine
+// pair by default, or the configured Runner's event-driven dispatch.
 func (p *Peer) Start() {
+	if p.cfg.Runner != nil {
+		p.cfg.Runner.Run(p)
+		return
+	}
 	p.spawn(p.readLoop)
 	p.spawn(p.writeLoop)
 }
+
+// EventDriven reports whether this peer is pumped by a Runner rather than
+// its own goroutines (in which case WaitForShutdown has nothing to wait
+// for and Disconnect completes the teardown synchronously).
+func (p *Peer) EventDriven() bool { return p.cfg.Runner != nil }
 
 // spawn runs fn on a goroutine registered with the peer's WaitGroup
 // before it starts, so WaitForShutdown collects it. The banlint gospawn
@@ -212,6 +268,10 @@ func (p *Peer) Inbound() bool { return p.inbound }
 
 // Addr returns the remote address string.
 func (p *Peer) Addr() string { return p.conn.RemoteAddr().String() }
+
+// Conn exposes the underlying transport connection. Runners use it to
+// register readiness callbacks on event-capable transports (simnet).
+func (p *Peer) Conn() net.Conn { return p.conn }
 
 // LocalAddr returns the local address string.
 func (p *Peer) LocalAddr() string { return p.conn.LocalAddr().String() }
@@ -272,12 +332,46 @@ func (p *Peer) QueueMessage(msg wire.Message) error {
 	}
 	select {
 	case p.sendQueue <- q:
+		if w := p.onQueue.Load(); w != nil {
+			(*w)()
+		}
 		return nil
 	case <-p.quit:
 		return ErrPeerDisconnected
 	default:
 		return ErrSendQueueFull
 	}
+}
+
+// SetMisbehaviorSink installs (or, with nil, removes) the staging buffer
+// misbehavior reports divert into while this peer is event-driven.
+func (p *Peer) SetMisbehaviorSink(s MisbehaviorSink) {
+	if s == nil {
+		p.misbSink.Store(nil)
+		return
+	}
+	p.misbSink.Store(&s)
+}
+
+// MisbehaviorSink returns the installed staging buffer, or nil when
+// misbehavior applies inline.
+func (p *Peer) MisbehaviorSink() MisbehaviorSink {
+	if sp := p.misbSink.Load(); sp != nil {
+		return *sp
+	}
+	return nil
+}
+
+// SetQueueWake registers fn to run after each successful QueueMessage (nil
+// unregisters). Event-loop runners install their re-enqueue hook here so a
+// reply queued by a handler — possibly from another shard's worker — gets
+// the owning connection scheduled for a write pass.
+func (p *Peer) SetQueueWake(fn func()) {
+	if fn == nil {
+		p.onQueue.Store(nil)
+		return
+	}
+	p.onQueue.Store(&fn)
 }
 
 // TraceCtx returns the lifecycle trace of the inbound message currently
@@ -331,6 +425,93 @@ func (p *Peer) Disconnect() {
 // WaitForShutdown blocks until both loops have exited.
 func (p *Peer) WaitForShutdown() { p.wg.Wait() }
 
+// readStatus classifies one pass of the inbound state machine.
+type readStatus int
+
+const (
+	// readOK: one message was decoded and dispatched.
+	readOK readStatus = iota
+	// readSkip: a score-free drop (checksum mismatch, unknown command);
+	// the connection continues.
+	readSkip
+	// readClosed: the connection is finished (io error, malformed
+	// message, remote close); the caller must tear the peer down.
+	readClosed
+)
+
+// readOne runs the inbound state machine for exactly one wire event:
+// decode, classify errors per the Table I rules, publish evidence, and
+// dispatch. It is the shared body of the blocking readLoop and the
+// event-loop ReadStep; it blocks only as long as its next frame is
+// incomplete, so a non-blocking caller must gate on frame availability.
+func (p *Peer) readOne(tr *trace.Tracer) readStatus {
+	// One atomic load when tracing is off. The decode span's clock
+	// starts before the blocking read, so it bounds wait + transfer
+	// + parse for the sampled message.
+	var decodeStart time.Time
+	if tr.Armed() {
+		decodeStart = time.Now()
+	}
+	msg, pbuf, err := p.codec.DecodeMessage(p.conn, p.cfg.ProtocolVersion, p.cfg.Net, p.pick)
+	if err != nil {
+		// A non-nil buffer with an error marks a payload-decode
+		// failure (the payload was fully read but did not parse);
+		// release it before classifying.
+		decodeFailed := pbuf != nil && !errors.Is(err, io.EOF)
+		pbuf.Release()
+		switch {
+		case errors.Is(err, wire.ErrChecksumMismatch):
+			// Dropped pre-application, connection continues,
+			// no ban score — the paper's bogus-message vector.
+			p.bytesReceived.Add(uint64(wire.MessageHeaderSize))
+			if p.cfg.OnChecksumError != nil {
+				p.cfg.OnChecksumError(p, err)
+			}
+			return readSkip
+		case isUnknownCommand(err):
+			// Unknown commands are ignored, also score-free.
+			p.bytesReceived.Add(uint64(wire.MessageHeaderSize))
+			return readSkip
+		case isMessageError(err) || decodeFailed:
+			if p.cfg.OnMalformed != nil {
+				p.cfg.OnMalformed(p, err)
+			}
+			return readClosed
+		default:
+			// io error, deadline, or remote close.
+			return readClosed
+		}
+	}
+	rawLen := pbuf.Len()
+	p.bytesReceived.Add(uint64(wire.MessageHeaderSize + rawLen))
+	p.messagesReceived.Add(1)
+	// Snapshot the verified wire checksum as misbehavior evidence for
+	// the dispatch below: if a handler scores this message, the
+	// forensics record names the exact bytes. Published before and
+	// cleared after OnMessage, mirroring traceCtx.
+	sum := p.codec.LastChecksum()
+	p.setEvidence(binary.BigEndian.Uint32(sum[:]), rawLen)
+	if p.cfg.OnMessage != nil {
+		if !decodeStart.IsZero() {
+			if ctx := tr.Sample(); ctx != nil {
+				ctx.Record(trace.StageWireDecode, string(p.id), msg.Command(), decodeStart, time.Since(decodeStart))
+				// Publish the trace for the dispatch below it:
+				// the node's handle/misbehave spans join it.
+				p.traceCtx.Store(ctx)
+				p.cfg.OnMessage(p, msg, rawLen)
+				p.traceCtx.Store(nil)
+				p.evidence.Store(0)
+				pbuf.Release()
+				return readOK
+			}
+		}
+		p.cfg.OnMessage(p, msg, rawLen)
+	}
+	p.evidence.Store(0)
+	pbuf.Release()
+	return readOK
+}
+
 // readLoop decodes messages until the connection dies.
 func (p *Peer) readLoop() {
 	defer p.Disconnect()
@@ -344,71 +525,63 @@ func (p *Peer) readLoop() {
 		if err := p.conn.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout)); err != nil {
 			return
 		}
-		// One atomic load when tracing is off. The decode span's clock
-		// starts before the blocking read, so it bounds wait + transfer
-		// + parse for the sampled message.
-		var decodeStart time.Time
-		if tr.Armed() {
-			decodeStart = time.Now()
+		if p.readOne(tr) == readClosed {
+			return
 		}
-		msg, pbuf, err := p.codec.DecodeMessage(p.conn, p.cfg.ProtocolVersion, p.cfg.Net, p.pick)
-		if err != nil {
-			// A non-nil buffer with an error marks a payload-decode
-			// failure (the payload was fully read but did not parse);
-			// release it before classifying.
-			decodeFailed := pbuf != nil && !errors.Is(err, io.EOF)
-			pbuf.Release()
-			switch {
-			case errors.Is(err, wire.ErrChecksumMismatch):
-				// Dropped pre-application, connection continues,
-				// no ban score — the paper's bogus-message vector.
-				p.bytesReceived.Add(uint64(wire.MessageHeaderSize))
-				if p.cfg.OnChecksumError != nil {
-					p.cfg.OnChecksumError(p, err)
-				}
-				continue
-			case isUnknownCommand(err):
-				// Unknown commands are ignored, also score-free.
-				p.bytesReceived.Add(uint64(wire.MessageHeaderSize))
-				continue
-			case isMessageError(err) || decodeFailed:
-				if p.cfg.OnMalformed != nil {
-					p.cfg.OnMalformed(p, err)
-				}
-				return
-			default:
-				// io error, deadline, or remote close.
-				return
-			}
-		}
-		rawLen := pbuf.Len()
-		p.bytesReceived.Add(uint64(wire.MessageHeaderSize + rawLen))
-		p.messagesReceived.Add(1)
-		// Snapshot the verified wire checksum as misbehavior evidence for
-		// the dispatch below: if a handler scores this message, the
-		// forensics record names the exact bytes. Published before and
-		// cleared after OnMessage, mirroring traceCtx.
-		sum := p.codec.LastChecksum()
-		p.setEvidence(binary.BigEndian.Uint32(sum[:]), rawLen)
-		if p.cfg.OnMessage != nil {
-			if !decodeStart.IsZero() {
-				if ctx := tr.Sample(); ctx != nil {
-					ctx.Record(trace.StageWireDecode, string(p.id), msg.Command(), decodeStart, time.Since(decodeStart))
-					// Publish the trace for the dispatch below it:
-					// the node's handle/misbehave spans join it.
-					p.traceCtx.Store(ctx)
-					p.cfg.OnMessage(p, msg, rawLen)
-					p.traceCtx.Store(nil)
-					p.evidence.Store(0)
-					pbuf.Release()
-					continue
-				}
-			}
-			p.cfg.OnMessage(p, msg, rawLen)
-		}
-		p.evidence.Store(0)
-		pbuf.Release()
 	}
+}
+
+// ReadStep decodes and dispatches exactly one inbound message on behalf of
+// an event-loop runner. The caller must have established that a complete
+// frame (or a terminal condition: close, reset, oversized header) is
+// available, so the step never parks a worker. It returns false once the
+// connection is finished — the peer is already disconnected then.
+func (p *Peer) ReadStep() bool {
+	select {
+	case <-p.quit:
+		return false
+	default:
+	}
+	if p.readOne(p.cfg.Tracer) == readClosed {
+		p.Disconnect()
+		return false
+	}
+	return true
+}
+
+// writeOne encodes and writes one queued message, returning false when the
+// connection is finished.
+func (p *Peer) writeOne(q queued) bool {
+	if p.cfg.WriteTimeout > 0 {
+		if err := p.conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout)); err != nil {
+			return false
+		}
+	}
+	var encodeStart time.Time
+	if q.ctx != nil {
+		encodeStart = time.Now()
+		q.ctx.Record(trace.StageSendQueue, string(p.id), q.msg.Command(), q.at, encodeStart.Sub(q.at))
+	}
+	buf, err := wire.EncodeMessage(q.msg, p.cfg.ProtocolVersion, p.cfg.Net)
+	if err != nil {
+		return false
+	}
+	n, err := p.conn.Write(buf.Bytes())
+	buf.Release()
+	p.bytesSent.Add(uint64(n))
+	if err != nil {
+		if isTimeout(err) && p.cfg.OnWriteTimeout != nil {
+			p.cfg.OnWriteTimeout(p)
+		}
+		return false
+	}
+	if q.ctx != nil {
+		q.ctx.Record(trace.StageWireEncode, string(p.id), q.msg.Command(), encodeStart, time.Since(encodeStart))
+	}
+	if p.cfg.OnSend != nil {
+		p.cfg.OnSend(q.msg.Command(), n)
+	}
+	return true
 }
 
 // writeLoop drains the send queue.
@@ -419,35 +592,38 @@ func (p *Peer) writeLoop() {
 		case <-p.quit:
 			return
 		case q := <-p.sendQueue:
-			if p.cfg.WriteTimeout > 0 {
-				if err := p.conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout)); err != nil {
-					return
-				}
-			}
-			var encodeStart time.Time
-			if q.ctx != nil {
-				encodeStart = time.Now()
-				q.ctx.Record(trace.StageSendQueue, string(p.id), q.msg.Command(), q.at, encodeStart.Sub(q.at))
-			}
-			buf, err := wire.EncodeMessage(q.msg, p.cfg.ProtocolVersion, p.cfg.Net)
-			if err != nil {
+			if !p.writeOne(q) {
 				return
 			}
-			n, err := p.conn.Write(buf.Bytes())
-			buf.Release()
-			p.bytesSent.Add(uint64(n))
-			if err != nil {
-				if isTimeout(err) && p.cfg.OnWriteTimeout != nil {
-					p.cfg.OnWriteTimeout(p)
-				}
-				return
-			}
-			if q.ctx != nil {
-				q.ctx.Record(trace.StageWireEncode, string(p.id), q.msg.Command(), encodeStart, time.Since(encodeStart))
-			}
-			if p.cfg.OnSend != nil {
-				p.cfg.OnSend(q.msg.Command(), n)
-			}
+		}
+	}
+}
+
+// WriteStep drains queued outbound messages on behalf of an event-loop
+// runner, consulting canWrite before each message so a full peer buffer
+// never parks a worker (on simnet a write with any reported space proceeds
+// whole — the pipe accepts a bounded overshoot). It returns pending=true
+// when messages remain queued behind a full buffer, and ok=false once the
+// connection is finished (the peer is already disconnected then).
+func (p *Peer) WriteStep(canWrite func() bool) (pending, ok bool) {
+	for {
+		select {
+		case <-p.quit:
+			return false, false
+		default:
+		}
+		if !canWrite() {
+			return len(p.sendQueue) > 0, true
+		}
+		var q queued
+		select {
+		case q = <-p.sendQueue:
+		default:
+			return false, true
+		}
+		if !p.writeOne(q) {
+			p.Disconnect()
+			return false, false
 		}
 	}
 }

@@ -173,7 +173,7 @@ func (c *Conn) writeFaulty(p []byte) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		c.network.observe(c.local, c.remote, p[:n])
+		c.observeDelivery(p[:n])
 		return n, nil
 	}
 
@@ -224,7 +224,7 @@ func (c *Conn) deliveryLoop(fs *faultState) {
 			fs.closeState()
 			return
 		}
-		c.network.observe(c.local, c.remote, dw.data)
+		c.observeDelivery(dw.data)
 	}
 }
 

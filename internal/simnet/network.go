@@ -41,6 +41,15 @@ type Network struct {
 	rxPackets map[Addr]uint64
 	closed    bool
 
+	// listenBacklog overrides the per-listener accept queue depth (the
+	// default 128 models a kernel SOMAXCONN; swarm harnesses admitting
+	// tens of thousands of peers raise it via SetListenBacklog).
+	listenBacklog int
+
+	// snifferCount gates the delivery fast path: while zero, writes
+	// account into per-Conn atomics and never touch mu.
+	snifferCount atomic.Int32
+
 	drops atomic.Uint64
 
 	// Fault layer (see faults.go). faultsActive and partActive are cheap
@@ -97,13 +106,27 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 	if _, taken := n.listeners[a]; taken {
 		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
 	}
+	backlog := n.listenBacklog
+	if backlog <= 0 {
+		backlog = 128
+	}
 	l := &Listener{
 		network: n,
 		addr:    a,
-		backlog: make(chan *Conn, 128),
+		backlog: make(chan *Conn, backlog),
 	}
 	n.listeners[a] = l
 	return l, nil
+}
+
+// SetListenBacklog sets the accept queue depth for listeners bound after
+// the call (n <= 0 restores the default 128). A swarm scenario dialing
+// faster than the victim accepts needs more than a kernel-sized backlog to
+// avoid spurious connection-refused churn.
+func (n *Network) SetListenBacklog(depth int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.listenBacklog = depth
 }
 
 // Accept implements net.Listener.
@@ -241,10 +264,18 @@ func (n *Network) Inject(from, to string, seq uint64, data []byte) error {
 	return nil
 }
 
-// dropConn removes a closed connection endpoint.
+// dropConn removes a closed connection endpoint, folding its fast-path
+// delivery counters into the per-address totals so accounting survives
+// churn.
 func (n *Network) dropConn(c *Conn) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if b := c.rxBytes.Swap(0); b != 0 {
+		n.rxBytes[c.remote] += b
+	}
+	if p := c.rxPackets.Swap(0); p != 0 {
+		n.rxPackets[c.remote] += p
+	}
 	delete(n.conns, c)
 }
 
@@ -262,18 +293,31 @@ func (n *Network) observe(from, to Addr, data []byte) {
 }
 
 // BytesDelivered returns the total bytes delivered to addr — the victim's
-// consumed bandwidth ("Bandwidth DoSed" in Table III).
+// consumed bandwidth ("Bandwidth DoSed" in Table III). Live connections'
+// fast-path counters are summed in, so the figure is exact at any moment.
 func (n *Network) BytesDelivered(addr string) uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.rxBytes[Addr(addr)]
+	total := n.rxBytes[Addr(addr)]
+	for c := range n.conns {
+		if c.remote == Addr(addr) {
+			total += c.rxBytes.Load()
+		}
+	}
+	return total
 }
 
 // PacketsDelivered returns the number of writes delivered to addr.
 func (n *Network) PacketsDelivered(addr string) uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.rxPackets[Addr(addr)]
+	total := n.rxPackets[Addr(addr)]
+	for c := range n.conns {
+		if c.remote == Addr(addr) {
+			total += c.rxPackets.Load()
+		}
+	}
+	return total
 }
 
 // PacketsDropped returns how many datagrams the fabric discarded because the
@@ -287,6 +331,10 @@ func (n *Network) ResetCounters() {
 	defer n.mu.Unlock()
 	n.rxBytes = make(map[Addr]uint64)
 	n.rxPackets = make(map[Addr]uint64)
+	for c := range n.conns {
+		c.rxBytes.Store(0)
+		c.rxPackets.Store(0)
+	}
 }
 
 // Close shuts the fabric down: all listeners and connections are closed.

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"banscore/internal/trace"
@@ -55,6 +56,16 @@ type pipeHalf struct {
 	// seq counts bytes ever enqueued: the simulation's TCP sequence
 	// number. Injection must match it (see Conn.inject).
 	seq uint64
+
+	// onData fires after bytes are enqueued or the half closes; onRoom
+	// fires after a read frees buffer space or the half closes. Both run
+	// with mu released so they may re-enter the half (e.g. an event-loop
+	// shard enqueueing the connection takes shard locks; the required
+	// ordering is pipeHalf.mu before shard locks, never the reverse).
+	// Callbacks are edge signals, not level state: a registrant must
+	// re-check buffered()/space() itself after waking.
+	onData func()
+	onRoom func()
 }
 
 func newPipeHalf() *pipeHalf {
@@ -75,15 +86,17 @@ func (h *pipeHalf) writeErr() error {
 // after close or when the write deadline expires while blocked.
 func (h *pipeHalf) write(p []byte) (int, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	for len(h.buf) >= pipeBufferCap {
 		if h.closed {
-			return 0, h.writeErr()
+			err := h.writeErr()
+			h.mu.Unlock()
+			return 0, err
 		}
 		wdl := h.wdl
 		if !wdl.IsZero() {
 			now := clk.Now()
 			if !now.Before(wdl) {
+				h.mu.Unlock()
 				return 0, ErrDeadlineExceeded
 			}
 			timer := clk.AfterFunc(wdl.Sub(now), h.cond.Broadcast)
@@ -94,18 +107,24 @@ func (h *pipeHalf) write(p []byte) (int, error) {
 		h.cond.Wait()
 	}
 	if h.closed {
-		return 0, h.writeErr()
+		err := h.writeErr()
+		h.mu.Unlock()
+		return 0, err
 	}
 	h.buf = append(h.buf, p...)
 	h.seq += uint64(len(p))
 	h.cond.Broadcast()
+	cb := h.onData
+	h.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
 	return len(p), nil
 }
 
 // read dequeues into p, blocking until data, close, or deadline.
 func (h *pipeHalf) read(p []byte) (int, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	for {
 		if len(h.buf) > 0 {
 			n := copy(p, h.buf)
@@ -116,11 +135,18 @@ func (h *pipeHalf) read(p []byte) (int, error) {
 				h.buf = nil
 			}
 			h.cond.Broadcast() // wake writers waiting for room
+			cb := h.onRoom
+			h.mu.Unlock()
+			if cb != nil {
+				cb()
+			}
 			return n, nil
 		}
 		if h.closed {
-			if h.closeErr != nil {
-				return 0, h.closeErr
+			err := h.closeErr
+			h.mu.Unlock()
+			if err != nil {
+				return 0, err
 			}
 			return 0, io.EOF
 		}
@@ -128,6 +154,7 @@ func (h *pipeHalf) read(p []byte) (int, error) {
 		if !rdl.IsZero() {
 			now := clk.Now()
 			if !now.Before(rdl) {
+				h.mu.Unlock()
 				return 0, ErrDeadlineExceeded
 			}
 			// Arrange a wake-up at the deadline.
@@ -147,8 +174,8 @@ func (h *pipeHalf) close() { h.closeWithErr(nil, false) }
 // way a TCP RST does.
 func (h *pipeHalf) closeWithErr(err error, discard bool) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return
 	}
 	h.closed = true
@@ -157,6 +184,16 @@ func (h *pipeHalf) closeWithErr(err error, discard bool) {
 		h.buf = nil
 	}
 	h.cond.Broadcast()
+	data, room := h.onData, h.onRoom
+	h.mu.Unlock()
+	// Close is both a data event (readers must observe EOF/reset) and a
+	// room event (blocked writers must observe the failure).
+	if data != nil {
+		data()
+	}
+	if room != nil {
+		room()
+	}
 }
 
 func (h *pipeHalf) setReadDeadline(t time.Time) {
@@ -177,6 +214,45 @@ func (h *pipeHalf) sequence() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.seq
+}
+
+// buffered reports how many bytes can be read without blocking, and whether
+// the half has been closed.
+func (h *pipeHalf) buffered() (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.buf), h.closed
+}
+
+// peek copies up to len(p) buffered bytes without consuming them.
+func (h *pipeHalf) peek(p []byte) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return copy(p, h.buf)
+}
+
+// space reports how many bytes can be written without blocking (zero while
+// the buffer holds a bounded overshoot), and whether the half is closed.
+func (h *pipeHalf) space() (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := pipeBufferCap - len(h.buf)
+	if s < 0 {
+		s = 0
+	}
+	return s, h.closed
+}
+
+func (h *pipeHalf) setOnData(fn func()) {
+	h.mu.Lock()
+	h.onData = fn
+	h.mu.Unlock()
+}
+
+func (h *pipeHalf) setOnRoom(fn func()) {
+	h.mu.Lock()
+	h.onRoom = fn
+	h.mu.Unlock()
 }
 
 // Addr is a simnet endpoint address.
@@ -205,6 +281,13 @@ type Conn struct {
 	// dial time from the fabric's fault table). The fault-free path pays
 	// exactly one nil check.
 	faults *faultState
+
+	// rxBytes/rxPackets count bytes delivered to the remote endpoint via
+	// this sender while no sniffer is attached: the sniffer-free fast
+	// path that keeps 100k concurrent writers off the fabric's global
+	// lock. dropConn folds them into the Network's per-address maps.
+	rxBytes   atomic.Uint64
+	rxPackets atomic.Uint64
 
 	closeOnce sync.Once
 }
@@ -252,8 +335,20 @@ func (c *Conn) write(p []byte) (int, error) {
 	if err != nil {
 		return n, err
 	}
-	c.network.observe(c.local, c.remote, p[:n])
+	c.observeDelivery(p[:n])
 	return n, nil
+}
+
+// observeDelivery accounts a delivered write. Without sniffers attached the
+// bytes land in this connection's atomic counters — no fabric lock; with a
+// tap active the write is mirrored through the fabric's observe path.
+func (c *Conn) observeDelivery(p []byte) {
+	if c.network.snifferCount.Load() == 0 {
+		c.rxBytes.Add(uint64(len(p)))
+		c.rxPackets.Add(1)
+		return
+	}
+	c.network.observe(c.local, c.remote, p)
 }
 
 // Close implements net.Conn, closing both directions.
@@ -312,6 +407,34 @@ func (c *Conn) SetWriteDeadline(t time.Time) error {
 // SendSeq returns the number of bytes this endpoint has sent — the
 // simulation's TCP sequence state an injector must know.
 func (c *Conn) SendSeq() uint64 { return c.send.sequence() }
+
+// ReadBuffered reports how many bytes Read would return without blocking
+// and whether the receive direction has been closed (EOF or reset is
+// pending once the buffer drains). It is the readiness probe the event-loop
+// dispatcher uses in place of a blocked reader goroutine.
+func (c *Conn) ReadBuffered() (n int, closed bool) { return c.recv.buffered() }
+
+// PeekBuffered copies up to len(p) buffered receive bytes into p without
+// consuming them, returning the count copied. An event loop peeks the
+// 24-byte wire header to learn the frame length before committing to a
+// decode.
+func (c *Conn) PeekBuffered(p []byte) int { return c.recv.peek(p) }
+
+// WriteSpace reports how many bytes Write could accept without blocking on
+// the peer's socket buffer, and whether the send direction is closed.
+func (c *Conn) WriteSpace() (n int, closed bool) { return c.send.space() }
+
+// SetReadable registers fn to run whenever bytes arrive on the receive
+// direction or it closes. fn runs on the writer's goroutine with no pipe
+// locks held, so it may take scheduler locks (the required order is
+// pipeHalf.mu before any scheduler lock) but must not block. The callback
+// is an edge trigger: fn must re-check ReadBuffered itself. Pass nil to
+// unregister.
+func (c *Conn) SetReadable(fn func()) { c.recv.setOnData(fn) }
+
+// SetWritable registers fn to run whenever room frees on the send direction
+// or it closes. Same contract as SetReadable.
+func (c *Conn) SetWritable(fn func()) { c.send.setOnRoom(fn) }
 
 // ErrSeqMismatch is returned by Inject when the claimed sequence number does
 // not match the stream state — the simulation of an out-of-window TCP

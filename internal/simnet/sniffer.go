@@ -37,6 +37,7 @@ func (n *Network) NewSniffer(filter func(from, to Addr) bool) *Sniffer {
 	}
 	n.mu.Lock()
 	n.sniffers = append(n.sniffers, s)
+	n.snifferCount.Add(1)
 	n.mu.Unlock()
 	return s
 }
@@ -89,6 +90,7 @@ func (s *Sniffer) Close() {
 	for i, tap := range s.network.sniffers {
 		if tap == s {
 			s.network.sniffers = append(s.network.sniffers[:i], s.network.sniffers[i+1:]...)
+			s.network.snifferCount.Add(-1)
 			break
 		}
 	}

@@ -1,0 +1,47 @@
+package swarm_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"banscore/internal/experiments"
+)
+
+// BenchmarkSwarmScale runs the full Sybil-swarm scenario per iteration and
+// reports the engine's scale numbers: peers/s admitted, msgs/s absorbed,
+// and ns/msg per dispatched message. The bench gate compares the rates as
+// higher-is-better (cmd/benchdiff treats units ending in "/s" that way and
+// skips wall-time ns/op for ^BenchmarkSwarm — one iteration IS the whole
+// scenario, sleeps included).
+//
+// peers=100000 — the "single process sustains 100k concurrent simulated
+// peers" run — is gated behind BANSCORE_SWARM_FULL=1: it needs a few GB
+// of memory and minutes of runtime, which the nightly workflow pays and
+// the per-change gate does not.
+func BenchmarkSwarmScale(b *testing.B) {
+	for _, peers := range []int{1000, 10000, 100000} {
+		if peers == 100000 && os.Getenv("BANSCORE_SWARM_FULL") == "" {
+			continue
+		}
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			var last experiments.SwarmResult
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Swarm(experiments.SwarmConfig{
+					Attackers:  peers,
+					ChurnEvery: 7,
+				})
+				if err != nil {
+					b.Fatalf("swarm: %v", err)
+				}
+				if res.Banned != peers {
+					b.Fatalf("banned = %d, want %d", res.Banned, peers)
+				}
+				last = res
+			}
+			b.ReportMetric(last.PeersPerSec, "peers/s")
+			b.ReportMetric(last.MsgsPerSec, "msgs/s")
+			b.ReportMetric(last.AbsorbSeconds*1e9/float64(last.MessagesProcessed), "ns/msg")
+		})
+	}
+}

@@ -1,0 +1,328 @@
+package swarm_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"banscore/internal/core"
+	"banscore/internal/node"
+	"banscore/internal/simnet"
+	"banscore/internal/swarm"
+	"banscore/internal/wire"
+)
+
+// env is a victim node on a simnet fabric whose connections are pumped by
+// the event-loop engine instead of goroutine pairs — the production swarm
+// wiring: the engine's shard batches are node MisbehaviorBatches closed
+// over the node constructed after the engine.
+type env struct {
+	fabric *simnet.Network
+	eng    *swarm.Engine
+	node   *node.Node
+	addr   string
+	ports  atomic.Uint32
+}
+
+func newEnv(t *testing.T, shards int, mutate func(*node.Config)) *env {
+	t.Helper()
+	fabric := simnet.NewNetwork()
+	e := &env{fabric: fabric, addr: "10.0.0.1:8333"}
+	var n *node.Node
+	e.eng = swarm.NewEngine(swarm.Config{
+		Shards:   shards,
+		NewBatch: func() swarm.Batcher { return n.NewMisbehaviorBatch() },
+	})
+	cfg := node.Config{
+		PeerRunner:       e.eng,
+		DisableReconnect: true,
+		Dialer: func(remote string) (net.Conn, error) {
+			port := 40000 + e.ports.Add(1)
+			return fabric.Dial(fmt.Sprintf("10.0.0.1:%d", port), remote)
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n = node.New(cfg)
+	e.node = n
+	l, err := fabric.Listen(e.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Serve(l)
+	t.Cleanup(func() {
+		e.node.Stop()
+		e.eng.Stop()
+		fabric.Close()
+	})
+	return e
+}
+
+func (e *env) dial(t *testing.T, from string) net.Conn {
+	t.Helper()
+	conn, err := e.fabric.Dial(from, e.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func send(t *testing.T, conn net.Conn, msg wire.Message) {
+	t.Helper()
+	if _, err := wire.WriteMessage(conn, msg, wire.ProtocolVersion, wire.SimNet); err != nil {
+		t.Fatalf("send %s: %v", msg.Command(), err)
+	}
+}
+
+func recv(t *testing.T, conn net.Conn) wire.Message {
+	t.Helper()
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err := wire.ReadMessage(conn, wire.ProtocolVersion, wire.SimNet)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	return msg
+}
+
+func clientVersion(from string, nonce uint64) *wire.MsgVersion {
+	me := wire.NewNetAddressIPPort(net.IPv4(10, 0, 0, 2), 50001, wire.SFNodeNetwork)
+	you := wire.NewNetAddressIPPort(net.IPv4(10, 0, 0, 1), 8333, wire.SFNodeNetwork)
+	return wire.NewMsgVersion(me, you, nonce, 0)
+}
+
+func handshake(t *testing.T, conn net.Conn, from string) {
+	t.Helper()
+	send(t, conn, clientVersion(from, uint64(time.Now().UnixNano())))
+	sawVersion, sawVerack := false, false
+	for !sawVersion || !sawVerack {
+		switch recv(t, conn).(type) {
+		case *wire.MsgVersion:
+			sawVersion = true
+		case *wire.MsgVerAck:
+			sawVerack = true
+		}
+	}
+	send(t, conn, &wire.MsgVerAck{})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestEngineHandshakeAndPing proves basic protocol correctness under
+// event-loop dispatch: the full VERSION/VERACK exchange and a ping/pong
+// round trip work with zero per-connection goroutines on the victim.
+func TestEngineHandshakeAndPing(t *testing.T) {
+	e := newEnv(t, 2, nil)
+	conn := e.dial(t, "10.0.0.2:50001")
+	defer conn.Close()
+	handshake(t, conn, "10.0.0.2:50001")
+
+	send(t, conn, wire.NewMsgPing(777))
+	for {
+		if pong, ok := recv(t, conn).(*wire.MsgPong); ok {
+			if pong.Nonce != 777 {
+				t.Fatalf("pong nonce = %d, want 777", pong.Nonce)
+			}
+			break
+		}
+	}
+	if got := e.eng.Admitted(); got != 1 {
+		t.Fatalf("Admitted() = %d, want 1", got)
+	}
+}
+
+// TestEngineBanAtExactThreshold drives the batched misbehavior path to a
+// ban: each duplicate VERSION after the handshake scores 1, so the 100th
+// duplicate must cross DefaultBanThreshold, ban the identifier, and
+// disconnect the peer — with the hits applied via per-iteration batch
+// flushes rather than inline.
+func TestEngineBanAtExactThreshold(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	from := "10.0.0.2:50001"
+	conn := e.dial(t, from)
+	defer conn.Close()
+	handshake(t, conn, from)
+
+	dup := clientVersion(from, 42)
+	for i := 0; i < core.DefaultBanThreshold; i++ {
+		if _, err := wire.WriteMessage(conn, dup, wire.ProtocolVersion, wire.SimNet); err != nil {
+			// The ban can land while we are still flooding; the write
+			// error is the disconnect arriving early.
+			break
+		}
+	}
+	id := core.PeerIDFromAddr(from)
+	waitFor(t, "ban", func() bool { return e.node.Tracker().IsBanned(id) })
+	waitFor(t, "disconnect", func() bool { return e.eng.Live() == 0 })
+
+	// A banned identifier must be refused on re-dial: either the dial
+	// itself fails or the connection is dropped before any reply.
+	if c2, err := e.fabric.Dial(from, e.addr); err == nil {
+		send(t, c2, clientVersion(from, 43))
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, _, err := wire.ReadMessage(c2, wire.ProtocolVersion, wire.SimNet); err == nil {
+			t.Fatal("banned peer got a protocol reply")
+		}
+		c2.Close()
+	}
+}
+
+// TestEngineSlotReuseAfterChurn proves the arena recycles slots without
+// leaking the prior occupant's identity or score: peer A earns a partial
+// score and disconnects (the node forgets unbanned scores on disconnect,
+// as Core does), then peer B lands in the freed slot (single shard, LIFO
+// free list) and must accumulate its own score from zero — not resume
+// A's, and not have A's stale wake or sink deliver hits under B's ID.
+func TestEngineSlotReuseAfterChurn(t *testing.T) {
+	e := newEnv(t, 1, nil)
+
+	fromA := "10.0.0.2:50001"
+	connA := e.dial(t, fromA)
+	handshake(t, connA, fromA)
+	dup := clientVersion(fromA, 42)
+	for i := 0; i < 40; i++ {
+		send(t, connA, dup)
+	}
+	idA := core.PeerIDFromAddr(fromA)
+	waitFor(t, "peer A scored", func() bool { return e.node.Tracker().Score(idA) == 40 })
+	connA.Close()
+	waitFor(t, "peer A detached", func() bool { return e.eng.Live() == 0 })
+
+	fromB := "10.0.0.3:50002"
+	connB := e.dial(t, fromB)
+	defer connB.Close()
+	handshake(t, connB, fromB)
+	waitFor(t, "peer B live", func() bool { return e.eng.Live() == 1 })
+
+	idB := core.PeerIDFromAddr(fromB)
+	if got := e.node.Tracker().Score(idB); got != 0 {
+		t.Fatalf("recycled slot leaked score: peer B starts at %d, want 0", got)
+	}
+
+	// B misbehaves in the reused slot: its score must build from zero
+	// under its own identifier, unaffected by A's 40 hits.
+	dupB := clientVersion(fromB, 43)
+	for i := 0; i < 10; i++ {
+		send(t, connB, dupB)
+	}
+	waitFor(t, "peer B scored independently", func() bool { return e.node.Tracker().Score(idB) == 10 })
+	if e.node.Tracker().IsBanned(idB) {
+		t.Fatal("peer B banned at score 10: inherited prior occupant's hits")
+	}
+
+	// B must still be fully functional in the reused slot.
+	send(t, connB, wire.NewMsgPing(9))
+	for {
+		if pong, ok := recv(t, connB).(*wire.MsgPong); ok && pong.Nonce == 9 {
+			break
+		}
+	}
+}
+
+// TestEngineDrainingShardChurn hammers one shard with connections that
+// arrive while their predecessors are mid-detach: every peer hashes onto
+// the same worker, so registrations race detaches for the same slot
+// indices and stale wakes from dying pipes fire against recycled slots.
+// The generation guard must keep every connection independently correct.
+func TestEngineDrainingShardChurn(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	const rounds = 30
+	for i := 0; i < rounds; i++ {
+		from := fmt.Sprintf("10.0.%d.2:50001", i+2)
+		conn := e.dial(t, from)
+		handshake(t, conn, from)
+		send(t, conn, wire.NewMsgPing(uint64(i)))
+		// Close without draining the pong: the engine sees the close
+		// edge while a write may still be pending.
+		conn.Close()
+	}
+	waitFor(t, "all churned peers detached", func() bool { return e.eng.Live() == 0 })
+	if got := e.eng.Admitted(); got != rounds {
+		t.Fatalf("Admitted() = %d, want %d", got, rounds)
+	}
+
+	// The shard must still serve a fresh connection after the churn.
+	conn := e.dial(t, "10.1.0.2:50001")
+	defer conn.Close()
+	handshake(t, conn, "10.1.0.2:50001")
+}
+
+// TestEngineFaultPlanReset proves fault injection composes with event-loop
+// connections: a link plan that hard-resets after a byte budget must tear
+// the peer down through the engine's close handling, not strand the slot.
+func TestEngineFaultPlanReset(t *testing.T) {
+	e := newEnv(t, 2, nil)
+	from := "10.0.0.2:50001"
+	e.fabric.SetLinkFaultsBoth("10.0.0.2", "10.0.0.1", &simnet.FaultPlan{ResetAfterBytes: 4096})
+
+	conn := e.dial(t, from)
+	defer conn.Close()
+	handshake(t, conn, from)
+	waitFor(t, "peer live", func() bool { return e.eng.Live() == 1 })
+
+	// Burn through the byte budget; the reset lands mid-stream.
+	for i := 0; i < 200; i++ {
+		if _, err := wire.WriteMessage(conn, wire.NewMsgPing(uint64(i)), wire.ProtocolVersion, wire.SimNet); err != nil {
+			break
+		}
+	}
+	waitFor(t, "reset detached the peer", func() bool { return e.eng.Live() == 0 })
+}
+
+// TestEngineOversizedFrameRejected proves the frame gate fails fast on a
+// header whose claimed payload exceeds the wire maximum instead of waiting
+// forever for bytes that will never arrive.
+func TestEngineOversizedFrameRejected(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	from := "10.0.0.2:50001"
+	conn := e.dial(t, from)
+	defer conn.Close()
+	handshake(t, conn, from)
+	waitFor(t, "peer live", func() bool { return e.eng.Live() == 1 })
+
+	// Hand-build a header claiming a payload far beyond MaxMessagePayload
+	// and send only the header. The decoder must reject it from the
+	// header alone and the engine must tear the connection down.
+	hdr := make([]byte, wire.MessageHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(wire.SimNet))
+	copy(hdr[4:16], "ping")
+	binary.LittleEndian.PutUint32(hdr[16:20], wire.MaxMessagePayload+1)
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "oversized frame rejected", func() bool { return e.eng.Live() == 0 })
+}
+
+// TestEngineEOFDrain proves buffered frames written before a close are
+// still dispatched: the engine drains the buffer before surfacing EOF.
+func TestEngineEOFDrain(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	from := "10.0.0.2:50001"
+	conn := e.dial(t, from)
+	handshake(t, conn, from)
+
+	dup := clientVersion(from, 42)
+	for i := 0; i < 25; i++ {
+		send(t, conn, dup)
+	}
+	conn.Close()
+
+	id := core.PeerIDFromAddr(from)
+	waitFor(t, "pre-close frames scored", func() bool { return e.node.Tracker().Score(id) == 25 })
+	waitFor(t, "peer detached", func() bool { return e.eng.Live() == 0 })
+}

@@ -1,0 +1,12 @@
+package swarm_test
+
+import (
+	"testing"
+
+	"banscore/internal/leakcheck"
+)
+
+// TestMain proves the engine's worker pool drains on Stop: the gospawn
+// analyzer shows every shard goroutine registers with the WaitGroup, and
+// leakcheck shows no worker outlives the tests.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

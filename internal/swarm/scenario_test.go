@@ -1,0 +1,55 @@
+package swarm_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"banscore/internal/experiments"
+)
+
+// scenarioPeers reads the swarm size from BANSCORE_SWARM_PEERS, defaulting
+// small enough for the regular test run. CI's swarm-smoke job raises it to
+// 10000; the nightly workflow runs 100000 through cmd/experiments instead.
+func scenarioPeers(t *testing.T, fallback int) int {
+	t.Helper()
+	v := os.Getenv("BANSCORE_SWARM_PEERS")
+	if v == "" {
+		return fallback
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		t.Fatalf("BANSCORE_SWARM_PEERS=%q: want a positive integer", v)
+	}
+	return n
+}
+
+// TestSwarmScenario runs the Sybil-swarm scenario end to end under
+// leakcheck: every identity must end banned (the exact-count assertion
+// that batched ban application neither under- nor over-bans), churned
+// identities must re-earn their ban from zero, and — enforced by
+// TestMain — no goroutine may outlive the scenario's teardown.
+func TestSwarmScenario(t *testing.T) {
+	peers := scenarioPeers(t, 1500)
+	res, err := experiments.Swarm(experiments.SwarmConfig{
+		Attackers:  peers,
+		ChurnEvery: 7,
+	})
+	if err != nil {
+		t.Fatalf("swarm: %v\n%s", err, res.Render())
+	}
+	t.Logf("\n%s", res.Render())
+
+	if res.Banned != peers {
+		t.Fatalf("banned = %d, want every one of %d identities", res.Banned, peers)
+	}
+	if res.PeakLive != peers {
+		t.Fatalf("peak live = %d, want %d concurrent peers", res.PeakLive, peers)
+	}
+	if want := (peers + 6) / 7; res.Churned != want {
+		t.Fatalf("churned = %d, want %d", res.Churned, want)
+	}
+	if res.MessagesProcessed == 0 || res.MsgsPerSec <= 0 || res.PeersPerSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", res)
+	}
+}

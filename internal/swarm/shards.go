@@ -1,0 +1,14 @@
+package swarm
+
+import "runtime"
+
+// defaultShardCount sizes the worker pool to the machine: one shard per
+// scheduler slot, capped so tiny CI runners still get enough lanes for
+// the hash to spread peers.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
